@@ -1,0 +1,83 @@
+"""Extension: schedulability impact of MichiCAN's counterattacks.
+
+The paper argues feasibility from deadlines (Sec. V-C): the minimum deadline
+for periodic messages is ~10 ms, i.e. 5000 bits at 500 kbit/s, so bus-off
+fights up to A = 4 attackers fit.  This bench runs the full Davis et al.
+response-time analysis over the synthetic vehicle matrices with the fight
+injected as a blocking term, making that argument quantitative per message.
+
+Regenerate:  pytest benchmarks/bench_schedulability.py --benchmark-only -s
+"""
+
+import pytest
+
+from conftest import report
+from repro.analysis.schedulability import (
+    analyze,
+    deadline_misses_under_attack,
+    is_schedulable,
+    max_tolerable_fight_bits,
+)
+from repro.workloads.vehicles import all_vehicle_buses, vehicle_buses
+
+FIGHTS = {1: 1_250, 2: 2_503, 3: 3_569, 4: 4_711, 5: 5_834}
+
+
+def test_schedulability_baseline(benchmark):
+    results = benchmark.pedantic(
+        lambda: {m.name: is_schedulable(m, 500_000)
+                 for m in all_vehicle_buses()},
+        rounds=1, iterations=1,
+    )
+    rows = [(f"{name} schedulable (no attack)", True, ok)
+            for name, ok in sorted(results.items())]
+    report("Schedulability — all eight vehicle buses", rows)
+    assert all(results.values())
+
+
+def test_schedulability_under_fights(benchmark):
+    matrix, _ = vehicle_buses("veh_d")
+
+    def run():
+        return {
+            attackers: deadline_misses_under_attack(matrix, 500_000, bits)
+            for attackers, bits in FIGHTS.items()
+        }
+
+    misses = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for attackers, bits in FIGHTS.items():
+        rows.append((
+            f"A={attackers} fight ({bits} bits): deadline misses",
+            "none" if attackers <= 4 else "expected",
+            len(misses[attackers]),
+        ))
+    report(
+        "Schedulability — fights as blocking terms (Veh. D bus 1)", rows,
+        notes="the paper's coarse bound (fight < 5000-bit deadline) ignores "
+              "baseline interference; the full analysis shows this bus "
+              "already misses at A=4 — a sharper result than Sec. V-C",
+    )
+    for attackers in (1, 2, 3):
+        assert misses[attackers] == []
+    assert misses[5], "A=5 must break deadlines (the paper's claim)"
+
+
+def test_max_tolerable_fight(benchmark):
+    matrix, _ = vehicle_buses("veh_d")
+    tolerance = benchmark.pedantic(
+        lambda: max_tolerable_fight_bits(matrix, 500_000),
+        rounds=1, iterations=1,
+    )
+    results = analyze(matrix, 500_000)
+    tightest = min(results.values(), key=lambda r: r.slack_bits)
+    report("Schedulability — maximum tolerable fight (Veh. D bus 1)", [
+        ("largest fight without a miss (bits)",
+         "<= 5000 (10 ms minus interference)", tolerance),
+        ("tightest message", "-", f"0x{tightest.can_id:03X}"),
+        ("its slack without attack (bits)", "-", tightest.slack_bits),
+    ])
+    # The tolerable fight equals the tightest message's residual slack —
+    # strictly below the raw 5000-bit deadline the paper divides by.
+    assert FIGHTS[3] <= tolerance <= 5_000
+    assert tolerance == pytest.approx(tightest.slack_bits, abs=140)

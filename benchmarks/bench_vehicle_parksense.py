@@ -1,0 +1,60 @@
+"""Sec. V-F: the on-vehicle test — targeted DoS against ParkSense.
+
+Paper: injecting CAN ID 0x25F starves the park-assist messages (lowest
+relevant ID 0x260); the cluster shows "PARKSENSE UNAVAILABLE SERVICE
+REQUIRED" and automatic braking is lost.  With the MichiCAN dongle on the
+OBD-II splitter "the DoS attack was eradicated within 32 transmission
+attempts, restoring the park assist system. A DoS attack never disables the
+park assist if the Arduino Due with MichiCAN is connected."
+
+Regenerate:  pytest benchmarks/bench_vehicle_parksense.py --benchmark-only -s
+"""
+
+from conftest import report
+from repro.experiments.scenarios import parksense_experiment
+from repro.vehicle.features import FeatureState
+from repro.vehicle.parksense import DASHBOARD_MESSAGE
+
+DURATION_BITS = 400_000
+
+
+def test_parksense_undefended(benchmark):
+    outcome = benchmark.pedantic(
+        lambda: parksense_experiment(with_michican=False,
+                                     duration_bits=DURATION_BITS),
+        rounds=1, iterations=1,
+    )
+    report("Sec. V-F — attack without MichiCAN", [
+        ("feature state", "unavailable", outcome.feature.state.value),
+        ("cluster message", DASHBOARD_MESSAGE,
+         outcome.dashboard[0] if outcome.dashboard else "(none)"),
+        ("automatic braking", "lost",
+         "available" if outcome.feature.automatic_braking_available
+         else "lost"),
+        ("attacker ever bused off", False, outcome.attacker_busoff_count > 0),
+    ])
+    assert outcome.feature.state is FeatureState.UNAVAILABLE
+    assert DASHBOARD_MESSAGE in outcome.dashboard
+    assert outcome.attacker_busoff_count == 0
+
+
+def test_parksense_defended(benchmark):
+    outcome = benchmark.pedantic(
+        lambda: parksense_experiment(with_michican=True,
+                                     duration_bits=DURATION_BITS),
+        rounds=1, iterations=1,
+    )
+    report("Sec. V-F — attack with the MichiCAN dongle", [
+        ("feature state", "available", outcome.feature.state.value),
+        ("cluster faults", "(none)", outcome.dashboard or "(none)"),
+        ("automatic braking", "available",
+         "available" if outcome.feature.automatic_braking_available
+         else "lost"),
+        ("attacker bus-offs (persistent attack)", ">= 1",
+         outcome.attacker_busoff_count),
+        ("downtime windows", 0, len(outcome.downtime_windows)),
+    ])
+    assert outcome.feature.state is FeatureState.AVAILABLE
+    assert outcome.dashboard == []
+    assert outcome.attacker_busoff_count >= 1
+    assert outcome.downtime_windows == []

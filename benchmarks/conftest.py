@@ -1,0 +1,31 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every bench prints a ``paper vs measured`` block so the EXPERIMENTS.md
+numbers can be regenerated with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+Row = Tuple[str, object, object]
+
+
+def report(title: str, rows: Iterable[Row], notes: Optional[str] = None) -> None:
+    """Print a paper-vs-measured table for one experiment."""
+    print(f"\n=== {title}")
+    print(f"    {'metric':<42} {'paper':>16} {'measured':>16}")
+    for metric, paper, measured in rows:
+        paper_text = _fmt(paper)
+        measured_text = _fmt(measured)
+        print(f"    {metric:<42} {paper_text:>16} {measured_text:>16}")
+    if notes:
+        print(f"    note: {notes}")
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Extension demo: defending 29-bit extended identifiers (CAN 2.0B).
+
+The paper covers CAN 2.0A; this library extends MichiCAN to mixed buses
+(J1939 / UDS-style 29-bit traffic alongside 11-bit messages).  The demo
+
+1. builds an interval-backed 29-bit detection FSM over a ~268-million-ID
+   range without enumerating anything,
+2. shows the extended arbitration rules on the wire (standard beats
+   extended on equal base IDs),
+3. buses off an extended-ID DoS attacker while legitimate 29-bit
+   diagnostics keep flowing.
+
+Run:  python examples/extended_ids.py
+"""
+
+from repro import CanBusSimulator, CanNode, CanFrame, MichiCanNode
+from repro.bus.events import BusOffEntered, FrameTransmitted
+from repro.can.intervals import IdIntervalSet
+from repro.core.fsm import DetectionFsm
+
+#: Legitimate 29-bit diagnostic IDs (UDS-over-CAN style).
+LEGIT_EXT = [0x18DAF110, 0x18DA10F1]
+
+#: Extended detection range: everything below 0x19000000 except the
+#: legitimate diagnostics.
+EXT_RANGE = IdIntervalSet.from_range_minus(0, 0x18FFFFFF, excluded=LEGIT_EXT)
+
+
+def fsm_scale() -> None:
+    fsm = DetectionFsm(EXT_RANGE, id_bits=29)
+    stats = fsm.stats(samples=2_000)
+    print("29-bit detection FSM")
+    print(f"  identifier space ..... 2^29 = {1 << 29:,}")
+    print(f"  detection-set size ... {len(EXT_RANGE):,}")
+    print(f"  FSM states ........... {fsm.num_states} "
+          "(interval arithmetic, no enumeration)")
+    print(f"  worst decision depth . {stats.max_depth} of 29 bits\n")
+
+
+def arbitration_rules() -> None:
+    sim = CanBusSimulator()
+    x, y = sim.add_node(CanNode("x")), sim.add_node(CanNode("y"))
+    x.send(CanFrame(0x100 << 18, extended=True))
+    y.send(CanFrame(0x100))
+    sim.run(700)
+    order = [("extended" if e.frame.extended else "standard")
+             for e in sim.events_of(FrameTransmitted)]
+    print("equal base ID 0x100, simultaneous start:")
+    print(f"  wire order: {order[0]} first, then {order[1]} "
+          "(dominant RTR beats recessive SRR)\n")
+
+
+def defended_mixed_bus() -> None:
+    sim = CanBusSimulator(bus_speed=500_000)
+    defender = sim.add_node(MichiCanNode(
+        "defender", range(0x100), extended_detection_ids=EXT_RANGE))
+    diag = sim.add_node(CanNode("diagnostics"))
+    attacker = sim.add_node(CanNode("attacker"))
+
+    diag.send(CanFrame(LEGIT_EXT[0], b"\x02\x10\x01", extended=True))
+    attacker.send(CanFrame(0x00001234, bytes(8), extended=True))
+
+    sim.run_until(lambda s: attacker.is_bus_off, 20_000)
+    boff = sim.events_of(BusOffEntered)[0]
+    detection = defender.detections[0]
+    print("mixed-bus defense:")
+    print(f"  extended attack 0x00001234 flagged at 29-bit-FSM bit "
+          f"{detection.decision_bit} (extended={detection.extended})")
+    print(f"  attacker bus-off at t={boff.time} "
+          f"({sim.milliseconds(boff.time):.2f} ms)")
+    sim.run(5_000)
+    delivered = [e.frame for e in sim.events_of(FrameTransmitted)
+                 if e.node == "diagnostics"]
+    print(f"  legitimate UDS frame delivered: "
+          f"{delivered[0] if delivered else 'NOT DELIVERED'}")
+
+
+def main() -> None:
+    fsm_scale()
+    arbitration_rules()
+    defended_mixed_bus()
+
+
+if __name__ == "__main__":
+    main()

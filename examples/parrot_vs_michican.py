@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""MichiCAN vs Parrot: eradication speed and bus-load cost (Sec. V-E).
+
+Both defenses face the same periodic spoofing attacker.  The example
+measures, for each system:
+
+* time until the attacker is forced into bus-off,
+* bus occupancy while the defense is active,
+* collateral damage (defender error-counter churn / controller resets).
+
+Run:  python examples/parrot_vs_michican.py
+"""
+
+from repro.analysis.busload import parrot_flooding_overhead
+from repro.experiments.scenarios import (
+    michican_defense_setup,
+    parrot_defense_setup,
+)
+from repro.trace.recorder import LogicTrace
+
+
+def main() -> None:
+    attack_period = 1_000  # bits between spoofed instances
+
+    # --- MichiCAN ----------------------------------------------------------
+    michican = michican_defense_setup(attack_period_bits=attack_period)
+    m_time = michican.sim.run_until(
+        lambda s: michican.attackers[0].is_bus_off, 200_000)
+    m_trace = LogicTrace(michican.sim.wire.history)
+    m_busy = m_trace.busy_fraction()
+
+    # --- Parrot -------------------------------------------------------------
+    parrot = parrot_defense_setup(attack_period_bits=attack_period)
+    p_time = parrot.sim.run_until(
+        lambda s: parrot.attacker.is_bus_off, 800_000)
+    p_trace = LogicTrace(parrot.sim.wire.history)
+    p_busy = p_trace.busy_fraction(start=2_000)  # post-detection phase
+
+    # --- report --------------------------------------------------------------
+    speed = michican.sim.bus_speed
+    print(f"attacker: periodic spoof of 0x173 every {attack_period} bits "
+          f"at {speed // 1000} kbit/s\n")
+    print(f"{'':24} {'MichiCAN':>12} {'Parrot':>12}")
+    print(f"{'bus-off after (bits)':24} {m_time:>12} {p_time:>12}")
+    print(f"{'bus-off after (ms)':24} {m_time / speed * 1e3:>12.1f} "
+          f"{p_time / speed * 1e3:>12.1f}")
+    print(f"{'bus busy while defending':24} {m_busy:>11.1%} {p_busy:>11.1%}")
+    print(f"{'defender TEC damage':24} {'none':>12} "
+          f"{f'{parrot.parrot.controller_resets} resets':>12}")
+    print(f"{'counter frames flooded':24} {0:>12} "
+          f"{parrot.parrot.counter_frames_sent:>12}")
+
+    print(f"\nParrot's theoretical flooding overhead: "
+          f"{parrot_flooding_overhead():.1%} (paper: 125/128 ~ 97.7%)")
+    print(f"MichiCAN eradicates the attacker {p_time / m_time:.0f}x faster "
+          f"with zero standing bus load.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""MichiCAN reproduction: bit-level CAN simulation + arbitration-phase defense.
+
+This package reproduces *MichiCAN: Spoofing and Denial-of-Service Protection
+using Integrated CAN Controllers* (DSN 2025) in pure Python:
+
+* :mod:`repro.can` / :mod:`repro.node` / :mod:`repro.bus` — a bit-accurate
+  CAN 2.0A substrate (frames, CRC-15, stuffing, arbitration, error handling,
+  fault confinement, bus-off recovery) replacing the paper's hardware testbed;
+* :mod:`repro.core` — MichiCAN itself: detection FSMs, the Algorithm 1
+  firmware, pin multiplexing, software synchronization, the defense node;
+* :mod:`repro.attacks` / :mod:`repro.baselines` — the threat model and the
+  Parrot / IDS comparison baselines;
+* :mod:`repro.workloads` / :mod:`repro.dbc` / :mod:`repro.vehicle` —
+  synthetic vehicle traffic, communication matrices and the ParkSense
+  on-vehicle scenario;
+* :mod:`repro.analysis` / :mod:`repro.experiments` — the paper's metrics and
+  every evaluation experiment.
+
+Quickstart::
+
+    from repro import CanBusSimulator, CanNode, CanFrame, MichiCanNode
+
+    sim = CanBusSimulator(bus_speed=500_000)
+    defender = sim.add_node(MichiCanNode("defender", range(0x100)))
+    attacker = sim.add_node(CanNode("attacker"))
+    attacker.send(CanFrame(0x042, bytes(8)))
+    sim.run_until(lambda s: attacker.is_bus_off, 10_000)
+"""
+
+from repro.bus.simulator import CanBusSimulator
+from repro.can.frame import CanFrame
+from repro.core.config import IvnConfig, Scenario
+from repro.core.defense import MichiCanNode
+from repro.core.fsm import DetectionFsm, Verdict
+from repro.node.controller import CanNode
+from repro.node.scheduler import PeriodicMessage, PeriodicScheduler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CanBusSimulator",
+    "CanFrame",
+    "CanNode",
+    "DetectionFsm",
+    "IvnConfig",
+    "MichiCanNode",
+    "PeriodicMessage",
+    "PeriodicScheduler",
+    "Scenario",
+    "Verdict",
+    "__version__",
+]

@@ -1,0 +1,184 @@
+"""Theoretical bus-off time calculations: Table III in closed form.
+
+Terminology follows Sec. V-C.  With SOF counted as frame bit 1, the error
+frame starts right after the last bit MichiCAN's pulse corrupts:
+
+* best case — a stuff error already in the RTR region: the error frame
+  starts at the 14th bit, so t_a = 13 + 14 + 3 = 30 bits;
+* worst case — the bit error lands on the 4th DLC bit: the error frame
+  starts at the 19th bit, t_a = 18 + 14 + 3 = 35 bits;
+* error-passive retransmissions add the 8-bit suspend period: t_p = t_a + 8.
+
+A full undisturbed bus-off needs 16 error-active + 16 error-passive rounds:
+16 * (35 + 43) = 1248 bits (the paper's Table III row for Exp. 2/4/6).
+Benign/adversarial interruptions extend individual rounds by whole frame
+lengths (the c/z terms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.can.constants import (
+    ACTIVE_ERROR_FLAG_BITS,
+    AVERAGE_FRAME_BITS,
+    ERROR_DELIMITER_BITS,
+    IFS_BITS,
+    SUSPEND_TRANSMISSION_BITS,
+)
+
+#: Error frame length: 6-bit flag + 8-bit delimiter.
+ERROR_FRAME_BITS = ACTIVE_ERROR_FLAG_BITS + ERROR_DELIMITER_BITS
+
+#: Frame bits transmitted before the error frame in the best case (stuff
+#: error during the RTR bit: SOF + 11 ID + RTR = 13).
+BEST_CASE_PREFIX_BITS = 13
+#: Worst case: bit error on the 4th DLC bit (SOF + 11 ID + RTR + 6 = 18).
+WORST_CASE_PREFIX_BITS = 18
+
+#: Rounds in each error state before bus-off (TEC: 16*8 = 128, then 256).
+ROUNDS_PER_STATE = 16
+
+
+def error_active_time(prefix_bits: int = WORST_CASE_PREFIX_BITS) -> int:
+    """t_a: one destroyed error-active (re)transmission, in bits."""
+    return prefix_bits + ERROR_FRAME_BITS + IFS_BITS
+
+
+def error_passive_time(prefix_bits: int = WORST_CASE_PREFIX_BITS) -> int:
+    """t_p: one destroyed error-passive retransmission (adds suspend)."""
+    return error_active_time(prefix_bits) + SUSPEND_TRANSMISSION_BITS
+
+
+def undisturbed_busoff_bits(prefix_bits: int = WORST_CASE_PREFIX_BITS) -> int:
+    """Total bus-off time without interruptions: 16 * (t_a + t_p).
+
+    >>> undisturbed_busoff_bits()
+    1248
+    >>> undisturbed_busoff_bits(BEST_CASE_PREFIX_BITS)
+    1088
+    """
+    return ROUNDS_PER_STATE * (
+        error_active_time(prefix_bits) + error_passive_time(prefix_bits)
+    )
+
+
+@dataclass(frozen=True)
+class InterruptionCounts:
+    """The c/z terms of Table III for one experiment run.
+
+    Attributes:
+        high_priority_active: c_{h,a} (or z_{h,a}) — frames that win
+            arbitration against an error-active retransmission.
+        high_priority_passive: c_{h,p} / z_{h,p}.
+        low_priority_passive: c_{l,p} / z_{l,p} — in the error-passive
+            region even lower-priority frames slip in during suspend.
+    """
+
+    high_priority_active: int = 0
+    high_priority_passive: int = 0
+    low_priority_passive: int = 0
+
+
+def busoff_bits_with_interruptions(
+    counts: InterruptionCounts,
+    prefix_bits: int = WORST_CASE_PREFIX_BITS,
+    frame_bits: int = AVERAGE_FRAME_BITS,
+) -> int:
+    """Table III rows 1/3: rounds extended by interrupting frames.
+
+    Each interrupting frame adds one full frame length to the phase it lands
+    in: t_a' = t_a + s_f * c_{h,a}; t_p' = t_p + s_f * (c_{h,p} + c_{l,p}).
+    """
+    t_a_total = (
+        ROUNDS_PER_STATE * error_active_time(prefix_bits)
+        + frame_bits * counts.high_priority_active
+    )
+    t_p_total = (
+        ROUNDS_PER_STATE * error_passive_time(prefix_bits)
+        + frame_bits * (counts.high_priority_passive + counts.low_priority_passive)
+    )
+    return t_a_total + t_p_total
+
+
+def two_attacker_hp_busoff_bits(
+    z_low_passive: int,
+    attacker_frame_bits: int = AVERAGE_FRAME_BITS,
+    prefix_bits: int = WORST_CASE_PREFIX_BITS,
+) -> int:
+    """Table III Exp. 5, HP scenario: the higher-priority attacker.
+
+    Its 16 error-active rounds are undisturbed (it always wins arbitration):
+    16 * t_a = 560 bits in the worst case; its error-passive rounds are
+    extended by the lower-priority attacker's intervening retransmissions
+    (z_{l,p} of them).
+    """
+    active = ROUNDS_PER_STATE * error_active_time(prefix_bits)
+    passive = (
+        ROUNDS_PER_STATE * error_passive_time(prefix_bits)
+        + attacker_frame_bits * z_low_passive
+    )
+    return active + passive
+
+
+def two_attacker_lp_busoff_bits(
+    z_high_active: int,
+    z_high_passive: int,
+    attacker_frame_bits: int = AVERAGE_FRAME_BITS,
+    prefix_bits: int = WORST_CASE_PREFIX_BITS,
+) -> int:
+    """Table III Exp. 5, LP scenario: the lower-priority attacker loses
+    arbitration to the high-priority one in both regions."""
+    active = (
+        ROUNDS_PER_STATE * error_active_time(prefix_bits)
+        + attacker_frame_bits * z_high_active
+    )
+    passive = (
+        ROUNDS_PER_STATE * error_passive_time(prefix_bits)
+        + attacker_frame_bits * z_high_passive
+    )
+    return active + passive
+
+
+def busoff_ms(bits: int, bus_speed: int) -> float:
+    """Bit count to milliseconds at ``bus_speed``."""
+    return bits / bus_speed * 1e3
+
+
+def max_attackers_before_deadline_miss(
+    deadline_bits: int = 5000,
+    per_attacker_bits: Sequence[int] = (1248, 2350, 3515, 4660, 5900),
+) -> int:
+    """How many concurrent attackers fit before the total fight exceeds the
+    minimum safety deadline (paper: A >= 5 renders the bus inoperable;
+    10 ms at 500 kbit/s = 5000 bits)."""
+    count = 0
+    for total in per_attacker_bits:
+        if total > deadline_bits:
+            break
+        count += 1
+    return count
+
+
+def expected_busoff_bits_under_load(
+    benign_load: float,
+    base_bits: int = 1248,
+) -> float:
+    """Expected bus-off time with benign background traffic (Exp. 1/3).
+
+    Utilization argument: the fight occupies the bus end to end, so every
+    benign frame arriving during it must be served *inside* it (each one
+    slots into an error-passive suspend window and extends the episode by
+    one frame length).  With benign load ``b`` the fixed point is
+
+        T = base + b * T     =>     T = base / (1 - b).
+
+    The paper's Table III row 1/3 expresses the same thing per-round via
+    the c-terms; this closed form predicts the Table II means directly
+    (e.g. base 1230 bits at a 12% replay load -> ~1400 bits ~ 28 ms at
+    50 kbit/s, matching the measured Exp. 1/3).
+    """
+    if not 0.0 <= benign_load < 1.0:
+        raise ValueError(f"benign load must be in [0, 1), got {benign_load}")
+    return base_bits / (1.0 - benign_load)

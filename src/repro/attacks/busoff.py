@@ -1,0 +1,78 @@
+"""The classic bus-off attack against a *legitimate* ECU (Sec. VI-A).
+
+Cho & Shin showed that CAN's error handling can be weaponised: an attacker
+that transmits a frame with the victim's ID and a dominant-biased payload at
+the same instant as the victim forces a bit error *in the victim* — repeated
+32 times, the victim is bus-off.  CANnon and follow-ups made the injection
+stealthy.  The attacker protects itself the same way Parrot does: it resets
+its own controller (clearing TEC/REC) whenever its counters climb.
+
+MichiCAN was not designed to stop this attack on the defended ECU itself
+(during the victim's own transmission the firmware must stay silent), but it
+*does* punish every attacker retransmission that runs solo — which happens
+as soon as the victim enters error-passive and its suspend window lets the
+attacker's frame out alone.  The tests and the extension bench quantify
+exactly that boundary.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackerNode
+from repro.can.frame import CanFrame
+from repro.node.scheduler import TransmitQueue
+
+
+class _CollisionSource:
+    """Keeps a forged frame (victim ID, dominant payload) always pending."""
+
+    def __init__(self, victim_id: int, start_bits: int) -> None:
+        self.victim_id = victim_id
+        self.start_bits = start_bits
+        self.emitted = 0
+        self.messages: list = []
+
+    def tick(self, time: int, queue: TransmitQueue) -> int:
+        if time < self.start_bits or queue.has_pending:
+            return 0
+        # All-dominant payload: at the first divergent data bit the victim
+        # transmits recessive, reads dominant, and takes the bit error.
+        queue.enqueue(CanFrame(self.victim_id, bytes(8)), time)
+        self.emitted += 1
+        return 1
+
+
+class BusOffAttacker(AttackerNode):
+    """Forces a victim ECU into bus-off via synchronized collisions.
+
+    Args:
+        victim_id: The CAN ID of the victim's periodic message.
+        start_bits: Stay silent until this time (reconnaissance phase).
+        tec_reset_threshold: Reset the (attacker-controlled) controller when
+            its own TEC exceeds this, clearing the counters — the CANnon-
+            style self-preservation that makes the attack sustainable.
+    """
+
+    attack_name = "bus-off"
+
+    def __init__(
+        self,
+        name: str,
+        victim_id: int,
+        start_bits: int = 0,
+        tec_reset_threshold: int = 96,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            name, scheduler=_CollisionSource(victim_id, start_bits), **kwargs
+        )
+        self.victim_id = victim_id
+        self.tec_reset_threshold = tec_reset_threshold
+        self.controller_resets = 0
+
+    def output(self, time: int) -> int:
+        if (self.faults.tec > self.tec_reset_threshold
+                and not self.is_transmitting):
+            self.faults.tec = 0
+            self.faults.rec = 0
+            self.controller_resets += 1
+        return super().output(time)

@@ -1,0 +1,38 @@
+"""Miscellaneous attacks: IDs above max(𝔼) (Definition IV.3).
+
+These frames carry an ID no ECU listens to; they can only delay legitimate
+traffic by at most one frame length, which the paper shows is far below
+safety-critical deadlines — so MichiCAN deliberately does not counterattack
+them.  The attacker exists so the benchmarks can demonstrate that bound.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackerNode, ContinuousSource
+from repro.node.scheduler import PeriodicMessage, PeriodicScheduler
+
+
+class MiscellaneousAttacker(AttackerNode):
+    """Injects an ID above every legitimate ID, continuously or periodically."""
+
+    attack_name = "miscellaneous"
+
+    def __init__(
+        self,
+        name: str,
+        can_id: int,
+        highest_legitimate_id: int,
+        period_bits: int = 0,
+        **kwargs,
+    ) -> None:
+        if can_id <= highest_legitimate_id:
+            raise ValueError(
+                f"0x{can_id:X} is not above max(E)=0x{highest_legitimate_id:X}; "
+                "that would be a DoS attack, not a miscellaneous one"
+            )
+        if period_bits <= 0:
+            scheduler = ContinuousSource(can_id)
+        else:
+            scheduler = PeriodicScheduler([PeriodicMessage(can_id, period_bits)])
+        super().__init__(name, scheduler=scheduler, **kwargs)
+        self.attack_id = can_id

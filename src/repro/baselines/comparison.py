@@ -1,0 +1,123 @@
+"""Table I: qualitative comparison of countermeasures against CAN DoS.
+
+The table's ratings come from the paper; for the systems this reproduction
+actually implements (IDS, Parrot, MichiCAN) the benchmark
+``benchmarks/bench_table1_comparison.py`` cross-checks the qualitative
+claims against measured behaviour on the simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class Rating(enum.Enum):
+    YES = "yes"
+    NO = "no"
+    UNKNOWN = "unknown"
+
+    def glyph(self) -> str:
+        return {"yes": "●", "no": "○", "unknown": "◐"}[self.value]
+
+
+class Overhead(enum.Enum):
+    NONE = "none"
+    NEGLIGIBLE = "negligible"
+    MEDIUM = "medium"
+    VERY_HIGH = "very high"
+
+    def glyph(self) -> str:
+        return {
+            "none": "●", "negligible": "○", "medium": "◑", "very high": "◕",
+        }[self.value]
+
+
+@dataclass(frozen=True)
+class Countermeasure:
+    """One row of Table I."""
+
+    name: str
+    reference: str
+    backward_compatible: Rating
+    real_time: Rating
+    eradication: Rating
+    traffic_overhead: Overhead
+    implemented_here: bool = False
+    notes: str = ""
+
+
+#: Table I of the paper, row by row.
+TABLE_I: List[Countermeasure] = [
+    Countermeasure(
+        "IDS", "[15]-[17]",
+        backward_compatible=Rating.YES, real_time=Rating.NO,
+        eradication=Rating.NO, traffic_overhead=Overhead.NONE,
+        implemented_here=True,
+        notes="detects after complete frames; cannot eradicate",
+    ),
+    Countermeasure(
+        "Parrot+", "[18]",
+        backward_compatible=Rating.YES, real_time=Rating.NO,
+        eradication=Rating.YES, traffic_overhead=Overhead.VERY_HIGH,
+        implemented_here=True,
+        notes="floods the bus (~97.7% overhead) to collide brute-force",
+    ),
+    Countermeasure(
+        "CANSentry", "[19]",
+        backward_compatible=Rating.NO, real_time=Rating.NO,
+        eradication=Rating.YES, traffic_overhead=Overhead.NEGLIGIBLE,
+        notes="stand-alone firewall hardware between ECU and bus",
+    ),
+    Countermeasure(
+        "CANeleon", "[20]",
+        backward_compatible=Rating.NO, real_time=Rating.YES,
+        eradication=Rating.YES, traffic_overhead=Overhead.NEGLIGIBLE,
+        notes="frame-ID chameleon; classic CAN only",
+    ),
+    Countermeasure(
+        "CANARY", "[21]",
+        backward_compatible=Rating.NO, real_time=Rating.YES,
+        eradication=Rating.YES, traffic_overhead=Overhead.NEGLIGIBLE,
+        notes="physical relays on the bus",
+    ),
+    Countermeasure(
+        "ZBCAN", "[22]",
+        backward_compatible=Rating.YES, real_time=Rating.YES,
+        eradication=Rating.YES, traffic_overhead=Overhead.NEGLIGIBLE,
+        notes="zero-byte fields; slight bus-load increase",
+    ),
+    Countermeasure(
+        "MichiCAN", "(this work)",
+        backward_compatible=Rating.YES, real_time=Rating.YES,
+        eradication=Rating.YES, traffic_overhead=Overhead.NONE,
+        implemented_here=True,
+        notes="integrated-controller bit banging; arbitration-phase defense",
+    ),
+]
+
+
+def lookup(name: str) -> Countermeasure:
+    for row in TABLE_I:
+        if row.name.lower() == name.lower():
+            return row
+    raise KeyError(f"no countermeasure named {name!r} in Table I")
+
+
+def render_table(rows: Optional[List[Countermeasure]] = None) -> str:
+    """Render Table I as aligned text."""
+    rows = TABLE_I if rows is None else rows
+    header = (
+        f"{'System':<10} {'BwCompat':>8} {'RealTime':>8} "
+        f"{'Eradicate':>9} {'Overhead':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.name:<10} {row.backward_compatible.glyph():>8} "
+            f"{row.real_time.glyph():>8} {row.eradication.glyph():>9} "
+            f"{row.traffic_overhead.glyph():>10}"
+        )
+    lines.append("● yes/none   ○ no/negligible   ◐ unknown   ◑ medium   ◕ very high")
+    return "\n".join(lines)

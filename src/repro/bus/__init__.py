@@ -1,0 +1,49 @@
+"""Bus medium and discrete bit-level simulation engine."""
+
+from repro.bus.events import (
+    ArbitrationLost,
+    AttackDetected,
+    BusOffEntered,
+    BusOffRecovered,
+    CounterattackEnded,
+    CounterattackStarted,
+    ErrorDetected,
+    ErrorStateChanged,
+    Event,
+    FrameReceived,
+    FrameStarted,
+    FrameTransmitted,
+)
+from repro.bus.gateway import (
+    GatewayNode,
+    MultiBusSimulation,
+    Route,
+    RouteTable,
+)
+from repro.bus.noise import BurstNoiseWire, NoisyWire
+from repro.bus.simulator import CanBusSimulator
+from repro.bus.wire import Wire, resolve
+
+__all__ = [
+    "ArbitrationLost",
+    "AttackDetected",
+    "BusOffEntered",
+    "BusOffRecovered",
+    "BurstNoiseWire",
+    "CanBusSimulator",
+    "GatewayNode",
+    "MultiBusSimulation",
+    "NoisyWire",
+    "Route",
+    "RouteTable",
+    "CounterattackEnded",
+    "CounterattackStarted",
+    "ErrorDetected",
+    "ErrorStateChanged",
+    "Event",
+    "FrameReceived",
+    "FrameStarted",
+    "FrameTransmitted",
+    "Wire",
+    "resolve",
+]

@@ -1,0 +1,110 @@
+"""Typed trace events emitted by nodes and the simulator.
+
+Every interesting protocol occurrence becomes one event; the recorder
+(:mod:`repro.trace`) and the experiment harness
+(:mod:`repro.experiments.runner`) consume the stream.  Events are plain
+frozen dataclasses so they can be compared and asserted on in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.can.errors import CanError
+from repro.can.frame import CanFrame
+
+if TYPE_CHECKING:  # avoid a bus <-> node circular import at runtime
+    from repro.node.faults import ErrorState
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: a time-stamped occurrence attributed to one node."""
+
+    time: int
+    node: str
+
+
+@dataclass(frozen=True)
+class FrameStarted(Event):
+    """A node began transmitting a frame (its SOF bit)."""
+
+    frame: CanFrame
+    attempt: int = 1
+
+
+@dataclass(frozen=True)
+class FrameTransmitted(Event):
+    """A node completed a frame transmission (acknowledged, EOF done)."""
+
+    frame: CanFrame
+    attempts: int = 1
+    started_at: int = 0
+
+
+@dataclass(frozen=True)
+class FrameReceived(Event):
+    """A node received a complete, valid frame."""
+
+    frame: CanFrame
+
+
+@dataclass(frozen=True)
+class ArbitrationLost(Event):
+    """A transmitter lost arbitration and continued as receiver."""
+
+    frame: CanFrame
+    bit_position: int = 0
+
+
+@dataclass(frozen=True)
+class ErrorDetected(Event):
+    """A node detected a protocol error and will signal an error frame."""
+
+    error: CanError
+
+
+@dataclass(frozen=True)
+class ErrorStateChanged(Event):
+    """A node's fault-confinement state changed (Fig. 1b transition)."""
+
+    old_state: ErrorState
+    new_state: ErrorState
+    tec: int = 0
+    rec: int = 0
+
+
+@dataclass(frozen=True)
+class BusOffEntered(Event):
+    """A node reached TEC >= 256 and left the bus."""
+
+    tec: int = 256
+
+
+@dataclass(frozen=True)
+class BusOffRecovered(Event):
+    """A bus-off node observed 128 x 11 recessive bits and rejoined."""
+
+
+@dataclass(frozen=True)
+class CounterattackStarted(Event):
+    """MichiCAN began pulling the bus dominant against a malicious frame."""
+
+    target_id: Optional[int] = None
+    detection_bit: int = 0
+
+
+@dataclass(frozen=True)
+class CounterattackEnded(Event):
+    """MichiCAN released the bus (TX multiplexing disabled)."""
+
+
+@dataclass(frozen=True)
+class AttackDetected(Event):
+    """A defense flagged an in-flight frame as malicious."""
+
+    attack_kind: str = ""
+    target_id: Optional[int] = None
+    detection_bit: int = 0
+    meta: dict = field(default_factory=dict, compare=False)

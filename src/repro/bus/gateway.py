@@ -1,0 +1,161 @@
+"""Multi-bus topologies: lock-stepped segments and a gateway ECU.
+
+Every vehicle in the paper's evaluation has *two* CAN buses; a central
+gateway ECU bridges them, forwarding a routed subset of messages.  This
+module provides:
+
+* :class:`MultiBusSimulation` — several :class:`CanBusSimulator` segments
+  advanced in lock-step on a shared bit clock (valid when the segments run
+  the same bus speed, as the paper's do);
+* :class:`RouteTable` / :class:`GatewayNode` — a store-and-forward gateway
+  with one port (a full CAN node) per segment and per-route ID filters.
+
+Segmentation is itself a defense-relevant property: a DoS attacker on one
+bus cannot starve the other, and a gateway port can be a
+:class:`~repro.core.defense.MichiCanNode`, placing MichiCAN at the one spot
+that sees both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.bus.simulator import CanBusSimulator
+from repro.can.frame import CanFrame
+from repro.errors import ConfigurationError
+from repro.node.controller import CanNode
+from repro.node.filters import AcceptanceFilter, FilterBank
+
+
+class MultiBusSimulation:
+    """Advance several bus segments on a shared bit clock."""
+
+    def __init__(self) -> None:
+        self.buses: Dict[str, CanBusSimulator] = {}
+        self.time = 0
+
+    def add_bus(self, name: str, sim: CanBusSimulator) -> CanBusSimulator:
+        if name in self.buses:
+            raise ConfigurationError(f"duplicate bus name {name!r}")
+        speeds = {bus.bus_speed for bus in self.buses.values()}
+        if speeds and sim.bus_speed not in speeds:
+            raise ConfigurationError(
+                "lock-step simulation requires equal bus speeds"
+            )
+        self.buses[name] = sim
+        return sim
+
+    def bus(self, name: str) -> CanBusSimulator:
+        try:
+            return self.buses[name]
+        except KeyError:
+            raise ConfigurationError(f"no bus named {name!r}") from None
+
+    def step(self) -> None:
+        for sim in self.buses.values():
+            sim.step()
+        self.time += 1
+
+    def run(self, bits: int) -> int:
+        for _ in range(bits):
+            self.step()
+        return self.time
+
+    def run_until(self, predicate: Callable[["MultiBusSimulation"], bool],
+                  limit: int) -> Optional[int]:
+        for _ in range(limit):
+            self.step()
+            if predicate(self):
+                return self.time
+        return None
+
+
+@dataclass(frozen=True)
+class Route:
+    """Forward frames arriving on ``source`` that match ``filters`` to
+    every bus in ``destinations``."""
+
+    source: str
+    destinations: tuple
+    filters: FilterBank = field(default_factory=FilterBank)
+
+
+class RouteTable:
+    """The gateway's routing configuration."""
+
+    def __init__(self, routes: Iterable[Route] = ()) -> None:
+        self.routes: List[Route] = list(routes)
+
+    def add(self, source: str, destinations: Iterable[str],
+            can_ids: Optional[Iterable[int]] = None) -> Route:
+        """Convenience: route exact IDs (or everything when None)."""
+        bank = FilterBank(
+            [AcceptanceFilter.exact(i) for i in can_ids]
+            if can_ids is not None else []
+        )
+        route = Route(source, tuple(destinations), bank)
+        self.routes.append(route)
+        return route
+
+    def destinations_for(self, source: str, frame: CanFrame) -> List[str]:
+        result: List[str] = []
+        for route in self.routes:
+            if route.source == source and route.filters.accepts(frame):
+                for destination in route.destinations:
+                    if destination not in result:
+                        result.append(destination)
+        return result
+
+
+class GatewayNode:
+    """A gateway ECU: one CAN port per segment, store-and-forward routing.
+
+    Args:
+        name: Gateway name; ports are named ``{name}@{bus}``.
+        simulation: The multi-bus simulation to attach to.
+        routes: The routing table.
+        port_factory: Builds each port node; defaults to a plain
+            :class:`CanNode`.  Pass a factory returning a
+            :class:`~repro.core.defense.MichiCanNode` to defend a segment
+            from the gateway.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        simulation: MultiBusSimulation,
+        routes: RouteTable,
+        port_factory: Optional[Callable[[str, str], CanNode]] = None,
+    ) -> None:
+        self.name = name
+        self.simulation = simulation
+        self.routes = routes
+        self.ports: Dict[str, CanNode] = {}
+        self.forwarded = 0
+        self.dropped = 0
+        factory = port_factory or (
+            lambda port_name, _bus: CanNode(port_name)
+        )
+        for bus_name, sim in simulation.buses.items():
+            port = factory(f"{name}@{bus_name}", bus_name)
+            sim.add_node(port)
+            self.ports[bus_name] = port
+            port.on_frame_received(self._make_handler(bus_name))
+
+    def _make_handler(self, source_bus: str):
+        def handler(time: int, frame: CanFrame) -> None:
+            destinations = self.routes.destinations_for(source_bus, frame)
+            if not destinations:
+                self.dropped += 1
+                return
+            for destination in destinations:
+                # Store-and-forward: the frame re-enters arbitration on the
+                # destination bus from now (its reception end time).
+                self.ports[destination].queue.enqueue(frame, time)
+            self.forwarded += 1
+
+        return handler
+
+    def port(self, bus_name: str) -> CanNode:
+        return self.ports[bus_name]

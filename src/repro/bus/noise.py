@@ -1,0 +1,105 @@
+"""Channel-fault injection: sporadic bit flips on the medium.
+
+Sec. IV-E's false-positive argument: "although MichiCAN could potentially
+flag a legitimate node as an attacker due to a bit flip, a node needs to
+encounter 32 consecutive errors for the TEC to reach a level that would
+trigger a bus-off condition.  In case of sporadic errors, the likelihood of
+hitting this threshold is near zero."  :class:`NoisyWire` makes that claim
+testable: it flips resolved bus levels at a configurable rate, modelling EMI
+on the differential pair.
+
+Physical realism note: a real disturbance can flip in either direction
+(coupled energy can push the differential voltage across either threshold),
+so both polarities are supported; ``dominant_flips_only`` restricts noise to
+recessive->dominant, the common coupling failure mode.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Tuple
+
+from repro.bus.wire import Wire
+from repro.can.constants import DOMINANT, RECESSIVE
+
+
+class NoisyWire(Wire):
+    """A wire that corrupts a random subset of resolved bit levels.
+
+    Args:
+        flip_probability: Per-bit probability of corruption.
+        seed: RNG seed (the fault pattern is deterministic given the seed).
+        dominant_flips_only: If True only recessive bits can be corrupted
+            (to dominant); otherwise both directions flip.
+        record: Keep the (post-noise) level history.
+    """
+
+    def __init__(
+        self,
+        flip_probability: float,
+        seed: int = 0,
+        dominant_flips_only: bool = False,
+        record: bool = True,
+    ) -> None:
+        if not 0.0 <= flip_probability <= 1.0:
+            raise ValueError(
+                f"flip probability must be in [0, 1], got {flip_probability}"
+            )
+        super().__init__(record=record)
+        self.flip_probability = flip_probability
+        self.dominant_flips_only = dominant_flips_only
+        self._rng = random.Random(seed)
+        #: Times at which a flip was injected.
+        self.flips: List[int] = []
+        self._time = 0
+
+    def drive(self, levels: Iterable[int]) -> int:
+        level = super().drive(levels)
+        corrupted = level
+        if self._rng.random() < self.flip_probability:
+            if level == RECESSIVE:
+                corrupted = DOMINANT
+            elif not self.dominant_flips_only:
+                corrupted = RECESSIVE
+        if corrupted != level:
+            self.flips.append(self._time)
+            self._level = corrupted
+            if self.record:
+                self.history[-1] = corrupted
+        self._time += 1
+        return self._level
+
+
+class BurstNoiseWire(Wire):
+    """A wire with scheduled noise bursts (EMI events of known extent).
+
+    Args:
+        bursts: (start, length, level) triples; during [start, start+length)
+            the bus is forced to ``level`` regardless of drivers.
+    """
+
+    def __init__(
+        self, bursts: List[Tuple[int, int, int]], record: bool = True
+    ) -> None:
+        super().__init__(record=record)
+        for start, length, level in bursts:
+            if start < 0 or length <= 0 or level not in (DOMINANT, RECESSIVE):
+                raise ValueError(f"invalid burst ({start}, {length}, {level})")
+        self.bursts = sorted(bursts)
+        self._time = 0
+
+    def _forced_level(self) -> Optional[int]:
+        for start, length, level in self.bursts:
+            if start <= self._time < start + length:
+                return level
+        return None
+
+    def drive(self, levels: Iterable[int]) -> int:
+        level = super().drive(levels)
+        forced = self._forced_level()
+        if forced is not None and forced != level:
+            self._level = forced
+            if self.record:
+                self.history[-1] = forced
+        self._time += 1
+        return self._level

@@ -1,0 +1,144 @@
+"""The synchronous bit-time simulation engine.
+
+:class:`CanBusSimulator` advances global time one nominal bit time per step.
+Each step has two phases: every node states what it drives, the wired-AND
+level is resolved, and every node observes the result.  This mirrors how the
+paper's metrics are defined — in integer bit times at a fixed bus speed —
+and keeps the engine deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.bus.events import Event
+from repro.bus.wire import Wire
+from repro.can.constants import BUS_SPEED_500K
+from repro.errors import ConfigurationError, SimulationError
+
+if TYPE_CHECKING:  # the engine only needs CanNode for typing
+    from repro.node.controller import CanNode
+
+
+class CanBusSimulator:
+    """Discrete bit-level simulator for one CAN bus segment.
+
+    Args:
+        bus_speed: Nominal bus speed in bit/s; only used for time conversion
+            (the engine itself is unit-less: one step == one bit).
+        record_wire: Keep the full per-bit level history (needed by the
+            trace recorder; disable only for very long runs).
+
+    Example:
+        >>> from repro.node.controller import CanNode
+        >>> from repro.can.frame import CanFrame
+        >>> sim = CanBusSimulator()
+        >>> a, b = CanNode("a"), CanNode("b")
+        >>> sim.add_node(a); sim.add_node(b)
+        >>> a.send(CanFrame(0x100, b"\\x01"))
+        >>> _ = sim.run(200)
+    """
+
+    def __init__(
+        self, bus_speed: int = BUS_SPEED_500K, record_wire: bool = True
+    ) -> None:
+        if bus_speed <= 0:
+            raise ConfigurationError(f"bus speed must be positive, got {bus_speed}")
+        self.bus_speed = bus_speed
+        self.wire = Wire(record=record_wire)
+        self.nodes: List[CanNode] = []
+        self._names: Dict[str, CanNode] = {}
+        self.time = 0
+        self.events: List[Event] = []
+        self._event_listeners: List[Callable[[Event], None]] = []
+        self._stop_requested = False
+
+    # ------------------------------------------------------------- topology
+
+    def add_node(self, node: CanNode) -> CanNode:
+        """Attach ``node`` to the bus.  Names must be unique."""
+        if node.name in self._names:
+            raise ConfigurationError(f"duplicate node name {node.name!r}")
+        self._names[node.name] = node
+        self.nodes.append(node)
+        node.attach(self._record_event)
+        return node
+
+    def node(self, name: str) -> CanNode:
+        """Look a node up by name."""
+        try:
+            return self._names[name]
+        except KeyError:
+            raise ConfigurationError(f"no node named {name!r}") from None
+
+    # ---------------------------------------------------------------- events
+
+    def _record_event(self, event: Event) -> None:
+        self.events.append(event)
+        for listener in self._event_listeners:
+            listener(event)
+
+    def on_event(self, listener: Callable[[Event], None]) -> None:
+        """Register a live event listener (called as events happen)."""
+        self._event_listeners.append(listener)
+
+    def events_of(self, event_type: type) -> List[Event]:
+        """All recorded events of ``event_type`` (or a subclass)."""
+        return [e for e in self.events if isinstance(e, event_type)]
+
+    def request_stop(self) -> None:
+        """Ask :meth:`run` to stop after the current bit (usable from
+        listeners/callbacks)."""
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------- run
+
+    def step(self) -> int:
+        """Advance one bit time; return the resolved bus level."""
+        if not self.nodes:
+            raise SimulationError("cannot step a bus with no nodes")
+        outputs = [node.output(self.time) for node in self.nodes]
+        level = self.wire.drive(outputs)
+        for node in self.nodes:
+            node.observe(self.time, level)
+        self.time += 1
+        return level
+
+    def run(self, bits: int) -> int:
+        """Run for ``bits`` bit times (or until :meth:`request_stop`).
+
+        Returns the time actually reached.
+        """
+        if bits < 0:
+            raise ConfigurationError(f"cannot run for negative time {bits}")
+        self._stop_requested = False
+        deadline = self.time + bits
+        while self.time < deadline and not self._stop_requested:
+            self.step()
+        return self.time
+
+    def run_until(
+        self, predicate: Callable[["CanBusSimulator"], bool], limit: int
+    ) -> Optional[int]:
+        """Run until ``predicate(self)`` holds, at most ``limit`` bits.
+
+        Returns the time at which the predicate first held, or None if the
+        limit was reached first.
+        """
+        deadline = self.time + limit
+        while self.time < deadline:
+            self.step()
+            if predicate(self):
+                return self.time
+        return None
+
+    # ------------------------------------------------------------ conversions
+
+    def seconds(self, bits: Optional[int] = None) -> float:
+        """Convert ``bits`` (default: current time) to seconds."""
+        value = self.time if bits is None else bits
+        return value / self.bus_speed
+
+    def milliseconds(self, bits: Optional[int] = None) -> float:
+        """Convert ``bits`` (default: current time) to milliseconds."""
+        return self.seconds(bits) * 1e3

@@ -1,0 +1,63 @@
+"""The physical medium: a wired-AND CAN bus.
+
+A dominant (0) level driven by any node overwrites recessive (1) levels from
+all others — the property arbitration, ACK and error signalling all rely on.
+The wire optionally records every resolved level for the logic-analyzer
+substitute (:mod:`repro.trace`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.can.constants import DOMINANT, RECESSIVE
+
+
+def resolve(levels: Iterable[int]) -> int:
+    """Resolve simultaneous drive levels with wired-AND semantics.
+
+    An empty collection yields the idle (recessive) level.
+    """
+    for level in levels:
+        if level == DOMINANT:
+            return DOMINANT
+        if level != RECESSIVE:
+            raise ValueError(f"invalid drive level {level!r}")
+    return RECESSIVE
+
+
+class Wire:
+    """A CAN bus segment with optional full level recording.
+
+    Attributes:
+        history: Per-bit resolved levels since t=0 when recording is on.
+    """
+
+    def __init__(self, record: bool = True) -> None:
+        self.record = record
+        self.history: List[int] = []
+        self._level = RECESSIVE
+
+    @property
+    def level(self) -> int:
+        """The most recently resolved bus level."""
+        return self._level
+
+    def drive(self, levels: Iterable[int]) -> int:
+        """Resolve one bit time of simultaneous drives; record and return it."""
+        self._level = resolve(levels)
+        if self.record:
+            self.history.append(self._level)
+        return self._level
+
+    def recessive_run_ending_at(self, time: Optional[int] = None) -> int:
+        """Length of the recessive run ending at ``time`` (default: now)."""
+        if not self.record:
+            raise ValueError("wire recording is disabled")
+        end = len(self.history) if time is None else time + 1
+        run = 0
+        for index in range(end - 1, -1, -1):
+            if self.history[index] != RECESSIVE:
+                break
+            run += 1
+        return run

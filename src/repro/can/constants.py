@@ -1,0 +1,122 @@
+"""Protocol constants for CAN 2.0A (classical CAN, 11-bit identifiers).
+
+All widths are in bits.  Field names follow ISO 11898-1 and Fig. 1a of the
+MichiCAN paper.  The constants here are the single source of truth for the
+frame serializer (:mod:`repro.can.bitstream`), the controller state machine
+(:mod:`repro.node.controller`) and the MichiCAN detection/prevention logic
+(:mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+# --- bus levels -----------------------------------------------------------
+#: Dominant bus level.  Electrically driven; wins on the wired-AND bus.
+DOMINANT = 0
+#: Recessive bus level.  The idle level; overwritten by any dominant driver.
+RECESSIVE = 1
+
+# --- frame field widths (CAN 2.0A data frame) ------------------------------
+SOF_BITS = 1
+ID_BITS = 11
+RTR_BITS = 1
+IDE_BITS = 1
+R0_BITS = 1
+DLC_BITS = 4
+CRC_BITS = 15
+CRC_DELIMITER_BITS = 1
+ACK_SLOT_BITS = 1
+ACK_DELIMITER_BITS = 1
+EOF_BITS = 7
+
+#: Highest valid 11-bit identifier.
+MAX_STD_ID = (1 << ID_BITS) - 1
+#: Number of distinct 11-bit identifiers (the paper's "2,048 unique messages").
+NUM_STD_IDS = 1 << ID_BITS
+#: Maximum payload length in bytes for classical CAN.
+MAX_DLC = 8
+
+# --- stuffing ---------------------------------------------------------------
+#: A stuff bit is inserted after this many equal consecutive bits.
+STUFF_RUN = 5
+#: Observing this many equal consecutive bits in the stuffed region is an error.
+STUFF_ERROR_RUN = 6
+
+# --- error signalling -------------------------------------------------------
+#: Length of the active error flag (dominant bits).
+ACTIVE_ERROR_FLAG_BITS = 6
+#: Length of the passive error flag (recessive bits).
+PASSIVE_ERROR_FLAG_BITS = 6
+#: Length of the error delimiter (recessive bits) that follows either flag.
+ERROR_DELIMITER_BITS = 8
+#: Inter-frame space (intermission) between frames.
+IFS_BITS = 3
+#: Extra wait for an error-passive node that transmitted the previous frame.
+SUSPEND_TRANSMISSION_BITS = 8
+
+#: Recessive bits after which a new frame may start (EOF tail + IFS); the
+#: paper's "the next CAN message can only be transmitted after at least 11
+#: recessive bits".
+BUS_IDLE_RECESSIVE_BITS = 11
+
+# --- fault confinement (Fig. 1b) ---------------------------------------------
+#: TEC/REC threshold at which a node leaves error-active for error-passive.
+ERROR_PASSIVE_THRESHOLD = 128
+#: TEC threshold at which a node goes bus-off.
+BUS_OFF_THRESHOLD = 256
+#: TEC increment for a transmitter that detects an error in its own frame.
+TEC_ERROR_INCREMENT = 8
+#: REC increment for a receiver that detects an error.
+REC_ERROR_INCREMENT = 1
+#: TEC decrement after a successful transmission.
+TEC_SUCCESS_DECREMENT = 1
+#: REC decrement after a successful reception.
+REC_SUCCESS_DECREMENT = 1
+#: Number of 11-recessive-bit sequences required to recover from bus-off.
+BUS_OFF_RECOVERY_SEQUENCES = 128
+
+# --- CRC ----------------------------------------------------------------------
+#: CRC-15-CAN generator polynomial, x^15+x^14+x^10+x^8+x^7+x^4+x^3+1 -> 0x4599.
+CRC15_POLY = 0x4599
+CRC15_MASK = (1 << CRC_BITS) - 1
+
+# --- MichiCAN frame positions (Sec. IV-E of the paper) --------------------------
+#: Un-stuffed bit position of the RTR bit: 1 SOF + 11 ID.
+FRAME_POS_RTR = 12
+#: Position at which MichiCAN enables CAN_TX multiplexing and pulls low
+#: (Algorithm 1 line 20: ``cnt == 13``).
+COUNTERATTACK_START_POS = 13
+#: Position at which MichiCAN releases the bus (Algorithm 1 line 16:
+#: ``cnt == 20``).
+COUNTERATTACK_END_POS = 20
+
+#: Average CAN frame length in bits including stuff bits used by the paper's
+#: bus-load and bus-off-time analysis (``s_f = 125``).
+AVERAGE_FRAME_BITS = 125
+
+# --- common bus speeds (bit/s) ---------------------------------------------------
+BUS_SPEED_50K = 50_000
+BUS_SPEED_125K = 125_000
+BUS_SPEED_250K = 250_000
+BUS_SPEED_500K = 500_000
+BUS_SPEED_1M = 1_000_000
+
+
+def nominal_bit_time(bus_speed_bps: int) -> float:
+    """Return the nominal bit time in seconds for ``bus_speed_bps``.
+
+    >>> nominal_bit_time(500_000)
+    2e-06
+    """
+    if bus_speed_bps <= 0:
+        raise ValueError(f"bus speed must be positive, got {bus_speed_bps}")
+    return 1.0 / bus_speed_bps
+
+
+def bits_to_seconds(bits: float, bus_speed_bps: int) -> float:
+    """Convert a duration in bit times to seconds at ``bus_speed_bps``."""
+    return bits * nominal_bit_time(bus_speed_bps)
+
+
+def bits_to_ms(bits: float, bus_speed_bps: int) -> float:
+    """Convert a duration in bit times to milliseconds at ``bus_speed_bps``."""
+    return bits_to_seconds(bits, bus_speed_bps) * 1e3

@@ -1,0 +1,49 @@
+"""CRC-15-CAN implementation per ISO 11898-1.
+
+The CRC is computed over the un-stuffed bit sequence from SOF through the end
+of the data field and is transmitted MSB-first in the 15-bit CRC field.  The
+generator polynomial is ``x^15 + x^14 + x^10 + x^8 + x^7 + x^4 + x^3 + 1``
+(0x4599 with the implicit leading term dropped).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.can.constants import CRC15_MASK, CRC15_POLY, CRC_BITS
+
+_TOP_BIT = 1 << (CRC_BITS - 1)
+
+
+def crc15_update(crc: int, bit: int) -> int:
+    """Advance the CRC register by one input ``bit`` (0 or 1).
+
+    This mirrors the shift-register formulation in ISO 11898-1: the next bit
+    is XORed with the register MSB; if the result is 1, the register is
+    shifted and XORed with the polynomial, otherwise only shifted.
+    """
+    if bit not in (0, 1):
+        raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+    crc_next = bit ^ ((crc >> (CRC_BITS - 1)) & 1)
+    crc = (crc << 1) & CRC15_MASK
+    if crc_next:
+        crc ^= CRC15_POLY & CRC15_MASK
+    return crc
+
+
+def crc15(bits: Iterable[int]) -> int:
+    """Compute the CRC-15 of an un-stuffed bit sequence (MSB-first fields).
+
+    >>> crc15([])
+    0
+    """
+    crc = 0
+    for bit in bits:
+        crc = crc15_update(crc, bit)
+    return crc
+
+
+def crc15_bits(bits: Iterable[int]) -> List[int]:
+    """Return the 15 CRC bits for ``bits``, MSB first, ready to transmit."""
+    value = crc15(bits)
+    return [(value >> (CRC_BITS - 1 - i)) & 1 for i in range(CRC_BITS)]

@@ -1,0 +1,52 @@
+"""Typed representation of the five CAN error classes (Sec. II-B).
+
+These are *protocol events*, not Python exceptions: a controller that detects
+one reacts by transmitting an error flag, not by unwinding the stack.  Python
+exceptions for API misuse live in :mod:`repro.errors`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class CanErrorType(enum.Enum):
+    """The five error classes defined by the CAN specification."""
+
+    #: Transmitter read back a bus level different from the one it drove.
+    BIT = "bit"
+    #: Six consecutive bits of equal polarity inside the stuffed region.
+    STUFF = "stuff"
+    #: A fixed-format field (delimiter, EOF) held an illegal level.
+    FORM = "form"
+    #: Transmitter saw no dominant bit in the ACK slot.
+    ACK = "ack"
+    #: Receiver's computed CRC disagreed with the received CRC field.
+    CRC = "crc"
+
+
+@dataclass(frozen=True)
+class CanError:
+    """A protocol error detected by one node at one bit time.
+
+    Attributes:
+        error_type: Which of the five error classes occurred.
+        time: Bus time (in bit times) at which the error was detected.
+        node_name: Name of the detecting node.
+        detail: Free-form human-readable context (field name, bit index, ...).
+        as_transmitter: True if the detecting node was transmitting the frame.
+    """
+
+    error_type: CanErrorType
+    time: int
+    node_name: str
+    detail: str = ""
+    as_transmitter: bool = False
+
+    def __str__(self) -> str:
+        role = "tx" if self.as_transmitter else "rx"
+        text = f"[t={self.time}] {self.node_name} {self.error_type.value} error ({role})"
+        if self.detail:
+            text += f": {self.detail}"
+        return text

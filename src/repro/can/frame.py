@@ -1,0 +1,152 @@
+"""CAN 2.0A data-frame model.
+
+:class:`CanFrame` is the application-level view of a frame: identifier, DLC
+and payload.  Bit-level concerns (CRC, stuffing, field layout on the wire)
+live in :mod:`repro.can.bitstream`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.can.constants import (
+    DLC_BITS,
+    ID_BITS,
+    MAX_DLC,
+    MAX_STD_ID,
+)
+from repro.errors import FrameError
+
+#: Identifier width and ceiling for CAN 2.0B extended frames.
+EXTENDED_ID_BITS = 29
+MAX_EXT_ID = (1 << EXTENDED_ID_BITS) - 1
+
+
+def _validate_can_id(can_id: int, extended: bool) -> None:
+    if not isinstance(can_id, int):
+        raise FrameError(f"CAN ID must be an int, got {type(can_id).__name__}")
+    ceiling = MAX_EXT_ID if extended else MAX_STD_ID
+    if not 0 <= can_id <= ceiling:
+        kind = "29-bit extended" if extended else "11-bit"
+        raise FrameError(
+            f"CAN ID 0x{can_id:X} out of range for {kind} identifiers "
+            f"(0x0..0x{ceiling:X})"
+        )
+
+
+@dataclass(frozen=True)
+class CanFrame:
+    """A CAN data frame (11-bit standard or 29-bit extended identifier).
+
+    Attributes:
+        can_id: The message identifier; lower values are higher priority
+            and win arbitration.  11 bits normally, 29 when ``extended``.
+        data: Payload of 0-8 bytes.  The DLC is always ``len(data)``.
+        extended: True for a CAN 2.0B extended (29-bit identifier) frame.
+
+    >>> frame = CanFrame(0x173, bytes([1, 2, 3]))
+    >>> frame.dlc
+    3
+    """
+
+    can_id: int
+    data: bytes = b""
+    extended: bool = False
+    remote: bool = False
+    #: Requested data length of a remote frame (its DLC field); data frames
+    #: derive the DLC from the payload.
+    remote_dlc: int = 0
+
+    def __post_init__(self) -> None:
+        _validate_can_id(self.can_id, self.extended)
+        if self.remote:
+            if self.data:
+                raise FrameError("remote frames carry no data field")
+            if not 0 <= self.remote_dlc <= MAX_DLC:
+                raise FrameError(
+                    f"remote DLC {self.remote_dlc} out of range 0..{MAX_DLC}"
+                )
+        elif self.remote_dlc:
+            raise FrameError("remote_dlc is only meaningful for remote frames")
+        if not isinstance(self.data, (bytes, bytearray)):
+            raise FrameError(
+                f"payload must be bytes, got {type(self.data).__name__}"
+            )
+        if len(self.data) > MAX_DLC:
+            raise FrameError(
+                f"payload of {len(self.data)} bytes exceeds the classical CAN "
+                f"maximum of {MAX_DLC}"
+            )
+        if isinstance(self.data, bytearray):
+            object.__setattr__(self, "data", bytes(self.data))
+
+    @property
+    def dlc(self) -> int:
+        """Data length code: payload length, or the requested length for
+        remote frames."""
+        if self.remote:
+            return self.remote_dlc
+        return len(self.data)
+
+    @property
+    def id_width(self) -> int:
+        """Identifier width in bits (11 or 29)."""
+        return EXTENDED_ID_BITS if self.extended else ID_BITS
+
+    def id_bits(self) -> List[int]:
+        """All identifier bits, MSB first (11 or 29 of them)."""
+        width = self.id_width
+        return [(self.can_id >> (width - 1 - i)) & 1 for i in range(width)]
+
+    def base_id_bits(self) -> List[int]:
+        """The 11 base identifier bits (the 11 MSBs for extended frames)."""
+        return self.id_bits()[:ID_BITS]
+
+    def extension_id_bits(self) -> List[int]:
+        """The 18 extension bits of an extended frame."""
+        if not self.extended:
+            raise FrameError("standard frames have no identifier extension")
+        return self.id_bits()[ID_BITS:]
+
+    def dlc_bits(self) -> List[int]:
+        """The 4 DLC bits, MSB first."""
+        return [(self.dlc >> (DLC_BITS - 1 - i)) & 1 for i in range(DLC_BITS)]
+
+    def data_bits(self) -> List[int]:
+        """The payload bits, each byte MSB first."""
+        bits: List[int] = []
+        for byte in self.data:
+            bits.extend((byte >> (7 - i)) & 1 for i in range(8))
+        return bits
+
+    def priority_key(self) -> Tuple[int, int]:
+        """Sort key mirroring arbitration: lower base ID wins; on equal
+        base IDs a standard frame beats an extended one (dominant RTR vs
+        recessive SRR)."""
+        if self.extended:
+            return (self.can_id >> (EXTENDED_ID_BITS - ID_BITS), 1)
+        return (self.can_id, 0)
+
+    def __str__(self) -> str:
+        width = 8 if self.extended else 3
+        tag = "x" if self.extended else ""
+        if self.remote:
+            return f"CAN 0x{self.can_id:0{width}X}{tag} RTR [{self.dlc}]"
+        payload = self.data.hex(" ") if self.data else "<empty>"
+        return f"CAN 0x{self.can_id:0{width}X}{tag} [{self.dlc}] {payload}"
+
+
+@dataclass(frozen=True)
+class TimestampedFrame:
+    """A frame together with the bus time (bit index) at which an event
+    (start of SOF, or successful completion) occurred."""
+
+    frame: CanFrame
+    time: int
+    sender: str = ""
+    meta: dict = field(default_factory=dict, compare=False)
+
+    def __str__(self) -> str:
+        who = f" from {self.sender}" if self.sender else ""
+        return f"[t={self.time}] {self.frame}{who}"

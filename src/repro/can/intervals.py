@@ -1,0 +1,157 @@
+"""Integer interval sets: the scalable representation of detection ranges.
+
+MichiCAN's detection set 𝔻 is a union of contiguous ID ranges ([0, own]
+minus a handful of legitimate IDs).  For 11-bit identifiers a plain ``set``
+works; for the 29-bit extended identifiers of CAN 2.0B enumeration is
+impossible, so FSM generation queries *interval* subset/disjointness
+instead.  :class:`IdIntervalSet` provides exactly those queries in
+O(log n) per prefix.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+Interval = Tuple[int, int]  # inclusive [lo, hi]
+
+
+def _normalize(intervals: Iterable[Interval]) -> List[Interval]:
+    """Sort and merge overlapping/adjacent intervals."""
+    cleaned = []
+    for lo, hi in intervals:
+        if lo > hi:
+            raise ConfigurationError(f"empty interval [{lo}, {hi}]")
+        cleaned.append((lo, hi))
+    cleaned.sort()
+    merged: List[Interval] = []
+    for lo, hi in cleaned:
+        if merged and lo <= merged[-1][1] + 1:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+class IdIntervalSet:
+    """An immutable set of integers stored as disjoint inclusive intervals."""
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._intervals = _normalize(intervals)
+        self._starts = [lo for lo, _hi in self._intervals]
+
+    # ---------------------------------------------------------- constructors
+
+    @classmethod
+    def from_ids(cls, ids: Iterable[int]) -> "IdIntervalSet":
+        """Build from individual integers (merges runs automatically)."""
+        ordered = sorted(set(ids))
+        intervals: List[Interval] = []
+        for value in ordered:
+            if intervals and value == intervals[-1][1] + 1:
+                intervals[-1] = (intervals[-1][0], value)
+            else:
+                intervals.append((value, value))
+        return cls(intervals)
+
+    @classmethod
+    def from_range_minus(
+        cls, lo: int, hi: int, excluded: Iterable[int]
+    ) -> "IdIntervalSet":
+        """[lo, hi] minus the ``excluded`` integers — the exact shape of a
+        MichiCAN detection range (Definition IV.4)."""
+        if lo > hi:
+            return cls()
+        holes = sorted({e for e in excluded if lo <= e <= hi})
+        intervals: List[Interval] = []
+        cursor = lo
+        for hole in holes:
+            if cursor <= hole - 1:
+                intervals.append((cursor, hole - 1))
+            cursor = hole + 1
+        if cursor <= hi:
+            intervals.append((cursor, hi))
+        return cls(intervals)
+
+    # --------------------------------------------------------------- queries
+
+    def __contains__(self, value: int) -> bool:
+        index = bisect_right(self._starts, value) - 1
+        if index < 0:
+            return False
+        lo, hi = self._intervals[index]
+        return lo <= value <= hi
+
+    def __len__(self) -> int:
+        return sum(hi - lo + 1 for lo, hi in self._intervals)
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IdIntervalSet):
+            return self._intervals == other._intervals
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._intervals))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"[{lo:#x}, {hi:#x}]" for lo, hi in self._intervals)
+        return f"IdIntervalSet({parts})"
+
+    def intervals(self) -> Sequence[Interval]:
+        return tuple(self._intervals)
+
+    def iter_ids(self) -> Iterator[int]:
+        """Iterate all members (only sensible for small sets)."""
+        for lo, hi in self._intervals:
+            yield from range(lo, hi + 1)
+
+    def covers_range(self, lo: int, hi: int) -> bool:
+        """True iff every integer in [lo, hi] is a member."""
+        if lo > hi:
+            return True
+        index = bisect_right(self._starts, lo) - 1
+        if index < 0:
+            return False
+        interval_lo, interval_hi = self._intervals[index]
+        return interval_lo <= lo and hi <= interval_hi
+
+    def intersects_range(self, lo: int, hi: int) -> bool:
+        """True iff any integer in [lo, hi] is a member."""
+        if lo > hi:
+            return False
+        index = bisect_right(self._starts, hi) - 1
+        if index < 0:
+            return False
+        _interval_lo, interval_hi = self._intervals[index]
+        return interval_hi >= lo
+
+    def count_in_range(self, lo: int, hi: int) -> int:
+        """Number of members within [lo, hi]."""
+        if lo > hi:
+            return 0
+        total = 0
+        for interval_lo, interval_hi in self._intervals:
+            overlap_lo = max(lo, interval_lo)
+            overlap_hi = min(hi, interval_hi)
+            if overlap_lo <= overlap_hi:
+                total += overlap_hi - overlap_lo + 1
+        return total
+
+    # ------------------------------------------------------------ operations
+
+    def union(self, other: "IdIntervalSet") -> "IdIntervalSet":
+        return IdIntervalSet(list(self._intervals) + list(other._intervals))
+
+
+def as_interval_set(
+    ids: Union[IdIntervalSet, Iterable[int]]
+) -> IdIntervalSet:
+    """Coerce an iterable of IDs (or an existing set) to an interval set."""
+    if isinstance(ids, IdIntervalSet):
+        return ids
+    return IdIntervalSet.from_ids(ids)

@@ -1,0 +1,421 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro table2 --experiment 4
+    python -m repro latency --fsms 5000
+    python -m repro multi --attackers 4
+    python -m repro parksense --defended
+    python -m repro fsm --ecus 0xA0,0x173,0x2F0 --own 0x173
+    python -m repro demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.busoff_theory import busoff_ms, undisturbed_busoff_bits
+from repro.analysis.cpu import PROFILES, analytic_utilization
+from repro.analysis.latency import run_latency_study
+from repro.baselines.comparison import render_table
+from repro.core.config import IvnConfig
+from repro.core.fsm import DetectionFsm
+
+
+def _parse_id(text: str) -> int:
+    return int(text, 0)
+
+
+def _parse_id_list(text: str) -> List[int]:
+    return [_parse_id(part) for part in text.split(",") if part.strip()]
+
+
+# ----------------------------------------------------------------- commands
+
+def cmd_table1(_args: argparse.Namespace) -> int:
+    print(render_table())
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments.scenarios import EXPERIMENTS, run_table2
+
+    if args.experiment is not None:
+        if args.experiment not in EXPERIMENTS:
+            print(f"error: experiment must be 1..6, got {args.experiment}",
+                  file=sys.stderr)
+            return 2
+        result = EXPERIMENTS[args.experiment]().run(args.duration)
+        print(result.render())
+        return 0
+    for result in run_table2(duration_bits=args.duration).values():
+        print(result.render())
+    return 0
+
+
+def cmd_table3(_args: argparse.Namespace) -> int:
+    from repro.analysis.busoff_theory import (
+        BEST_CASE_PREFIX_BITS,
+        error_active_time,
+        error_passive_time,
+    )
+
+    print("Table III — theoretical bus-off times (bits)")
+    print(f"  t_a worst/best : {error_active_time()} / "
+          f"{error_active_time(BEST_CASE_PREFIX_BITS)}")
+    print(f"  t_p worst/best : {error_passive_time()} / "
+          f"{error_passive_time(BEST_CASE_PREFIX_BITS)}")
+    total = undisturbed_busoff_bits()
+    print(f"  undisturbed total: {total} bits "
+          f"({busoff_ms(total, 50_000):.2f} ms at 50 kbit/s)")
+    return 0
+
+
+def cmd_latency(args: argparse.Namespace) -> int:
+    report = run_latency_study(num_fsms=args.fsms, seed=args.seed)
+    print(f"random FSMs .......... {report.fsms}")
+    print(f"malicious samples .... {report.malicious_samples}")
+    print(f"detection rate ....... {report.detection_rate:.2%}")
+    print(f"false positives ...... {report.false_positive_rate:.2%}")
+    print(f"mean detection bit ... {report.mean_detection_bit:.2f} (paper: 9)")
+    for bit in sorted(report.histogram):
+        bar = "#" * max(1, report.histogram[bit] * 50 // max(1, report.detected))
+        print(f"  bit {bit:>2}: {bar}")
+    return 0
+
+
+def cmd_multi(args: argparse.Namespace) -> int:
+    from repro.experiments.scenarios import (
+        multi_attacker_experiment,
+        total_fight_bits,
+    )
+
+    result = multi_attacker_experiment(args.attackers).run(args.duration)
+    total = total_fight_bits(result)
+    print(result.render())
+    print(f"total fight: {total} bits "
+          f"({busoff_ms(total, 50_000):.1f} ms at 50 kbit/s)")
+    print("verdict:", "within the 10 ms deadline budget"
+          if total <= 5_000 else "DEADLINE MISS — bus inoperable")
+    return 0
+
+
+def cmd_cpu(args: argparse.Namespace) -> int:
+    print(f"{'profile':<38} {'speed':>10} {'idle':>7} {'active':>7} "
+          f"{'combined':>9}")
+    for name, profile in PROFILES.items():
+        for speed in (50_000, 125_000, 250_000, 500_000):
+            load = analytic_utilization(profile, speed,
+                                        light_scenario=args.light)
+            marker = "" if load.feasible() else "  (infeasible)"
+            print(f"{profile.name:<38} {speed:>10} "
+                  f"{load.idle_load:>6.1%} {load.active_load:>6.1%} "
+                  f"{load.combined_load:>8.1%}{marker}")
+    return 0
+
+
+def cmd_parksense(args: argparse.Namespace) -> int:
+    from repro.experiments.scenarios import parksense_experiment
+
+    outcome = parksense_experiment(
+        with_michican=args.defended, duration_bits=args.duration
+    )
+    feature = outcome.feature
+    print(f"scenario ............. "
+          f"{'MichiCAN on OBD-II' if args.defended else 'undefended'}")
+    print(f"feature state ........ {feature.state.value}")
+    print(f"automatic braking .... "
+          f"{'available' if feature.automatic_braking_available else 'LOST'}")
+    for message in outcome.dashboard:
+        print(f"cluster .............. \"{message}\"")
+    print(f"attacker bus-offs .... {outcome.attacker_busoff_count}")
+    return 0
+
+
+def cmd_fsm(args: argparse.Namespace) -> int:
+    ivn = IvnConfig(ecu_ids=tuple(args.ecus))
+    own = args.own if args.own is not None else ivn.highest_id
+    detection = ivn.detection_range(own)
+    fsm = DetectionFsm(detection)
+    stats = fsm.stats()
+    print(f"IVN E ................ {[hex(i) for i in ivn.ecu_ids]}")
+    print(f"own ID ............... 0x{own:03X}")
+    print(f"|D| .................. {len(detection)}")
+    print(f"FSM states ........... {stats.states}")
+    print(f"mean detection bit ... {stats.mean_malicious_depth:.2f}")
+    print(f"worst-case depth ..... {stats.max_depth}")
+    if args.classify is not None:
+        verdict = fsm.classify(args.classify)
+        depth = fsm.decision_depth(args.classify)
+        print(f"0x{args.classify:03X} ................ "
+              f"{verdict.value} (decided at ID bit {depth})")
+    return 0
+
+
+def cmd_decode(args: argparse.Namespace) -> int:
+    from repro.workloads.trace_io import parse_candump
+
+    with open(args.logfile, encoding="utf-8") as handle:
+        records = parse_candump(handle)
+    print(f"{len(records)} frames in {args.logfile}")
+    by_id: dict = {}
+    for record in records:
+        by_id.setdefault(record.frame.can_id, []).append(record)
+    print(f"{'ID':>10} {'count':>6} {'kind':>10} {'mean period (ms)':>17}")
+    for can_id in sorted(by_id):
+        rows = by_id[can_id]
+        stamps = [r.timestamp for r in rows]
+        gaps = [b - a for a, b in zip(stamps, stamps[1:])]
+        period = f"{sum(gaps) / len(gaps) * 1e3:.1f}" if gaps else "-"
+        frame = rows[0].frame
+        kind = ("ext" if frame.extended else "std") + (
+            "/rtr" if frame.remote else "")
+        ident = f"0x{can_id:08X}" if frame.extended else f"0x{can_id:03X}"
+        print(f"{ident:>10} {len(rows):>6} {kind:>10} {period:>17}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.bus.simulator import CanBusSimulator
+    from repro.bus.events import BusOffEntered, FrameTransmitted
+    from repro.core.defense import MichiCanNode
+    from repro.experiments.scenarios import detection_ids_for
+    from repro.workloads.trace_io import LogReplayNode, parse_candump
+
+    with open(args.logfile, encoding="utf-8") as handle:
+        records = parse_candump(handle)
+    sim = CanBusSimulator(bus_speed=args.bus_speed)
+    replay = sim.add_node(LogReplayNode(
+        "replay", records, args.bus_speed, time_scale=args.time_scale))
+    defender = None
+    if args.defend is not None:
+        legitimate = sorted({r.frame.can_id for r in records
+                             if not r.frame.extended})
+        defender = sim.add_node(MichiCanNode(
+            "michican", detection_ids_for(args.defend, legitimate)))
+    from repro.node.controller import CanNode
+
+    sim.add_node(CanNode("listener"))
+    limit = args.duration
+    sim.run_until(lambda s: replay.replay_finished, limit)
+    delivered = len(sim.events_of(FrameTransmitted))
+    print(f"replayed {delivered}/{len(records)} frames in "
+          f"{sim.time} bit times ({sim.milliseconds():.1f} ms)")
+    if defender is not None:
+        print(f"MichiCAN detections: {len(defender.detections)}, "
+              f"counterattacks: {defender.counterattacks}, "
+              f"bus-offs: {len(sim.events_of(BusOffEntered))}")
+    return 0
+
+
+def cmd_codegen(args: argparse.Namespace) -> int:
+    from repro.core.codegen import generate_c
+
+    ivn = IvnConfig(ecu_ids=tuple(args.ecus))
+    own = args.own if args.own is not None else ivn.highest_id
+    fsm = DetectionFsm(ivn.detection_range(own))
+    print(generate_c(fsm, symbol_prefix=args.prefix))
+    return 0
+
+
+def cmd_waveform(args: argparse.Namespace) -> int:
+    from repro.attacks.dos import DosAttacker
+    from repro.bus.events import BusOffEntered, CounterattackStarted
+    from repro.bus.simulator import CanBusSimulator
+    from repro.core.defense import MichiCanNode
+    from repro.trace.svg import render_timeline_svg, render_waveform_svg
+
+    sim = CanBusSimulator(bus_speed=50_000)
+    sim.add_node(MichiCanNode("defender", range(0x100)))
+    sim.add_node(DosAttacker("attacker", args.attack_id))
+    sim.run(args.duration)
+    annotations = {
+        e.time: "counterattack"
+        for e in sim.events_of(CounterattackStarted)[:3]
+    }
+    for e in sim.events_of(BusOffEntered):
+        annotations[e.time] = "bus-off"
+    if args.timeline:
+        svg = render_timeline_svg(sim.events)
+    else:
+        svg = render_waveform_svg(sim.wire.history, end=args.bits,
+                                  annotations=annotations)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(svg)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_coverage(args: argparse.Namespace) -> int:
+    from repro.analysis.coverage import plan_coverage
+
+    ivn = IvnConfig(ecu_ids=tuple(args.ecus))
+    equipped = args.equip if args.equip else [ivn.highest_id]
+    plan = plan_coverage(ivn, equipped)
+    print(f"IVN E ................ {[hex(i) for i in ivn.ecu_ids]}")
+    print(f"equipped ............. {[hex(i) for i in plan.equipped]}")
+    print(f"DoS coverage ......... "
+          f"{'FULL' if plan.full_dos_coverage else 'PARTIAL'} "
+          f"({len(plan.dos_covered)} IDs, redundancy k={plan.redundancy})")
+    if plan.dos_uncovered:
+        gaps = [f"[{lo:#x},{hi:#x}]" for lo, hi
+                in plan.dos_uncovered.intervals()][:6]
+        print(f"uncovered DoS ranges . {', '.join(gaps)}")
+    print(f"spoof-protected ...... {[hex(i) for i in plan.spoof_protected]}")
+    print(f"spoof-UNprotected .... {[hex(i) for i in plan.spoof_unprotected]}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    text = generate_report(sections=args.sections)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.attacks.dos import DosAttacker
+    from repro.bus.events import AttackDetected, BusOffEntered
+    from repro.bus.simulator import CanBusSimulator
+    from repro.core.defense import MichiCanNode
+    from repro.trace.recorder import LogicTrace
+
+    sim = CanBusSimulator(bus_speed=args.bus_speed)
+    defender = sim.add_node(MichiCanNode("defender", range(0x100)))
+    attacker = sim.add_node(DosAttacker("attacker", args.attack_id))
+    sim.run_until(lambda s: attacker.is_bus_off, 20_000)
+    detection = sim.events_of(AttackDetected)[0]
+    busoff = sim.events_of(BusOffEntered)[0]
+    print(f"attack ID 0x{args.attack_id:03X} flooded at "
+          f"{args.bus_speed // 1000} kbit/s")
+    print(f"detected at t={detection.time} "
+          f"(ID bit {detection.detection_bit}); "
+          f"bus-off at t={busoff.time} "
+          f"({sim.milliseconds(busoff.time):.2f} ms)")
+    print("\nfirst 80 wire bits ('_' dominant, '^' recessive):")
+    print(LogicTrace(sim.wire.history).render(end=80))
+    return 0
+
+
+# --------------------------------------------------------------------- main
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MichiCAN reproduction: experiments from the shell",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="countermeasure comparison matrix")
+
+    p = sub.add_parser("table2", help="empirical bus-off experiments")
+    p.add_argument("--experiment", type=int, default=None,
+                   help="run one experiment (1-6) instead of all")
+    p.add_argument("--duration", type=int, default=100_000,
+                   help="recording window in bit times")
+
+    sub.add_parser("table3", help="theoretical bus-off times")
+
+    p = sub.add_parser("latency", help="random-FSM detection latency study")
+    p.add_argument("--fsms", type=int, default=2_000)
+    p.add_argument("--seed", type=int, default=160_000)
+
+    p = sub.add_parser("multi", help="concurrent-attacker experiment")
+    p.add_argument("--attackers", type=int, default=3)
+    p.add_argument("--duration", type=int, default=24_000)
+
+    p = sub.add_parser("cpu", help="CPU utilization across MCU profiles")
+    p.add_argument("--light", action="store_true",
+                   help="light (spoof-only) scenario")
+
+    p = sub.add_parser("parksense", help="the on-vehicle ParkSense scenario")
+    group = p.add_mutually_exclusive_group()
+    group.add_argument("--defended", action="store_true", default=True)
+    group.add_argument("--undefended", dest="defended", action="store_false")
+    p.add_argument("--duration", type=int, default=400_000)
+
+    p = sub.add_parser("fsm", help="inspect a detection FSM")
+    p.add_argument("--ecus", type=_parse_id_list, required=True,
+                   help="comma-separated CAN IDs of the IVN (e.g. 0xA0,0x173)")
+    p.add_argument("--own", type=_parse_id, default=None,
+                   help="the defender's own ID (default: highest)")
+    p.add_argument("--classify", type=_parse_id, default=None,
+                   help="classify one ID through the FSM")
+
+    p = sub.add_parser("demo", help="quick detect-and-bus-off demo")
+    p.add_argument("--attack-id", type=_parse_id, default=0x064)
+    p.add_argument("--bus-speed", type=int, default=500_000)
+
+    p = sub.add_parser("decode", help="summarize a candump log")
+    p.add_argument("logfile")
+
+    p = sub.add_parser("replay", help="replay a candump log on the simulator")
+    p.add_argument("logfile")
+    p.add_argument("--bus-speed", type=int, default=500_000)
+    p.add_argument("--time-scale", type=float, default=1.0)
+    p.add_argument("--duration", type=int, default=5_000_000)
+    p.add_argument("--defend", type=_parse_id, default=None,
+                   help="add a MichiCAN node with this own-ID")
+
+    p = sub.add_parser("waveform", help="render a fight as an SVG figure")
+    p.add_argument("--output", default="fight.svg")
+    p.add_argument("--attack-id", type=_parse_id, default=0x064)
+    p.add_argument("--duration", type=int, default=2_600)
+    p.add_argument("--bits", type=int, default=160,
+                   help="waveform window length")
+    p.add_argument("--timeline", action="store_true",
+                   help="render the Fig. 6 timeline instead of the waveform")
+
+    p = sub.add_parser("coverage", help="plan a partial deployment")
+    p.add_argument("--ecus", type=_parse_id_list, required=True)
+    p.add_argument("--equip", type=_parse_id_list, default=None,
+                   help="equipped subset (default: highest ECU only)")
+
+    p = sub.add_parser("report", help="regenerate the full reproduction report")
+    p.add_argument("--output", default=None, help="write to a file")
+    p.add_argument("--sections", nargs="*", default=None,
+                   choices=["table2", "table3", "latency", "multi", "cpu",
+                            "parksense"])
+
+    p = sub.add_parser("codegen", help="emit the C firmware patch for an FSM")
+    p.add_argument("--ecus", type=_parse_id_list, required=True)
+    p.add_argument("--own", type=_parse_id, default=None)
+    p.add_argument("--prefix", default="michican")
+
+    return parser
+
+
+COMMANDS = {
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+    "table3": cmd_table3,
+    "latency": cmd_latency,
+    "multi": cmd_multi,
+    "cpu": cmd_cpu,
+    "parksense": cmd_parksense,
+    "fsm": cmd_fsm,
+    "demo": cmd_demo,
+    "decode": cmd_decode,
+    "report": cmd_report,
+    "waveform": cmd_waveform,
+    "coverage": cmd_coverage,
+    "replay": cmd_replay,
+    "codegen": cmd_codegen,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""C code generation for detection FSMs: the OEM's firmware patch artifact.
+
+Sec. IV-A: "Unique FSMs are generated and patched into each ECU's source
+code.  The patched firmware binaries are then distributed to the respective
+ECUs via software update."  This module emits that patch: a self-contained,
+allocation-free C translation unit with the FSM transition table in flash
+(``const``), a constant-time per-bit step function suitable for the timer
+ISR, and the three counterattack constants of Algorithm 1.
+
+The generated code is deliberately dependency-free C99 so it drops into any
+MCU project; a reference interpreter (:func:`run_generated_table`) executes
+the emitted table in Python so tests can prove table-equivalence with the
+:class:`~repro.core.fsm.DetectionFsm` that produced it, without a cross
+compiler.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.detection import (
+    ATTACK_DURATION_BITS,
+    ATTACK_TRIGGER_POSITION,
+    PROCESSING_END_POSITION,
+)
+from repro.core.fsm import DetectionFsm, Verdict
+from repro.errors import ConfigurationError
+
+#: Sentinel table entries for terminal verdicts (top of the uint16 range,
+#: far above any realistic state count).
+MALICIOUS_ENTRY = 0xFFFF
+BENIGN_ENTRY = 0xFFFE
+
+
+def _table_rows(fsm: DetectionFsm) -> List[List[int]]:
+    """The FSM table with verdicts encoded as sentinel entries."""
+    if fsm.num_states >= BENIGN_ENTRY:
+        raise ConfigurationError(
+            f"FSM with {fsm.num_states} states exceeds the uint16 encoding"
+        )
+    rows = []
+    for on_zero, on_one in fsm._table:  # noqa: SLF001 - generator privilege
+        row = []
+        for successor in (on_zero, on_one):
+            if successor is Verdict.MALICIOUS:
+                row.append(MALICIOUS_ENTRY)
+            elif successor is Verdict.BENIGN:
+                row.append(BENIGN_ENTRY)
+            else:
+                row.append(int(successor))
+        rows.append(row)
+    return rows
+
+
+def generate_c(fsm: DetectionFsm, symbol_prefix: str = "michican") -> str:
+    """Emit the C translation unit for ``fsm``.
+
+    Args:
+        symbol_prefix: C identifier prefix (one FSM per ECU; pick the ECU
+            name to avoid collisions when several are linked together).
+    """
+    if not symbol_prefix.isidentifier():
+        raise ConfigurationError(
+            f"symbol prefix {symbol_prefix!r} is not a valid C identifier"
+        )
+    rows = _table_rows(fsm)
+    lines: List[str] = []
+    emit = lines.append
+    emit("/* Auto-generated MichiCAN detection FSM — do not edit.")
+    emit(f" * states: {fsm.num_states}, id bits: {fsm.id_bits}, "
+         f"detection-set size: {len(fsm.detection_ids)}")
+    emit(" */")
+    emit("#include <stdint.h>")
+    emit("")
+    emit(f"#define {symbol_prefix.upper()}_MALICIOUS 0x{MALICIOUS_ENTRY:04X}u")
+    emit(f"#define {symbol_prefix.upper()}_BENIGN    0x{BENIGN_ENTRY:04X}u")
+    emit(f"#define {symbol_prefix.upper()}_ATTACK_TRIGGER_POS "
+         f"{ATTACK_TRIGGER_POSITION}u")
+    emit(f"#define {symbol_prefix.upper()}_ATTACK_DURATION_BITS "
+         f"{ATTACK_DURATION_BITS}u")
+    emit(f"#define {symbol_prefix.upper()}_PROCESSING_END_POS "
+         f"{PROCESSING_END_POSITION}u")
+    emit("")
+    emit(f"static const uint16_t {symbol_prefix}_fsm"
+         f"[{len(rows)}][2] = {{")
+    for index, (on_zero, on_one) in enumerate(rows):
+        emit(f"    {{0x{on_zero:04X}u, 0x{on_one:04X}u}},"
+             f" /* state {index} */")
+    emit("};")
+    emit("")
+    emit("/* Step the FSM with one un-stuffed ID bit.  Returns the next")
+    emit(" * state, or a terminal sentinel.  Constant time; safe in the")
+    emit(" * bit-time ISR. */")
+    emit(f"static inline uint16_t {symbol_prefix}_step(uint16_t state, "
+         "uint8_t bit)")
+    emit("{")
+    emit(f"    return {symbol_prefix}_fsm[state][bit & 1u];")
+    emit("}")
+    emit("")
+    return "\n".join(lines)
+
+
+def run_generated_table(
+    fsm: DetectionFsm, id_bits_stream: Iterable[int]
+) -> Verdict:
+    """Reference interpreter for the *emitted table* (not the live FSM).
+
+    Executes exactly the data the C file carries, so a passing equivalence
+    test certifies the artifact, not just the generator's input.
+    """
+    rows = _table_rows(fsm)
+    state = 0
+    for bit in id_bits_stream:
+        entry = rows[state][bit & 1]
+        if entry == MALICIOUS_ENTRY:
+            return Verdict.MALICIOUS
+        if entry == BENIGN_ENTRY:
+            return Verdict.BENIGN
+        state = entry
+    return Verdict.PENDING
+
+
+def classify_with_table(fsm: DetectionFsm, can_id: int) -> Verdict:
+    """Classify a full identifier through the emitted table."""
+    bits = [(can_id >> (fsm.id_bits - 1 - i)) & 1 for i in range(fsm.id_bits)]
+    return run_generated_table(fsm, bits)

@@ -1,0 +1,179 @@
+"""MichiCAN initial configuration (Sec. IV-A).
+
+The OEM performs this step offline, once: the ordered ECU list 𝔼, per-ECU
+detection ranges 𝔻 (Definition IV.4) and the full/light deployment split.
+Everything here is pure data/logic — no simulator dependencies — so it can be
+unit-tested exhaustively against the paper's definitions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Sequence, Tuple
+
+from repro.can.constants import MAX_STD_ID
+from repro.errors import ConfigurationError
+
+
+class AttackKind(enum.Enum):
+    """Classification of an observed CAN ID from one ECU's perspective."""
+
+    #: Definition IV.1 — the observed ID equals the observer's own ID.
+    SPOOFING = "spoofing"
+    #: Definition IV.2 — lower than own ID and not any legitimate ECU's ID.
+    DOS = "dos"
+    #: Definition IV.3 — higher than the highest legitimate ID.
+    MISCELLANEOUS = "miscellaneous"
+    #: A legitimate ECU's ID (or higher than own but legitimate): no verdict.
+    LEGITIMATE = "legitimate"
+    #: Between own ID and max(𝔼), not legitimate: outside this node's 𝔻.
+    UNDECIDABLE = "undecidable"
+
+
+class Scenario(enum.Enum):
+    """Deployment scenario (Sec. IV-A): which FSM each ECU runs."""
+
+    #: Every ECU detects spoofing *and* DoS over its full range 𝔻.
+    FULL = "full"
+    #: Lower half of 𝔼 detects spoofing only; upper half runs the full FSM.
+    LIGHT = "light"
+
+
+def detection_range(ecu_ids: Sequence[int], index: int) -> FrozenSet[int]:
+    """Definition IV.4: the set 𝔻 for the ECU at ``index`` in the ordered 𝔼.
+
+    𝔻 = { j | 0 <= j <= ECU_i  and  j != ECU_k for all k < i }.
+
+    Note that ECU_i's own ID *is* included (observing it from another node is
+    a spoofing attack), while lower legitimate IDs are excluded.
+    """
+    ordered = sorted(ecu_ids)
+    own = ordered[index]
+    lower_legitimate = set(ordered[:index])
+    return frozenset(
+        j for j in range(own + 1) if j not in lower_legitimate
+    )
+
+
+@dataclass(frozen=True)
+class EcuConfig:
+    """Per-ECU MichiCAN configuration produced by the offline setup."""
+
+    name: str
+    can_id: int
+    #: IDs this ECU must flag as malicious (its 𝔻, or just {own} when
+    #: spoof-only in the light scenario).
+    detection_ids: FrozenSet[int]
+    #: True if this ECU runs the full DoS+spoofing FSM.
+    full_fsm: bool
+
+
+@dataclass(frozen=True)
+class IvnConfig:
+    """An in-vehicle network: the ordered list 𝔼 plus deployment choices.
+
+    Args:
+        ecu_ids: The CAN IDs of all participating ECUs (𝔼).  Each unique ID
+            belongs to exactly one ECU (Sec. IV-A assumption).
+        scenario: Full or light deployment.
+        names: Optional ECU names aligned with ``ecu_ids``.
+    """
+
+    ecu_ids: Tuple[int, ...]
+    scenario: Scenario = Scenario.FULL
+    names: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.ecu_ids:
+            raise ConfigurationError("an IVN needs at least one ECU")
+        if len(set(self.ecu_ids)) != len(self.ecu_ids):
+            raise ConfigurationError("CAN IDs in 𝔼 must be unique per ECU")
+        for can_id in self.ecu_ids:
+            if not 0 <= can_id <= MAX_STD_ID:
+                raise ConfigurationError(f"CAN ID 0x{can_id:X} out of 11-bit range")
+        ordered = tuple(sorted(self.ecu_ids))
+        object.__setattr__(self, "ecu_ids", ordered)
+        if self.names and len(self.names) != len(ordered):
+            raise ConfigurationError("names must align with ecu_ids")
+        if not self.names:
+            object.__setattr__(
+                self,
+                "names",
+                tuple(f"ecu_{can_id:03x}" for can_id in ordered),
+            )
+
+    def __len__(self) -> int:
+        return len(self.ecu_ids)
+
+    @property
+    def highest_id(self) -> int:
+        """max(𝔼): the boundary of miscellaneous attacks (Def. IV.3)."""
+        return self.ecu_ids[-1]
+
+    def index_of(self, can_id: int) -> int:
+        try:
+            return self.ecu_ids.index(can_id)
+        except ValueError:
+            raise ConfigurationError(f"0x{can_id:X} is not in 𝔼") from None
+
+    def detection_range(self, can_id: int) -> FrozenSet[int]:
+        """The 𝔻 of the ECU owning ``can_id`` (Definition IV.4)."""
+        return detection_range(self.ecu_ids, self.index_of(can_id))
+
+    def classify(self, observer_id: int, observed_id: int) -> AttackKind:
+        """How the ECU owning ``observer_id`` classifies ``observed_id``.
+
+        This is the ground truth the detection FSM must agree with.
+        """
+        if observed_id == observer_id:
+            return AttackKind.SPOOFING
+        if observed_id in self.ecu_ids:
+            return AttackKind.LEGITIMATE
+        if observed_id < observer_id:
+            return AttackKind.DOS
+        if observed_id > self.highest_id:
+            return AttackKind.MISCELLANEOUS
+        return AttackKind.UNDECIDABLE
+
+    def _runs_full_fsm(self, index: int) -> bool:
+        if self.scenario is Scenario.FULL:
+            return True
+        # Light scenario: 𝔼 is split in half; the lower half (𝔼₁) detects
+        # spoofing only, the upper half (𝔼₂) keeps the full routine.
+        return index >= len(self.ecu_ids) // 2
+
+    def ecu_configs(self) -> List[EcuConfig]:
+        """The per-ECU configurations the OEM would patch into firmware."""
+        configs = []
+        for index, can_id in enumerate(self.ecu_ids):
+            full = self._runs_full_fsm(index)
+            ids = (
+                detection_range(self.ecu_ids, index)
+                if full
+                else frozenset({can_id})
+            )
+            configs.append(
+                EcuConfig(
+                    name=self.names[index],
+                    can_id=can_id,
+                    detection_ids=ids,
+                    full_fsm=full,
+                )
+            )
+        return configs
+
+    def ecu_config(self, can_id: int) -> EcuConfig:
+        """Configuration for one ECU by its CAN ID."""
+        return self.ecu_configs()[self.index_of(can_id)]
+
+    def dos_coverage(self) -> FrozenSet[int]:
+        """All IDs flagged as DoS/spoofing by at least one deployed ECU.
+
+        In both scenarios this must cover every non-legitimate ID at or
+        below max(𝔼) — the property that makes the light split safe.
+        """
+        covered: set = set()
+        for config in self.ecu_configs():
+            covered |= config.detection_ids
+        return frozenset(covered)

@@ -1,0 +1,86 @@
+"""Signal packing and unpacking (little-endian/Intel layout).
+
+Converts between physical signal values and payload bytes, the way a real
+restbus tool or VHAL bridge would when building frames from sensor values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.dbc.types import Message, Signal
+from repro.errors import DbcError
+
+
+def encode_raw(signal: Signal, payload: bytearray, raw: int) -> None:
+    """Write ``raw`` into ``payload`` at the signal's bit position."""
+    if not 0 <= raw <= signal.raw_max:
+        raise DbcError(
+            f"raw value {raw} out of range for {signal.length}-bit "
+            f"signal {signal.name}"
+        )
+    for i in range(signal.length):
+        bit = (raw >> i) & 1
+        position = signal.start_bit + i
+        byte_index, bit_index = divmod(position, 8)
+        if byte_index >= len(payload):
+            raise DbcError(
+                f"signal {signal.name} exceeds a {len(payload)}-byte payload"
+            )
+        if bit:
+            payload[byte_index] |= 1 << bit_index
+        else:
+            payload[byte_index] &= ~(1 << bit_index)
+
+
+def decode_raw(signal: Signal, payload: bytes) -> int:
+    """Read the raw integer of ``signal`` from ``payload``."""
+    raw = 0
+    for i in range(signal.length):
+        position = signal.start_bit + i
+        byte_index, bit_index = divmod(position, 8)
+        if byte_index >= len(payload):
+            raise DbcError(
+                f"signal {signal.name} exceeds a {len(payload)}-byte payload"
+            )
+        raw |= ((payload[byte_index] >> bit_index) & 1) << i
+    return raw
+
+
+def physical_to_raw(signal: Signal, value: float) -> int:
+    """Quantize a physical value with the signal's scale/offset."""
+    if signal.scale == 0:
+        raise DbcError(f"signal {signal.name} has zero scale")
+    raw = round((value - signal.offset) / signal.scale)
+    if not 0 <= raw <= signal.raw_max:
+        raise DbcError(
+            f"physical value {value}{signal.unit} out of range for "
+            f"signal {signal.name}"
+        )
+    return raw
+
+
+def raw_to_physical(signal: Signal, raw: int) -> float:
+    return raw * signal.scale + signal.offset
+
+
+def encode_message(message: Message, values: Mapping[str, float]) -> bytes:
+    """Build a payload from physical signal values (missing signals are 0)."""
+    payload = bytearray(message.dlc)
+    for name, value in values.items():
+        signal = message.signal(name)
+        encode_raw(signal, payload, physical_to_raw(signal, value))
+    return bytes(payload)
+
+
+def decode_message(message: Message, payload: bytes) -> Dict[str, float]:
+    """Extract all physical signal values from a payload."""
+    if len(payload) < message.dlc:
+        raise DbcError(
+            f"payload of {len(payload)} bytes shorter than DLC {message.dlc} "
+            f"of message {message.name}"
+        )
+    return {
+        signal.name: raw_to_physical(signal, decode_raw(signal, payload))
+        for signal in message.signals
+    }

@@ -1,0 +1,119 @@
+"""Minimal DBC text parser and writer.
+
+Supports the subset of the Vector DBC grammar the reproduction needs —
+message (``BO_``) and signal (``SG_``) definitions with little-endian
+unsigned signals, plus cycle times via the conventional
+``BA_ "GenMsgCycleTime"`` attribute — enough to round-trip the synthetic
+vehicle matrices and to express OpenDBC-style inputs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.dbc.types import CommunicationMatrix, Message, Signal
+from repro.errors import DbcError
+
+_BO_RE = re.compile(
+    r"^BO_\s+(?P<id>\d+)\s+(?P<name>\w+)\s*:\s*(?P<dlc>\d+)\s+(?P<tx>\w+)\s*$"
+)
+_SG_RE = re.compile(
+    r"^\s*SG_\s+(?P<name>\w+)\s*:\s*(?P<start>\d+)\|(?P<len>\d+)@1\+\s*"
+    r"\((?P<scale>[-+0-9.eE]+),(?P<offset>[-+0-9.eE]+)\)\s*"
+    r"\[(?P<min>[-+0-9.eE]+)\|(?P<max>[-+0-9.eE]+)\]\s*"
+    r"\"(?P<unit>[^\"]*)\"\s+\w+\s*$"
+)
+_CYCLE_RE = re.compile(
+    r"^BA_\s+\"GenMsgCycleTime\"\s+BO_\s+(?P<id>\d+)\s+(?P<ms>[0-9.]+)\s*;\s*$"
+)
+
+
+def parse_dbc(text: str, name: str = "bus") -> CommunicationMatrix:
+    """Parse DBC ``text`` into a :class:`CommunicationMatrix`.
+
+    Raises:
+        DbcError: on malformed BO_/SG_/cycle-time lines or inconsistent
+            definitions (e.g. a signal before any message).
+    """
+    messages: List[dict] = []
+    cycle_times: Dict[int, float] = {}
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.rstrip()
+        if not line.strip():
+            continue
+        stripped = line.strip()
+        if stripped.startswith("BO_ "):
+            match = _BO_RE.match(stripped)
+            if not match:
+                raise DbcError(f"line {line_number}: malformed BO_: {stripped!r}")
+            can_id = int(match.group("id"))
+            messages.append({
+                "can_id": can_id,
+                "name": match.group("name"),
+                "dlc": int(match.group("dlc")),
+                "transmitter": match.group("tx"),
+                "signals": [],
+            })
+        elif stripped.startswith("SG_ "):
+            if not messages:
+                raise DbcError(f"line {line_number}: SG_ before any BO_")
+            match = _SG_RE.match(stripped)
+            if not match:
+                raise DbcError(f"line {line_number}: malformed SG_: {stripped!r}")
+            messages[-1]["signals"].append(Signal(
+                name=match.group("name"),
+                start_bit=int(match.group("start")),
+                length=int(match.group("len")),
+                scale=float(match.group("scale")),
+                offset=float(match.group("offset")),
+                minimum=float(match.group("min")),
+                maximum=float(match.group("max")),
+                unit=match.group("unit"),
+            ))
+        elif stripped.startswith("BA_ "):
+            match = _CYCLE_RE.match(stripped)
+            if match:
+                cycle_times[int(match.group("id"))] = float(match.group("ms"))
+        # Other DBC keywords (VERSION, BU_, CM_, ...) are tolerated silently.
+
+    built = tuple(
+        Message(
+            can_id=m["can_id"],
+            name=m["name"],
+            dlc=m["dlc"],
+            transmitter=m["transmitter"],
+            period_ms=cycle_times.get(m["can_id"], 0.0),
+            signals=tuple(m["signals"]),
+        )
+        for m in messages
+    )
+    return CommunicationMatrix(name=name, messages=built)
+
+
+def write_dbc(matrix: CommunicationMatrix) -> str:
+    """Serialize a matrix back to DBC text (round-trips with parse_dbc)."""
+    lines: List[str] = ['VERSION ""', ""]
+    ecus = sorted(matrix.transmitters())
+    lines.append("BU_: " + " ".join(ecus))
+    lines.append("")
+    for message in matrix.messages:
+        lines.append(
+            f"BO_ {message.can_id} {message.name}: "
+            f"{message.dlc} {message.transmitter}"
+        )
+        for signal in message.signals:
+            lines.append(
+                f" SG_ {signal.name} : {signal.start_bit}|{signal.length}@1+ "
+                f"({signal.scale:g},{signal.offset:g}) "
+                f"[{signal.minimum:g}|{signal.maximum:g}] "
+                f"\"{signal.unit}\" Vector__XXX"
+            )
+        lines.append("")
+    for message in matrix.messages:
+        if message.period_ms > 0:
+            lines.append(
+                f'BA_ "GenMsgCycleTime" BO_ {message.can_id} '
+                f"{message.period_ms:g};"
+            )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Everything raised by the library derives from :class:`ReproError`, so callers
+can catch one type.  Protocol-level CAN errors (bit/stuff/form/ack/crc) are
+*events*, not exceptions — see :mod:`repro.can.errors`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FrameError(ReproError):
+    """An invalid CAN frame was constructed or decoded."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid MichiCAN / simulator configuration was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state (internal invariant broke)."""
+
+
+class DbcError(ReproError):
+    """A communication-matrix (DBC) definition or file could not be parsed."""
+
+
+class SchedulingError(ReproError):
+    """A message could not be scheduled for transmission."""

@@ -1,0 +1,95 @@
+"""Experiment harness: assemble a bus, run it, measure bus-off statistics.
+
+Mirrors the paper's method (Sec. V-C): record the bus for a fixed window
+containing multiple bus-off attempts, then report mean / standard deviation /
+maximum bus-off time per attacker — one Table II row per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bus.simulator import CanBusSimulator
+from repro.can.constants import BUS_SPEED_50K
+from repro.core.defense import MichiCanNode
+from repro.node.controller import CanNode
+from repro.trace.framelog import BusOffEpisode, FrameLog
+
+
+@dataclass
+class ExperimentResult:
+    """Measured outcome of one experiment run.
+
+    Attributes:
+        name: Experiment identifier (e.g. "exp5").
+        bus_speed: Bus speed the run used.
+        duration_bits: Simulated window length.
+        attacker_stats: Per-attacker-node Table II row
+            (count / mean_ms / std_ms / max_ms).
+        episodes: Raw per-attacker bus-off episodes.
+        detections: Total MichiCAN detections.
+        counterattacks: Total counterattacks launched.
+        busy_fraction: Observed bus-occupancy fraction.
+    """
+
+    name: str
+    bus_speed: int
+    duration_bits: int
+    attacker_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    episodes: Dict[str, List[BusOffEpisode]] = field(default_factory=dict)
+    detections: int = 0
+    counterattacks: int = 0
+    busy_fraction: float = 0.0
+
+    def mean_busoff_ms(self, attacker: str) -> float:
+        return self.attacker_stats[attacker]["mean_ms"]
+
+    def render(self) -> str:
+        """One experiment's rows in the Table II format."""
+        lines = [
+            f"{self.name}: {self.duration_bits} bits at {self.bus_speed} bit/s, "
+            f"{self.detections} detections, {self.counterattacks} counterattacks"
+        ]
+        for attacker, stats in sorted(self.attacker_stats.items()):
+            lines.append(
+                f"  {attacker:<14} episodes={stats['count']:<3.0f} "
+                f"mean={stats['mean_ms']:6.1f} ms  "
+                f"std={stats['std_ms']:5.2f} ms  max={stats['max_ms']:6.1f} ms"
+            )
+        return "\n".join(lines)
+
+
+def run_and_measure(
+    sim: CanBusSimulator,
+    attackers: Sequence[CanNode],
+    duration_bits: int,
+    name: str = "experiment",
+    defenders: Optional[Sequence[MichiCanNode]] = None,
+) -> ExperimentResult:
+    """Run ``sim`` for ``duration_bits`` and collect Table II statistics."""
+    sim.run(duration_bits)
+    log = FrameLog(sim.events)
+    result = ExperimentResult(
+        name=name,
+        bus_speed=sim.bus_speed,
+        duration_bits=duration_bits,
+    )
+    for attacker in attackers:
+        result.episodes[attacker.name] = log.busoff_episodes(attacker.name)
+        result.attacker_stats[attacker.name] = log.busoff_statistics(
+            attacker.name, sim.bus_speed
+        )
+    for defender in defenders or []:
+        result.detections += len(defender.firmware.detections)
+        result.counterattacks += defender.counterattacks
+    if sim.wire.record:
+        from repro.trace.recorder import LogicTrace
+
+        result.busy_fraction = LogicTrace(sim.wire.history).busy_fraction()
+    return result
+
+
+def make_simulator(bus_speed: int = BUS_SPEED_50K, record: bool = True) -> CanBusSimulator:
+    """A simulator at the paper's online-evaluation bus speed (50 kbit/s)."""
+    return CanBusSimulator(bus_speed=bus_speed, record_wire=record)

@@ -1,0 +1,117 @@
+"""Parameter-sweep machinery: systematic variation beyond single runs.
+
+The paper reports point measurements; the simulator can afford curves.
+These sweeps are reusable drivers behind the extension benchmarks:
+
+* :func:`sweep_attack_ids` — bus-off time and detection bit position across
+  attacker identifiers (exposes the best/worst-case band of Table III);
+* :func:`sweep_attacker_dlc` — the DLC dependence of the bit-error position
+  (the paper's Sec. IV-E case analysis);
+* :func:`sweep_restbus_load` — bus-off time vs benign load, the measured
+  curve behind the T = base/(1-b) closed form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.attacks.dos import DosAttacker
+from repro.bus.events import AttackDetected, BusOffEntered, FrameStarted
+from repro.bus.simulator import CanBusSimulator
+from repro.core.defense import MichiCanNode
+from repro.trace.framelog import FINAL_PASSIVE_FRAME_BITS
+from repro.workloads.matrix import theoretical_bus_load
+from repro.workloads.restbus import RestbusNode
+from repro.workloads.vehicles import vehicle_buses
+
+
+@dataclass(frozen=True)
+class FightSample:
+    """One measured bus-off fight."""
+
+    attack_id: int
+    dlc: int
+    detection_bit: int
+    busoff_bits: Optional[int]
+
+    @property
+    def eradicated(self) -> bool:
+        return self.busoff_bits is not None
+
+
+def _run_fight(
+    attack_id: int,
+    dlc: int = 8,
+    detection_ids=range(0x100),
+    limit: int = 6_000,
+    extra_nodes=None,
+) -> FightSample:
+    sim = CanBusSimulator(bus_speed=50_000)
+    defender = sim.add_node(MichiCanNode("defender", detection_ids))
+    for node in extra_nodes or ():
+        sim.add_node(node)
+    attacker = sim.add_node(DosAttacker(
+        "attacker", attack_id, payload_fn=lambda n, d=dlc: bytes(d)))
+    sim.run_until(lambda s: attacker.is_bus_off, limit)
+    detections = sim.events_of(AttackDetected)
+    detection_bit = detections[0].detection_bit if detections else 0
+    busoffs = sim.events_of(BusOffEntered)
+    busoff_bits: Optional[int] = None
+    if busoffs:
+        first = next(e.time for e in sim.events_of(FrameStarted)
+                     if e.node == "attacker")
+        busoff_bits = busoffs[0].time + FINAL_PASSIVE_FRAME_BITS - first
+    return FightSample(attack_id, dlc, detection_bit, busoff_bits)
+
+
+def sweep_attack_ids(
+    attack_ids: Sequence[int],
+    detection_ids=range(0x100),
+) -> List[FightSample]:
+    """Fight every attacker ID once on a clean bus."""
+    return [_run_fight(attack_id, detection_ids=detection_ids)
+            for attack_id in attack_ids]
+
+
+def sweep_attacker_dlc(
+    dlcs: Sequence[int] = tuple(range(9)),
+    attack_id: int = 0x0AA,
+) -> List[FightSample]:
+    """Fight the same ID with every payload length (Sec. IV-E cases)."""
+    return [_run_fight(attack_id, dlc=dlc) for dlc in dlcs]
+
+
+def sweep_restbus_load(
+    target_loads: Sequence[float],
+    vehicle: str = "veh_d",
+    duration_bits: int = 60_000,
+) -> Dict[float, float]:
+    """Mean bus-off bits as a function of benign load (measured curve).
+
+    Returns target_load -> mean episode bits over the window.
+    """
+    from repro.experiments.runner import run_and_measure
+    from repro.experiments.scenarios import detection_ids_for
+
+    matrix, _ = vehicle_buses(vehicle)
+    results: Dict[float, float] = {}
+    for load in target_loads:
+        if not 0.0 <= load < 0.8:
+            raise ValueError(f"target load {load} outside the sane range")
+        sim = CanBusSimulator(bus_speed=50_000)
+        if load > 0:
+            native = theoretical_bus_load(matrix, sim.bus_speed)
+            scale = max(1.0, native / load)
+            sim.add_node(RestbusNode("restbus", matrix, sim.bus_speed,
+                                     time_scale=scale))
+            detection_ids = detection_ids_for(0x173, matrix.all_ids())
+        else:
+            detection_ids = detection_ids_for(0x173, [])
+        defender = sim.add_node(MichiCanNode("michican", detection_ids))
+        attacker = sim.add_node(DosAttacker("attacker", 0x064))
+        result = run_and_measure(sim, [attacker], duration_bits,
+                                 defenders=[defender])
+        stats = result.attacker_stats["attacker"]
+        results[load] = stats["mean_ms"] / 1e3 * sim.bus_speed
+    return results

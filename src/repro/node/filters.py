@@ -1,0 +1,89 @@
+"""Acceptance filtering: the controller's hardware mask/match filters.
+
+Real CAN controllers deliver only frames matching configured (mask, match)
+pairs to the application, sparing the CPU the rest — the paper's Sec. II-C
+notes integrated controllers expose "configuration of filters" alongside
+interrupts.  Filtering happens *after* full reception (the controller still
+ACKs and error-checks everything on the wire); it gates delivery, not
+participation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.can.frame import CanFrame, MAX_EXT_ID
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AcceptanceFilter:
+    """One mask/match filter: accept iff (id & mask) == (match & mask).
+
+    Attributes:
+        match: Reference identifier bits.
+        mask: Bits that must match (1 = compared, 0 = don't care).
+        extended: Which identifier width this filter applies to; standard
+            filters never match extended frames and vice versa (the IDE bit
+            participates in hardware filtering).
+    """
+
+    match: int
+    mask: int
+    extended: bool = False
+
+    def __post_init__(self) -> None:
+        ceiling = MAX_EXT_ID if self.extended else 0x7FF
+        if not 0 <= self.match <= ceiling:
+            raise ConfigurationError(f"filter match 0x{self.match:X} out of range")
+        if not 0 <= self.mask <= ceiling:
+            raise ConfigurationError(f"filter mask 0x{self.mask:X} out of range")
+
+    def accepts(self, frame: CanFrame) -> bool:
+        if frame.extended != self.extended:
+            return False
+        return (frame.can_id & self.mask) == (self.match & self.mask)
+
+    @classmethod
+    def exact(cls, can_id: int, extended: bool = False) -> "AcceptanceFilter":
+        """Accept exactly one identifier."""
+        mask = MAX_EXT_ID if extended else 0x7FF
+        return cls(match=can_id, mask=mask, extended=extended)
+
+    @classmethod
+    def id_range(cls, lo: int, hi: int,
+                 extended: bool = False) -> "AcceptanceFilter":
+        """Accept an aligned power-of-two range [lo, hi] (hardware filters
+        can only express ranges whose size is a power of two and whose base
+        is aligned to it)."""
+        size = hi - lo + 1
+        if size <= 0 or size & (size - 1):
+            raise ConfigurationError(
+                f"range [{lo:#x}, {hi:#x}] is not a power-of-two block"
+            )
+        if lo % size:
+            raise ConfigurationError(
+                f"range base 0x{lo:X} not aligned to its size {size}"
+            )
+        width = MAX_EXT_ID if extended else 0x7FF
+        return cls(match=lo, mask=width & ~(size - 1), extended=extended)
+
+
+class FilterBank:
+    """A set of acceptance filters: accept if any filter matches.
+
+    An empty bank accepts everything (the power-on default of most
+    controllers).
+    """
+
+    def __init__(self, filters: Iterable[AcceptanceFilter] = ()) -> None:
+        self.filters: List[AcceptanceFilter] = list(filters)
+
+    def accepts(self, frame: CanFrame) -> bool:
+        if not self.filters:
+            return True
+        return any(f.accepts(frame) for f in self.filters)
+
+    def add(self, filter_: AcceptanceFilter) -> None:
+        self.filters.append(filter_)

@@ -1,0 +1,157 @@
+"""Transmit scheduling for CAN nodes.
+
+A CAN controller owns transmit mailboxes: the application enqueues frames and
+the controller sends the highest-priority pending frame whenever the bus is
+free, retrying automatically on errors and lost arbitration.  This module
+models that queue, plus periodic message sources used by the restbus and
+attacker workloads.
+
+All times are in bit times (the simulator's clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.can.frame import CanFrame
+from repro.errors import SchedulingError
+
+
+@dataclass
+class PendingTransmission:
+    """A frame waiting in (or retrying from) the transmit queue."""
+
+    frame: CanFrame
+    enqueued_at: int
+    attempts: int = 0
+    completed_at: Optional[int] = None
+
+
+class TransmitQueue:
+    """Priority-ordered transmit mailboxes.
+
+    The controller always transmits the pending frame with the lowest CAN ID
+    (hardware mailbox behaviour).  A frame stays pending across errors and
+    lost arbitration until :meth:`on_success` — CAN controllers retransmit
+    automatically.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._pending: List[PendingTransmission] = []
+        self._capacity = capacity
+        self.completed: List[PendingTransmission] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    def enqueue(self, frame: CanFrame, time: int) -> PendingTransmission:
+        """Add ``frame`` to the mailboxes at ``time``."""
+        if self._capacity is not None and len(self._pending) >= self._capacity:
+            raise SchedulingError(
+                f"transmit queue full ({self._capacity} mailboxes)"
+            )
+        pending = PendingTransmission(frame, time)
+        self._pending.append(pending)
+        self._pending.sort(key=lambda p: (*p.frame.priority_key(), p.enqueued_at))
+        return pending
+
+    def peek(self) -> Optional[PendingTransmission]:
+        """The transmission the controller should attempt next."""
+        return self._pending[0] if self._pending else None
+
+    def on_attempt(self) -> None:
+        """Record that the head-of-queue frame started a (re)transmission."""
+        if not self._pending:
+            raise SchedulingError("on_attempt with empty queue")
+        self._pending[0].attempts += 1
+
+    def on_success(self, time: int) -> PendingTransmission:
+        """The head-of-queue frame was transmitted and acknowledged."""
+        if not self._pending:
+            raise SchedulingError("on_success with empty queue")
+        done = self._pending.pop(0)
+        done.completed_at = time
+        self.completed.append(done)
+        return done
+
+    def clear(self) -> None:
+        self._pending.clear()
+
+
+#: Generates the payload for the n-th instance of a periodic message.
+PayloadFn = Callable[[int], bytes]
+
+
+def _default_payload(_instance: int) -> bytes:
+    return bytes(8)
+
+
+@dataclass
+class PeriodicMessage:
+    """A periodic CAN message definition (one row of a communication matrix).
+
+    Attributes:
+        can_id: Message identifier.
+        period_bits: Period in bit times (period_seconds * bus_speed).
+        offset_bits: Phase offset of the first instance.
+        payload_fn: Maps the instance counter to the payload bytes.
+        limit: Maximum number of instances to emit (None = unbounded).
+    """
+
+    can_id: int
+    period_bits: int
+    offset_bits: int = 0
+    payload_fn: PayloadFn = _default_payload
+    limit: Optional[int] = None
+    _emitted: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.period_bits <= 0:
+            raise SchedulingError(
+                f"period must be positive, got {self.period_bits} bits"
+            )
+
+    def due(self, time: int) -> bool:
+        """True if a new instance should be enqueued at ``time``."""
+        if self.limit is not None and self._emitted >= self.limit:
+            return False
+        return time >= self.offset_bits + self._emitted * self.period_bits
+
+    def emit(self, _time: int) -> CanFrame:
+        """Produce the next instance (caller checked :meth:`due`)."""
+        frame = CanFrame(self.can_id, self.payload_fn(self._emitted))
+        self._emitted += 1
+        return frame
+
+    @property
+    def emitted(self) -> int:
+        return self._emitted
+
+
+class PeriodicScheduler:
+    """Drives a set of :class:`PeriodicMessage` into a :class:`TransmitQueue`.
+
+    Call :meth:`tick` once per bit time; due messages are enqueued.  One
+    scheduler per node models a PCAN-style replay interface or a normal ECU
+    application emitting its periodic messages.
+    """
+
+    def __init__(self, messages: Optional[List[PeriodicMessage]] = None) -> None:
+        self.messages: List[PeriodicMessage] = list(messages or [])
+
+    def add(self, message: PeriodicMessage) -> None:
+        self.messages.append(message)
+
+    def tick(self, time: int, queue: TransmitQueue) -> int:
+        """Enqueue all due instances; return how many were enqueued."""
+        count = 0
+        for message in self.messages:
+            while message.due(time):
+                queue.enqueue(message.emit(time), time)
+                count += 1
+        return count

@@ -1,0 +1,178 @@
+"""Frame-level trace analysis: transmission timelines and bus-off episodes.
+
+The experiment harness measures the paper's central metric here: the
+*bus-off time* — "the total time from the first bit of a malicious CAN
+message to the last bit of the passive error frame in the 31st
+retransmission" (Sec. V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bus.events import (
+    BusOffEntered,
+    BusOffRecovered,
+    ErrorDetected,
+    Event,
+    FrameStarted,
+    FrameTransmitted,
+)
+from repro.can.constants import (
+    ERROR_DELIMITER_BITS,
+    PASSIVE_ERROR_FLAG_BITS,
+)
+
+#: Bits appended after the bus-off transition to cover the final passive
+#: error frame (6-bit flag + 8-bit delimiter), per the paper's definition.
+FINAL_PASSIVE_FRAME_BITS = PASSIVE_ERROR_FLAG_BITS + ERROR_DELIMITER_BITS
+
+
+@dataclass(frozen=True)
+class BusOffEpisode:
+    """One complete bus-off sequence of one attacking node.
+
+    Attributes:
+        node: The attacker node name.
+        start: Time of the first bit (SOF) of the first malicious frame.
+        end: Last bit of the final passive error frame.
+        attempts: Number of (re)transmission attempts consumed (paper: 32).
+        interruptions: Frames from *other* nodes completed inside the episode
+            (the c/z counts of Table III).
+    """
+
+    node: str
+    start: int
+    end: int
+    attempts: int
+    interruptions: int = 0
+
+    @property
+    def duration_bits(self) -> int:
+        return self.end - self.start
+
+    def duration_ms(self, bus_speed: int) -> float:
+        return self.duration_bits / bus_speed * 1e3
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One row of the frame timeline (Fig. 6-style rendering)."""
+
+    time: int
+    node: str
+    kind: str  # "start" | "tx-ok" | "error" | "bus-off" | "recovered"
+    can_id: Optional[int] = None
+    detail: str = ""
+
+
+class FrameLog:
+    """Builds timelines and bus-off episodes from a simulator event stream."""
+
+    def __init__(self, events: Sequence[Event]) -> None:
+        self.events = list(events)
+
+    # ------------------------------------------------------------- timeline
+
+    def timeline(self, nodes: Optional[Sequence[str]] = None) -> List[TimelineEntry]:
+        """A chronological, per-node activity list."""
+        wanted = set(nodes) if nodes else None
+        entries: List[TimelineEntry] = []
+        for event in self.events:
+            if wanted is not None and event.node not in wanted:
+                continue
+            if isinstance(event, FrameStarted):
+                entries.append(TimelineEntry(
+                    event.time, event.node, "start", event.frame.can_id,
+                    f"attempt {event.attempt}"))
+            elif isinstance(event, FrameTransmitted):
+                entries.append(TimelineEntry(
+                    event.time, event.node, "tx-ok", event.frame.can_id,
+                    f"after {event.attempts} attempt(s)"))
+            elif isinstance(event, ErrorDetected):
+                entries.append(TimelineEntry(
+                    event.time, event.node, "error", None,
+                    event.error.error_type.value))
+            elif isinstance(event, BusOffEntered):
+                entries.append(TimelineEntry(
+                    event.time, event.node, "bus-off", None, f"tec={event.tec}"))
+            elif isinstance(event, BusOffRecovered):
+                entries.append(TimelineEntry(
+                    event.time, event.node, "recovered"))
+        return entries
+
+    def render_timeline(self, nodes: Optional[Sequence[str]] = None) -> str:
+        """Human-readable timeline (the textual Fig. 6)."""
+        lines = []
+        for entry in self.timeline(nodes):
+            ident = f" 0x{entry.can_id:03X}" if entry.can_id is not None else ""
+            lines.append(
+                f"t={entry.time:>7} {entry.node:<12} {entry.kind:<10}{ident} {entry.detail}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------- episodes
+
+    def busoff_episodes(self, attacker: str) -> List[BusOffEpisode]:
+        """All bus-off episodes of ``attacker`` in this trace.
+
+        An episode starts at the attacker's first frame attempt after it was
+        last error-free/recovered, and ends FINAL_PASSIVE_FRAME_BITS after
+        the BusOffEntered event.
+        """
+        episodes: List[BusOffEpisode] = []
+        episode_start: Optional[int] = None
+        attempts = 0
+        interruptions = 0
+        for event in self.events:
+            if isinstance(event, FrameStarted) and event.node == attacker:
+                if episode_start is None:
+                    episode_start = event.time
+                attempts += 1
+            elif isinstance(event, FrameTransmitted) and event.node != attacker:
+                if episode_start is not None:
+                    interruptions += 1
+            elif isinstance(event, BusOffEntered) and event.node == attacker:
+                if episode_start is None:
+                    continue
+                episodes.append(BusOffEpisode(
+                    node=attacker,
+                    start=episode_start,
+                    end=event.time + FINAL_PASSIVE_FRAME_BITS,
+                    attempts=attempts,
+                    interruptions=interruptions,
+                ))
+                episode_start = None
+                attempts = 0
+                interruptions = 0
+        return episodes
+
+    def busoff_statistics(self, attacker: str, bus_speed: int) -> Dict[str, float]:
+        """Mean / stddev / max bus-off time in ms — one Table II row."""
+        episodes = self.busoff_episodes(attacker)
+        if not episodes:
+            return {"count": 0, "mean_ms": 0.0, "std_ms": 0.0, "max_ms": 0.0}
+        durations = [e.duration_ms(bus_speed) for e in episodes]
+        mean = sum(durations) / len(durations)
+        variance = sum((d - mean) ** 2 for d in durations) / len(durations)
+        return {
+            "count": len(durations),
+            "mean_ms": mean,
+            "std_ms": variance ** 0.5,
+            "max_ms": max(durations),
+        }
+
+    # ----------------------------------------------------------- throughput
+
+    def completed_frames(self, node: Optional[str] = None) -> List[FrameTransmitted]:
+        return [e for e in self.events
+                if isinstance(e, FrameTransmitted)
+                and (node is None or e.node == node)]
+
+    def inter_arrival_times(self, can_id: int) -> List[int]:
+        """Gaps between successive completions of one CAN ID — the measured
+        period, used to verify schedulability under attack."""
+        times = [e.time for e in self.completed_frames()
+                 if e.frame.can_id == can_id]
+        return [b - a for a, b in zip(times, times[1:])]

@@ -1,0 +1,191 @@
+"""SVG rendering of wire captures and frame timelines (no dependencies).
+
+Produces the publishable versions of the paper's oscillogram figures: a
+logic-analyzer-style waveform (Fig. 4b) and a per-node activity timeline
+(Fig. 6).  Pure string assembly — no plotting libraries — so it runs in any
+environment and the output is deterministic and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bus.events import (
+    BusOffEntered,
+    CounterattackStarted,
+    ErrorDetected,
+    Event,
+    FrameStarted,
+    FrameTransmitted,
+)
+from repro.can.constants import DOMINANT
+
+_FONT = "font-family='monospace' font-size='11'"
+
+
+def _svg_header(width: int, height: int) -> List[str]:
+    return [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' "
+        f"height='{height}' viewBox='0 0 {width} {height}'>",
+        f"<rect width='{width}' height='{height}' fill='white'/>",
+    ]
+
+
+def render_waveform_svg(
+    levels: Sequence[int],
+    start: int = 0,
+    end: Optional[int] = None,
+    bit_width: int = 8,
+    annotations: Optional[Dict[int, str]] = None,
+) -> str:
+    """Render a slice of a wire capture as an SVG waveform.
+
+    Args:
+        levels: Per-bit bus levels (e.g. ``sim.wire.history``).
+        start / end: Window to render.
+        bit_width: Horizontal pixels per bit.
+        annotations: time -> label markers (detections, errors, ...).
+    """
+    end = len(levels) if end is None else min(end, len(levels))
+    window = list(levels[start:end])
+    if not window:
+        raise ValueError("empty capture window")
+    high_y, low_y = 30, 70
+    width = len(window) * bit_width + 80
+    height = 130 + (20 if annotations else 0)
+    parts = _svg_header(width, height)
+    parts.append(
+        f"<text x='8' y='24' {_FONT}>bits {start}..{end - 1} "
+        f"(recessive high / dominant low)</text>"
+    )
+    # The trace polyline.
+    points = []
+    x = 40
+    for level in window:
+        y = low_y + 30 if level == DOMINANT else low_y
+        points.append(f"{x},{y}")
+        x += bit_width
+        points.append(f"{x},{y}")
+    parts.append(
+        f"<polyline points='{' '.join(points)}' fill='none' "
+        f"stroke='black' stroke-width='1.5'/>"
+    )
+    # Bit grid every 10 bits with time labels.
+    for offset in range(0, len(window) + 1, 10):
+        grid_x = 40 + offset * bit_width
+        parts.append(
+            f"<line x1='{grid_x}' y1='{high_y}' x2='{grid_x}' "
+            f"y2='{low_y + 34}' stroke='#cccccc' stroke-width='0.5'/>"
+        )
+        parts.append(
+            f"<text x='{grid_x}' y='{low_y + 48}' {_FONT} "
+            f"text-anchor='middle'>{start + offset}</text>"
+        )
+    # Annotations.
+    for time, label in sorted((annotations or {}).items()):
+        if not start <= time < end:
+            continue
+        mark_x = 40 + (time - start) * bit_width
+        parts.append(
+            f"<line x1='{mark_x}' y1='{high_y - 8}' x2='{mark_x}' "
+            f"y2='{low_y + 34}' stroke='#cc0000' stroke-width='1' "
+            f"stroke-dasharray='3,2'/>"
+        )
+        parts.append(
+            f"<text x='{mark_x + 2}' y='{high_y - 10}' {_FONT} "
+            f"fill='#cc0000'>{label}</text>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+_KIND_COLORS = {
+    "start": "#4477aa",
+    "tx-ok": "#228833",
+    "error": "#cc3311",
+    "counterattack": "#ee7733",
+    "bus-off": "#000000",
+}
+
+
+def render_timeline_svg(
+    events: Sequence[Event],
+    nodes: Optional[Sequence[str]] = None,
+    start: int = 0,
+    end: Optional[int] = None,
+    pixels_per_bit: float = 0.25,
+) -> str:
+    """Render per-node activity lanes (the Fig. 6 style) as SVG.
+
+    Markers: frame starts (blue), completions (green), errors (red),
+    counterattacks (orange), bus-off (black diamond).
+    """
+    lane_events: List[tuple] = []
+    for event in events:
+        if isinstance(event, FrameStarted):
+            kind = "start"
+        elif isinstance(event, FrameTransmitted):
+            kind = "tx-ok"
+        elif isinstance(event, ErrorDetected):
+            kind = "error"
+        elif isinstance(event, CounterattackStarted):
+            kind = "counterattack"
+        elif isinstance(event, BusOffEntered):
+            kind = "bus-off"
+        else:
+            continue
+        lane_events.append((event.time, event.node, kind))
+    if end is None:
+        end = max((t for t, _n, _k in lane_events), default=start) + 10
+    lane_events = [e for e in lane_events if start <= e[0] < end]
+    lanes = list(nodes) if nodes else sorted({n for _t, n, _k in lane_events})
+    if not lanes:
+        raise ValueError("no events to render")
+
+    lane_height = 36
+    width = int((end - start) * pixels_per_bit) + 160
+    height = lane_height * len(lanes) + 60
+    parts = _svg_header(width, height)
+
+    def x_of(time: int) -> float:
+        return 140 + (time - start) * pixels_per_bit
+
+    for index, lane in enumerate(lanes):
+        y = 40 + index * lane_height
+        parts.append(f"<text x='8' y='{y + 4}' {_FONT}>{lane}</text>")
+        parts.append(
+            f"<line x1='140' y1='{y}' x2='{width - 10}' y2='{y}' "
+            f"stroke='#dddddd'/>"
+        )
+        for time, node, kind in lane_events:
+            if node != lane:
+                continue
+            cx = x_of(time)
+            color = _KIND_COLORS[kind]
+            if kind == "bus-off":
+                parts.append(
+                    f"<path d='M {cx} {y - 7} L {cx + 6} {y} L {cx} {y + 7} "
+                    f"L {cx - 6} {y} Z' fill='{color}'/>"
+                )
+            else:
+                parts.append(
+                    f"<circle cx='{cx:.1f}' cy='{y}' r='3.5' "
+                    f"fill='{color}'/>"
+                )
+    # Legend and axis.
+    legend_x = 140
+    for kind, color in _KIND_COLORS.items():
+        parts.append(
+            f"<circle cx='{legend_x}' cy='{height - 24}' r='4' "
+            f"fill='{color}'/>"
+        )
+        parts.append(
+            f"<text x='{legend_x + 8}' y='{height - 20}' {_FONT}>{kind}</text>"
+        )
+        legend_x += 14 + 8 * len(kind)
+    parts.append(
+        f"<text x='{width - 10}' y='{height - 20}' {_FONT} "
+        f"text-anchor='end'>bits {start}..{end}</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)

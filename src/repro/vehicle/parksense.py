@@ -1,0 +1,52 @@
+"""The ParkSense park-assist feature model (Sec. V-F).
+
+ParkSense on the 2017 Chrysler Pacifica Hybrid fuses ultrasonic sensor
+messages; when they stop arriving the cluster shows "PARKSENSE UNAVAILABLE
+SERVICE REQUIRED" and — per the owner's manual — "automatic brakes will not
+be available if there is a faulty condition detected with the ParkSense Park
+Assist system."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.dbc.types import CommunicationMatrix
+from repro.vehicle.features import MessageSupervision, VehicleFeature
+from repro.workloads.vehicles import PARKSENSE_IDS
+
+#: The cluster text observed in the paper's on-vehicle experiment.
+DASHBOARD_MESSAGE = "PARKSENSE UNAVAILABLE SERVICE REQUIRED"
+
+#: Missed cycles before the fault latches (typical automotive supervision
+#: tolerates a few losses before declaring the input dead).
+TIMEOUT_CYCLES = 5
+
+
+class ParkSense(VehicleFeature):
+    """Availability supervision of the park-assist system."""
+
+    def __init__(
+        self,
+        matrix: CommunicationMatrix,
+        bus_speed: int,
+        supervised_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        ids = tuple(supervised_ids or PARKSENSE_IDS)
+        supervised = []
+        for can_id in ids:
+            message = matrix.by_id(can_id)
+            supervised.append(MessageSupervision(
+                can_id=can_id,
+                timeout_bits=TIMEOUT_CYCLES * message.period_bits(bus_speed),
+            ))
+        super().__init__(
+            name="ParkSense",
+            supervised=supervised,
+            unavailable_message=DASHBOARD_MESSAGE,
+        )
+
+    @property
+    def automatic_braking_available(self) -> bool:
+        """The safety-critical downstream dependency from the manual."""
+        return self.available

@@ -1,0 +1,72 @@
+"""Random workload generation: IVN populations and attack samples.
+
+Sec. V-B evaluates detection latency over "160,000 random FSMs"; this module
+generates the random IVN configurations and malicious-ID samples that drive
+that experiment (``benchmarks/bench_detection_latency.py``) reproducibly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.can.constants import MAX_STD_ID
+from repro.core.config import IvnConfig, Scenario
+
+
+@dataclass(frozen=True)
+class RandomIvnSpec:
+    """Parameters of the random IVN population."""
+
+    min_ecus: int = 2
+    max_ecus: int = 20
+    id_floor: int = 0x000
+    id_ceiling: int = MAX_STD_ID
+    scenario: Scenario = Scenario.FULL
+
+
+def random_ivn(rng: random.Random, spec: RandomIvnSpec = RandomIvnSpec()) -> IvnConfig:
+    """One random IVN configuration."""
+    count = rng.randint(spec.min_ecus, spec.max_ecus)
+    ids = rng.sample(range(spec.id_floor, spec.id_ceiling + 1), count)
+    return IvnConfig(ecu_ids=tuple(ids), scenario=spec.scenario)
+
+
+def ivn_population(
+    count: int, seed: int = 0, spec: RandomIvnSpec = RandomIvnSpec()
+) -> Iterator[IvnConfig]:
+    """A deterministic stream of ``count`` random IVNs."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield random_ivn(rng, spec)
+
+
+def sample_malicious_ids(
+    rng: random.Random, detection_ids: frozenset, count: int
+) -> List[int]:
+    """Sample IDs the FSM must flag, uniformly from the detection set."""
+    pool: Tuple[int, ...] = tuple(sorted(detection_ids))
+    if not pool:
+        return []
+    return [pool[rng.randrange(len(pool))] for _ in range(count)]
+
+
+def sample_benign_ids(
+    rng: random.Random, detection_ids: frozenset, count: int,
+    id_ceiling: int = MAX_STD_ID,
+) -> List[int]:
+    """Sample IDs the FSM must NOT flag."""
+    pool = [i for i in range(id_ceiling + 1) if i not in detection_ids]
+    if not pool:
+        return []
+    return [pool[rng.randrange(len(pool))] for _ in range(count)]
+
+
+def random_attack_id(
+    rng: random.Random, ivn: IvnConfig, observer_id: Optional[int] = None
+) -> int:
+    """A random DoS/spoofing ID against ``observer_id`` (default: highest)."""
+    observer = observer_id if observer_id is not None else ivn.highest_id
+    candidates = sorted(ivn.detection_range(observer))
+    return candidates[rng.randrange(len(candidates))]

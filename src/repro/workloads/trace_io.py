@@ -1,0 +1,161 @@
+"""SocketCAN candump log I/O: replay recorded traffic, export simulations.
+
+The paper's restbus simulation replays real-vehicle traffic through
+SocketCAN [56]; its on-disk lingua franca is the ``candump -l`` log format::
+
+    (1436509052.249713) can0 123#DEADBEEF
+    (1436509052.449847) can0 18DAF110#0210#01          <- 29-bit ID
+    (1436509052.650001) can0 5D1#R2                    <- remote frame
+
+This module parses and writes that format, converts a log into a replay
+node for the simulator, and exports simulated traffic back out — so real
+captures (where available) drop straight into every experiment.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, TextIO, Union
+
+from repro.bus.events import Event, FrameTransmitted
+from repro.can.frame import CanFrame
+from repro.errors import FrameError
+from repro.node.controller import CanNode
+from repro.node.scheduler import TransmitQueue
+
+_LINE_RE = re.compile(
+    r"^\((?P<stamp>\d+(?:\.\d+)?)\)\s+(?P<channel>\S+)\s+"
+    r"(?P<id>[0-9A-Fa-f]{3,8})#(?P<body>R\d?|[0-9A-Fa-f]*)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One candump line: a timestamped frame on a channel."""
+
+    timestamp: float
+    channel: str
+    frame: CanFrame
+
+
+def parse_candump_line(line: str) -> Optional[LogRecord]:
+    """Parse one candump line; returns None for blanks and comments."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    match = _LINE_RE.match(stripped)
+    if not match:
+        raise FrameError(f"malformed candump line: {line!r}")
+    id_text = match.group("id")
+    can_id = int(id_text, 16)
+    # candump prints 29-bit IDs with 8 hex digits, 11-bit with 3.
+    extended = len(id_text) == 8
+    body = match.group("body")
+    if body.startswith("R"):
+        dlc = int(body[1:]) if len(body) > 1 else 0
+        frame = CanFrame(can_id, extended=extended, remote=True,
+                         remote_dlc=dlc)
+    else:
+        if len(body) % 2:
+            raise FrameError(f"odd-length payload in candump line: {line!r}")
+        frame = CanFrame(can_id, bytes.fromhex(body), extended=extended)
+    return LogRecord(float(match.group("stamp")), match.group("channel"), frame)
+
+
+def parse_candump(source: Union[str, TextIO]) -> List[LogRecord]:
+    """Parse a whole log (text or file object), in order."""
+    text = source if isinstance(source, str) else source.read()
+    records = []
+    for line in text.splitlines():
+        record = parse_candump_line(line)
+        if record is not None:
+            records.append(record)
+    return records
+
+
+def format_candump_line(record: LogRecord) -> str:
+    """Render one record in candump -l format."""
+    frame = record.frame
+    id_text = f"{frame.can_id:08X}" if frame.extended else f"{frame.can_id:03X}"
+    if frame.remote:
+        body = f"R{frame.dlc}" if frame.dlc else "R"
+    else:
+        body = frame.data.hex().upper()
+    return f"({record.timestamp:.6f}) {record.channel} {id_text}#{body}"
+
+
+def write_candump(records: Iterable[LogRecord]) -> str:
+    """Render a whole log."""
+    return "\n".join(format_candump_line(r) for r in records) + "\n"
+
+
+def export_simulation(
+    events: Iterable[Event], bus_speed: int, channel: str = "can0"
+) -> str:
+    """Export a simulator run's completed frames as a candump log.
+
+    Timestamps are the frame completion times converted to seconds.
+    """
+    records = [
+        LogRecord(e.time / bus_speed, channel, e.frame)
+        for e in events
+        if isinstance(e, FrameTransmitted)
+    ]
+    return write_candump(records)
+
+
+class _LogSource:
+    """Scheduler feeding a recorded log into a node's transmit queue.
+
+    Timestamps are rebased so the first record transmits at ``offset_bits``;
+    inter-frame spacing follows the recording (scaled to bit times).
+    """
+
+    def __init__(self, records: List[LogRecord], bus_speed: int,
+                 offset_bits: int = 0, time_scale: float = 1.0) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.messages: list = []
+        self._due: List[tuple] = []
+        if records:
+            base = records[0].timestamp
+            for record in records:
+                due = offset_bits + round(
+                    (record.timestamp - base) * bus_speed * time_scale
+                )
+                self._due.append((due, record.frame))
+        self._cursor = 0
+
+    def tick(self, time: int, queue: TransmitQueue) -> int:
+        count = 0
+        while (self._cursor < len(self._due)
+               and self._due[self._cursor][0] <= time):
+            queue.enqueue(self._due[self._cursor][1], time)
+            self._cursor += 1
+            count += 1
+        return count
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._due)
+
+
+class LogReplayNode(CanNode):
+    """A node replaying a candump log onto the simulated bus (PCAN-style)."""
+
+    def __init__(
+        self,
+        name: str,
+        records: List[LogRecord],
+        bus_speed: int,
+        offset_bits: int = 0,
+        time_scale: float = 1.0,
+    ) -> None:
+        source = _LogSource(records, bus_speed, offset_bits, time_scale)
+        super().__init__(name, scheduler=source)
+        self.records = records
+
+    @property
+    def replay_finished(self) -> bool:
+        return self.scheduler.exhausted and not self.queue.has_pending

@@ -1,0 +1,79 @@
+"""Tests for the bus-load analysis (Sec. V-E)."""
+
+import pytest
+
+from repro.analysis.busload import (
+    bus_load,
+    compare_defenses,
+    counterattack_spike_factor,
+    deadline_relative_overhead,
+    parrot_flooding_overhead,
+)
+
+
+class TestBusLoadFormula:
+    def test_single_message(self):
+        # One 125-bit message every 10 ms at 500 kbit/s: 125/500000*100 = 2.5%
+        assert bus_load([0.010], 500_000) == pytest.approx(0.025)
+
+    def test_sum_over_messages(self):
+        load = bus_load([0.010, 0.010, 0.020], 500_000)
+        assert load == pytest.approx(0.025 + 0.025 + 0.0125)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            bus_load([0.0], 500_000)
+
+    def test_realistic_vehicle_near_40_percent(self):
+        """The paper's observed real-vehicle figure."""
+        periods = [0.010] * 8 + [0.020] * 10 + [0.100] * 30 + [0.5] * 20
+        assert 0.3 <= bus_load(periods, 500_000) <= 0.5
+
+
+class TestSpike:
+    def test_10x_spike(self):
+        """Sec. V-E: a 1248-bit bus-off vs a 125-bit message ~ 10x."""
+        factor = counterattack_spike_factor(1248)
+        assert 9.5 <= factor <= 10.5
+
+    def test_invalid_frame_bits(self):
+        with pytest.raises(ValueError):
+            counterattack_spike_factor(1248, frame_bits=0)
+
+    def test_deadline_overheads(self):
+        """Paper: 2.5-5 % against 500-1000 ms deadlines, 25 % against
+        100 ms deadlines (at 50 kbit/s -> 1250 bits per 25 ms)."""
+        busoff = 1250  # ~25 ms at 50 kbit/s
+        low_500ms = deadline_relative_overhead(busoff, 25_000)
+        low_1000ms = deadline_relative_overhead(busoff, 50_000)
+        high_100ms = deadline_relative_overhead(busoff, 5_000)
+        assert low_500ms == pytest.approx(0.05)
+        assert low_1000ms == pytest.approx(0.025)
+        assert high_100ms == pytest.approx(0.25)
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError):
+            deadline_relative_overhead(1, 0)
+
+
+class TestParrotComparison:
+    def test_parrot_overhead_97_7(self):
+        assert parrot_flooding_overhead() == pytest.approx(125 / 128)
+
+    def test_michican_at_least_2x_lower(self):
+        """Sec. V-E: MichiCAN's defense-time bus load is >= 2x below
+        Parrot's."""
+        comparison = compare_defenses(
+            steady_state_load=0.40,
+            busoff_bits=1250,
+            busoff_window_bits=50_000,  # one bus-off per second at 50 kbit/s
+        )
+        assert comparison.michican_advantage >= 2.0
+
+    def test_michican_load_capped_at_1(self):
+        comparison = compare_defenses(0.9, 100_000, 1_000)
+        assert comparison.michican_during_busoff == 1.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            compare_defenses(0.4, 1250, 0)

@@ -1,0 +1,92 @@
+"""Tests for partial-deployment coverage planning."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.coverage import (
+    deployments_by_budget,
+    minimal_dos_deployment,
+    plan_coverage,
+)
+from repro.core.config import IvnConfig
+from repro.errors import ConfigurationError
+
+IVN = IvnConfig(ecu_ids=(0x0A0, 0x173, 0x2F0, 0x3D5))
+
+ecu_lists = st.lists(st.integers(min_value=0, max_value=0x7FF),
+                     min_size=2, max_size=10, unique=True)
+
+
+class TestPlanCoverage:
+    def test_full_deployment_full_coverage(self):
+        report = plan_coverage(IVN, IVN.ecu_ids)
+        assert report.full_dos_coverage
+        assert report.full_spoof_coverage
+        assert report.redundancy >= 1
+
+    def test_top_ecu_only_covers_all_dos(self):
+        """The paper's cost-saving argument: the highest-ID ECU alone
+        covers every DoS-able ID..."""
+        report = plan_coverage(IVN, [0x3D5])
+        assert report.full_dos_coverage
+        # ...but spoofing of the unpatched ECUs is no longer detected.
+        assert report.spoof_unprotected == (0x0A0, 0x173, 0x2F0)
+
+    def test_low_ecu_only_leaves_gaps(self):
+        report = plan_coverage(IVN, [0x0A0])
+        assert not report.full_dos_coverage
+        # Everything between 0x0A0 and max(E) is uncovered.
+        assert 0x200 in report.dos_uncovered
+        assert 0x050 in report.dos_covered
+
+    def test_redundancy_counts_overlap(self):
+        full = plan_coverage(IVN, IVN.ecu_ids)
+        single = plan_coverage(IVN, [0x3D5])
+        assert full.redundancy >= single.redundancy
+        assert single.redundancy == 1
+
+    def test_unknown_ecu_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_coverage(IVN, [0x999])
+
+    def test_empty_deployment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_coverage(IVN, [])
+
+    @given(ecu_lists)
+    def test_minimal_deployment_always_full_dos(self, ids):
+        ivn = IvnConfig(ecu_ids=tuple(ids))
+        report = plan_coverage(ivn, minimal_dos_deployment(ivn))
+        assert report.full_dos_coverage
+
+    @given(ecu_lists)
+    def test_covered_and_uncovered_partition_dos_universe(self, ids):
+        ivn = IvnConfig(ecu_ids=tuple(ids))
+        report = plan_coverage(ivn, [ivn.ecu_ids[0]])
+        legitimate = set(ivn.ecu_ids)
+        for can_id in range(ivn.highest_id + 1):
+            if can_id in legitimate:
+                assert can_id not in report.dos_covered
+                assert can_id not in report.dos_uncovered
+            else:
+                assert (can_id in report.dos_covered) != (
+                    can_id in report.dos_uncovered)
+
+
+class TestBudgetCurve:
+    def test_budget_curve_monotone(self):
+        """More budget never reduces coverage."""
+        curve = deployments_by_budget(IVN, [1, 2, 3, 4])
+        covered = [len(report.dos_covered) for _b, report in curve]
+        spoof = [len(report.spoof_protected) for _b, report in curve]
+        assert covered == sorted(covered)
+        assert spoof == [1, 2, 3, 4]
+
+    def test_top_first_gives_full_dos_at_budget_one(self):
+        curve = deployments_by_budget(IVN, [1])
+        assert curve[0][1].full_dos_coverage
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigurationError):
+            deployments_by_budget(IVN, [0])

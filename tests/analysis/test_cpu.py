@@ -1,0 +1,104 @@
+"""Tests for the CPU-utilization model (Sec. V-D anchors)."""
+
+import pytest
+
+from repro.analysis.cpu import (
+    ARDUINO_DUE,
+    NXP_S32K144,
+    PROFILES,
+    analytic_utilization,
+    max_feasible_bus_speed,
+    utilization_from_counters,
+)
+from repro.core.detection import FirmwareCounters
+from repro.errors import ConfigurationError
+
+
+class TestPaperAnchors:
+    def test_due_full_scenario_near_40_percent_at_125k(self):
+        load = analytic_utilization(ARDUINO_DUE, 125_000)
+        assert 0.33 <= load.combined_load <= 0.47
+
+    def test_due_light_scenario_near_30_percent(self):
+        load = analytic_utilization(ARDUINO_DUE, 125_000, light_scenario=True)
+        assert 0.24 <= load.combined_load <= 0.36
+
+    def test_light_cheaper_than_full(self):
+        full = analytic_utilization(ARDUINO_DUE, 125_000)
+        light = analytic_utilization(ARDUINO_DUE, 125_000, light_scenario=True)
+        assert light.combined_load < full.combined_load
+
+    def test_due_doubles_at_250k(self):
+        """'a 125 kbit/s bus averages 40% CPU load, implying an 80% load
+        for a 250 kbit/s bus'."""
+        at_125 = analytic_utilization(ARDUINO_DUE, 125_000).combined_load
+        at_250 = analytic_utilization(ARDUINO_DUE, 250_000).combined_load
+        assert at_250 == pytest.approx(2 * at_125, rel=1e-9)
+
+    def test_nxp_near_44_percent_at_500k(self):
+        load = analytic_utilization(NXP_S32K144, 500_000)
+        assert 0.35 <= load.combined_load <= 0.50
+
+    def test_due_infeasible_at_500k(self):
+        """Why the Due cannot reliably run above 125 kbit/s: the worst-case
+        handler no longer fits into one bit time."""
+        load = analytic_utilization(ARDUINO_DUE, 500_000, busy_fraction=1.0)
+        assert not load.feasible()
+
+    def test_nxp_feasible_at_500k(self):
+        load = analytic_utilization(NXP_S32K144, 500_000, busy_fraction=1.0)
+        assert load.feasible()
+
+    def test_max_feasible_speeds(self):
+        assert max_feasible_bus_speed(ARDUINO_DUE) <= 250_000
+        assert max_feasible_bus_speed(NXP_S32K144) >= 500_000
+
+
+class TestModelProperties:
+    def test_larger_fsm_costs_more(self):
+        small = analytic_utilization(ARDUINO_DUE, 125_000, fsm_states=16)
+        large = analytic_utilization(ARDUINO_DUE, 125_000, fsm_states=1024)
+        assert large.combined_load > small.combined_load
+
+    def test_busy_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            analytic_utilization(ARDUINO_DUE, 125_000, busy_fraction=1.5)
+
+    def test_idle_below_active(self):
+        load = analytic_utilization(ARDUINO_DUE, 125_000)
+        assert load.idle_load < load.active_load
+
+    def test_four_profiles_registered(self):
+        assert len(PROFILES) == 4
+
+
+class TestCountersPath:
+    def _counters(self):
+        counters = FirmwareCounters()
+        counters.interrupts = 10_000
+        counters.idle_bits = 6_000
+        counters.frame_bits = 4_000
+        counters.fsm_steps = 1_800
+        counters.counterattacks = 10
+        return counters
+
+    def test_counters_utilization_close_to_analytic(self):
+        counters = self._counters()
+        measured = utilization_from_counters(
+            ARDUINO_DUE, counters, 125_000, fsm_states=512
+        )
+        analytic = analytic_utilization(ARDUINO_DUE, 125_000,
+                                        busy_fraction=0.4, fsm_states=512)
+        assert measured.combined_load == pytest.approx(
+            analytic.combined_load, rel=0.35
+        )
+
+    def test_zero_interrupts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            utilization_from_counters(
+                ARDUINO_DUE, FirmwareCounters(), 125_000, fsm_states=16
+            )
+
+    def test_feasibility_helper(self):
+        load = analytic_utilization(NXP_S32K144, 125_000)
+        assert load.feasible()

@@ -1,0 +1,58 @@
+"""Tests for the detection-latency study (Sec. V-B)."""
+
+import pytest
+
+from repro.analysis.latency import (
+    mean_detection_positions_by_ivn_size,
+    run_latency_study,
+)
+
+
+class TestLatencyStudy:
+    def test_hundred_percent_detection_rate(self):
+        """The paper's headline: 100% detection across random FSMs."""
+        report = run_latency_study(num_fsms=120, seed=11)
+        assert report.detection_rate == 1.0
+
+    def test_zero_false_positives(self):
+        report = run_latency_study(num_fsms=120, seed=12)
+        assert report.false_positive_rate == 0.0
+
+    def test_mean_detection_bit_near_paper_value(self):
+        """The paper reports a mean detection bit position of 9."""
+        report = run_latency_study(num_fsms=250, seed=13)
+        assert 7.0 <= report.mean_detection_bit <= 10.5
+
+    def test_histogram_sums_to_detections(self):
+        report = run_latency_study(num_fsms=60, seed=14)
+        assert sum(report.histogram.values()) == report.detected
+        assert all(1 <= k <= 11 for k in report.histogram)
+
+    def test_latency_seconds_conversion(self):
+        report = run_latency_study(num_fsms=30, seed=15)
+        seconds = report.detection_latency_seconds(500_000)
+        assert seconds == pytest.approx(report.mean_detection_bit * 2e-6)
+
+    def test_deterministic(self):
+        a = run_latency_study(num_fsms=40, seed=16)
+        b = run_latency_study(num_fsms=40, seed=16)
+        assert a.mean_detection_bit == b.mean_detection_bit
+
+    def test_empty_report_rates(self):
+        report = run_latency_study(num_fsms=0)
+        assert report.detection_rate == 0.0
+        assert report.false_positive_rate == 0.0
+
+
+class TestSizeSweep:
+    def test_position_rises_with_ivn_size(self):
+        """Sec. V-B: 'As the size of IVN E grows, the detection bit
+        position rises.'"""
+        by_size = mean_detection_positions_by_ivn_size(
+            [2, 10, 30], fsms_per_size=30, seed=17
+        )
+        assert by_size[2] < by_size[30]
+
+    def test_all_sizes_reported(self):
+        by_size = mean_detection_positions_by_ivn_size([3, 4], fsms_per_size=5)
+        assert set(by_size) == {3, 4}

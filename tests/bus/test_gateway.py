@@ -1,0 +1,150 @@
+"""Tests for multi-bus topologies and the gateway ECU."""
+
+import pytest
+
+from repro.attacks.dos import TraditionalDosAttacker
+from repro.bus.events import FrameReceived, FrameTransmitted
+from repro.bus.gateway import GatewayNode, MultiBusSimulation, Route, RouteTable
+from repro.bus.simulator import CanBusSimulator
+from repro.can.frame import CanFrame
+from repro.core.defense import MichiCanNode
+from repro.errors import ConfigurationError
+from repro.node.controller import CanNode
+from repro.node.scheduler import PeriodicMessage, PeriodicScheduler
+
+
+def two_bus_setup(routes=None):
+    multi = MultiBusSimulation()
+    multi.add_bus("powertrain", CanBusSimulator(bus_speed=500_000))
+    multi.add_bus("body", CanBusSimulator(bus_speed=500_000))
+    table = routes or RouteTable()
+    gateway = GatewayNode("gw", multi, table)
+    return multi, gateway, table
+
+
+class TestMultiBusSimulation:
+    def test_duplicate_bus_rejected(self):
+        multi = MultiBusSimulation()
+        multi.add_bus("a", CanBusSimulator())
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            multi.add_bus("a", CanBusSimulator())
+
+    def test_mismatched_speeds_rejected(self):
+        multi = MultiBusSimulation()
+        multi.add_bus("a", CanBusSimulator(bus_speed=500_000))
+        with pytest.raises(ConfigurationError, match="equal bus speeds"):
+            multi.add_bus("b", CanBusSimulator(bus_speed=125_000))
+
+    def test_lockstep_time(self):
+        multi, gateway, _ = two_bus_setup()
+        multi.run(100)
+        assert multi.time == 100
+        assert all(sim.time == 100 for sim in multi.buses.values())
+
+    def test_bus_lookup(self):
+        multi, _, _ = two_bus_setup()
+        assert multi.bus("body").bus_speed == 500_000
+        with pytest.raises(ConfigurationError):
+            multi.bus("chassis")
+
+
+class TestRouting:
+    def test_routed_frame_crosses_segments(self):
+        table = RouteTable()
+        table.add("powertrain", ["body"], can_ids=[0x1A0])
+        multi, gateway, _ = two_bus_setup(table)
+        sender = multi.bus("powertrain").add_node(CanNode("ecu_p"))
+        listener = multi.bus("body").add_node(CanNode("ecu_b"))
+        got = []
+        listener.on_frame_received(lambda t, f: got.append(f))
+        sender.send(CanFrame(0x1A0, b"\x11\x22"))
+        multi.run(600)
+        assert got == [CanFrame(0x1A0, b"\x11\x22")]
+        assert gateway.forwarded == 1
+
+    def test_unrouted_frame_stays_local(self):
+        table = RouteTable()
+        table.add("powertrain", ["body"], can_ids=[0x1A0])
+        multi, gateway, _ = two_bus_setup(table)
+        sender = multi.bus("powertrain").add_node(CanNode("ecu_p"))
+        multi.bus("body").add_node(CanNode("ecu_b"))
+        sender.send(CanFrame(0x7D0, b"\x01"))
+        multi.run(600)
+        body_rx = multi.bus("body").events_of(FrameReceived)
+        assert not any(e.frame.can_id == 0x7D0 for e in body_rx)
+        assert gateway.dropped == 1
+
+    def test_store_and_forward_latency(self):
+        table = RouteTable()
+        table.add("powertrain", ["body"], can_ids=[0x1A0])
+        multi, gateway, _ = two_bus_setup(table)
+        sender = multi.bus("powertrain").add_node(CanNode("ecu_p"))
+        multi.bus("body").add_node(CanNode("ecu_b"))
+        sender.send(CanFrame(0x1A0, bytes(8)))
+        multi.run(800)
+        src_tx = multi.bus("powertrain").events_of(FrameTransmitted)[0]
+        dst_tx = multi.bus("body").events_of(FrameTransmitted)[0]
+        assert dst_tx.started_at > src_tx.time  # full reception first
+
+    def test_route_everything(self):
+        table = RouteTable()
+        table.add("powertrain", ["body"])  # no filter: forward all
+        multi, gateway, _ = two_bus_setup(table)
+        sender = multi.bus("powertrain").add_node(CanNode("ecu_p"))
+        multi.bus("body").add_node(CanNode("ecu_b"))
+        for can_id in (0x100, 0x200):
+            sender.send(CanFrame(can_id))
+        multi.run(900)
+        body_ids = {e.frame.can_id
+                    for e in multi.bus("body").events_of(FrameTransmitted)}
+        assert body_ids == {0x100, 0x200}
+
+
+class TestSegmentationDefense:
+    def test_dos_on_one_bus_spares_the_other(self):
+        """Segmentation bounds the blast radius: the body bus keeps its
+        schedule while the powertrain bus is starved."""
+        table = RouteTable()
+        multi, gateway, _ = two_bus_setup(table)
+        multi.bus("powertrain").add_node(TraditionalDosAttacker("attacker"))
+        multi.bus("powertrain").add_node(CanNode(
+            "victim", scheduler=PeriodicScheduler(
+                [PeriodicMessage(0x300, period_bits=1_000)])))
+        multi.bus("body").add_node(CanNode(
+            "body_ecu", scheduler=PeriodicScheduler(
+                [PeriodicMessage(0x300, period_bits=1_000)])))
+        multi.run(15_000)
+        powertrain_tx = [
+            e for e in multi.bus("powertrain").events_of(FrameTransmitted)
+            if e.node == "victim"]
+        body_tx = [e for e in multi.bus("body").events_of(FrameTransmitted)
+                   if e.node == "body_ecu"]
+        assert not powertrain_tx   # starved
+        assert len(body_tx) >= 13  # untouched
+
+    def test_michican_gateway_port_defends_its_segment(self):
+        """A MichiCAN port at the gateway eradicates a DoS attacker on its
+        bus, restoring cross-segment routing."""
+        table = RouteTable()
+        table.add("powertrain", ["body"], can_ids=[0x300])
+        multi = MultiBusSimulation()
+        multi.add_bus("powertrain", CanBusSimulator(bus_speed=500_000))
+        multi.add_bus("body", CanBusSimulator(bus_speed=500_000))
+
+        def factory(port_name, bus_name):
+            if bus_name == "powertrain":
+                return MichiCanNode(port_name, range(0x100))
+            return CanNode(port_name)
+
+        gateway = GatewayNode("gw", multi, table, port_factory=factory)
+        attacker = multi.bus("powertrain").add_node(
+            TraditionalDosAttacker("attacker", auto_recover=False))
+        multi.bus("powertrain").add_node(CanNode(
+            "victim", scheduler=PeriodicScheduler(
+                [PeriodicMessage(0x300, period_bits=1_500)])))
+        multi.bus("body").add_node(CanNode("body_ecu"))
+        multi.run(25_000)
+        assert attacker.is_bus_off
+        routed = [e for e in multi.bus("body").events_of(FrameTransmitted)
+                  if e.frame.can_id == 0x300]
+        assert routed  # cross-segment traffic restored

@@ -1,0 +1,109 @@
+"""Tests for the simulation engine itself."""
+
+import pytest
+
+from repro.bus.events import FrameReceived, FrameTransmitted
+from repro.bus.simulator import CanBusSimulator
+from repro.can.constants import RECESSIVE
+from repro.can.frame import CanFrame
+from repro.errors import ConfigurationError, SimulationError
+from repro.node.controller import CanNode
+
+
+class TestTopology:
+    def test_duplicate_name_rejected(self):
+        sim = CanBusSimulator()
+        sim.add_node(CanNode("a"))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            sim.add_node(CanNode("a"))
+
+    def test_node_lookup(self):
+        sim = CanBusSimulator()
+        node = sim.add_node(CanNode("a"))
+        assert sim.node("a") is node
+        with pytest.raises(ConfigurationError):
+            sim.node("missing")
+
+    def test_bad_bus_speed(self):
+        with pytest.raises(ConfigurationError):
+            CanBusSimulator(bus_speed=0)
+
+    def test_step_without_nodes(self):
+        with pytest.raises(SimulationError):
+            CanBusSimulator().step()
+
+
+class TestRun:
+    def test_idle_bus_stays_recessive(self):
+        sim = CanBusSimulator()
+        sim.add_node(CanNode("a"))
+        sim.run(50)
+        assert sim.wire.history == [RECESSIVE] * 50
+        assert sim.time == 50
+
+    def test_negative_run_rejected(self):
+        sim = CanBusSimulator()
+        sim.add_node(CanNode("a"))
+        with pytest.raises(ConfigurationError):
+            sim.run(-1)
+
+    def test_run_until_predicate(self):
+        sim = CanBusSimulator()
+        a, b = CanNode("a"), CanNode("b")
+        sim.add_node(a), sim.add_node(b)
+        a.send(CanFrame(0x123))
+        hit = sim.run_until(
+            lambda s: bool(s.events_of(FrameTransmitted)), limit=500
+        )
+        assert hit is not None
+
+    def test_run_until_limit(self):
+        sim = CanBusSimulator()
+        sim.add_node(CanNode("a"))
+        assert sim.run_until(lambda s: False, limit=20) is None
+        assert sim.time == 20
+
+    def test_request_stop_from_listener(self):
+        sim = CanBusSimulator()
+        a, b = CanNode("a"), CanNode("b")
+        sim.add_node(a), sim.add_node(b)
+        a.send(CanFrame(0x10))
+        sim.on_event(
+            lambda e: sim.request_stop()
+            if isinstance(e, FrameTransmitted) else None
+        )
+        sim.run(10_000)
+        assert sim.time < 10_000
+
+
+class TestEventPlumbing:
+    def test_events_recorded_and_filtered(self):
+        sim = CanBusSimulator()
+        a, b = CanNode("a"), CanNode("b")
+        sim.add_node(a), sim.add_node(b)
+        a.send(CanFrame(0x123, b"\x01"))
+        sim.run(300)
+        assert len(sim.events_of(FrameTransmitted)) == 1
+        assert len(sim.events_of(FrameReceived)) == 1
+
+    def test_live_listener(self):
+        sim = CanBusSimulator()
+        a, b = CanNode("a"), CanNode("b")
+        sim.add_node(a), sim.add_node(b)
+        seen = []
+        sim.on_event(seen.append)
+        a.send(CanFrame(0x123))
+        sim.run(300)
+        assert seen == sim.events
+
+
+class TestTimeConversion:
+    def test_milliseconds_at_50k(self):
+        sim = CanBusSimulator(bus_speed=50_000)
+        assert sim.milliseconds(1248) == pytest.approx(24.96)
+
+    def test_seconds_default_current_time(self):
+        sim = CanBusSimulator(bus_speed=500_000)
+        sim.add_node(CanNode("a"))
+        sim.run(500)
+        assert sim.seconds() == pytest.approx(0.001)

@@ -1,0 +1,58 @@
+"""Tests for the wired-AND medium."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bus.wire import Wire, resolve
+from repro.can.constants import DOMINANT, RECESSIVE
+
+
+class TestResolve:
+    def test_empty_is_recessive(self):
+        assert resolve([]) == RECESSIVE
+
+    def test_all_recessive(self):
+        assert resolve([1, 1, 1]) == RECESSIVE
+
+    def test_any_dominant_wins(self):
+        assert resolve([1, 0, 1]) == DOMINANT
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            resolve([1, 2])
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=32))
+    def test_wired_and_equals_min(self, levels):
+        """Invariant: bus level == min of all driven levels."""
+        assert resolve(levels) == min(levels)
+
+
+class TestWire:
+    def test_records_history(self):
+        wire = Wire()
+        wire.drive([1, 1])
+        wire.drive([0, 1])
+        assert wire.history == [1, 0]
+        assert wire.level == 0
+
+    def test_recording_disabled(self):
+        wire = Wire(record=False)
+        wire.drive([0])
+        assert wire.history == []
+        with pytest.raises(ValueError):
+            wire.recessive_run_ending_at()
+
+    def test_recessive_run(self):
+        wire = Wire()
+        for level in [0, 1, 1, 1]:
+            wire.drive([level])
+        assert wire.recessive_run_ending_at() == 3
+        assert wire.recessive_run_ending_at(0) == 0
+        assert wire.recessive_run_ending_at(2) == 2
+
+    def test_recessive_run_all(self):
+        wire = Wire()
+        for _ in range(5):
+            wire.drive([1])
+        assert wire.recessive_run_ending_at() == 5

@@ -1,0 +1,157 @@
+"""Tests for frame serialization and bit stuffing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.can.bitstream import (
+    Field,
+    destuff,
+    frame_wire_length,
+    max_stuff_bits,
+    serialize_frame,
+    stuff_bit_count,
+    unstuffed_frame_bits,
+)
+from repro.can.constants import DOMINANT, RECESSIVE
+from repro.can.frame import CanFrame
+from repro.errors import FrameError
+
+can_ids = st.integers(min_value=0, max_value=0x7FF)
+payloads = st.binary(min_size=0, max_size=8)
+frames = st.builds(CanFrame, can_ids, payloads)
+
+
+class TestUnstuffedLayout:
+    def test_field_order(self):
+        bits = unstuffed_frame_bits(CanFrame(0x555, b"\xAB"))
+        fields = [f for _, f in bits]
+        # SOF, 11 ID, RTR, IDE, r0, 4 DLC, 8 data, 15 CRC, delims, ack, eof
+        assert fields[0] is Field.SOF
+        assert fields[1:12] == [Field.ID] * 11
+        assert fields[12] is Field.RTR
+        assert fields[13] is Field.IDE
+        assert fields[14] is Field.R0
+        assert fields[15:19] == [Field.DLC] * 4
+        assert fields[19:27] == [Field.DATA] * 8
+        assert fields[27:42] == [Field.CRC] * 15
+        assert fields[42] is Field.CRC_DELIM
+        assert fields[43] is Field.ACK_SLOT
+        assert fields[44] is Field.ACK_DELIM
+        assert fields[45:] == [Field.EOF] * 7
+
+    def test_sof_dominant_control_bits_dominant(self):
+        bits = unstuffed_frame_bits(CanFrame(0x7FF))
+        assert bits[0][0] == DOMINANT          # SOF
+        assert bits[12][0] == DOMINANT          # RTR (data frame)
+        assert bits[13][0] == DOMINANT          # IDE (standard)
+        assert bits[14][0] == DOMINANT          # r0
+
+    def test_trailer_recessive(self):
+        bits = unstuffed_frame_bits(CanFrame(0x0))
+        trailer = bits[-10:]
+        assert all(level == RECESSIVE for level, _ in trailer)
+
+    @given(frames)
+    def test_unstuffed_length(self, frame):
+        bits = unstuffed_frame_bits(frame)
+        assert len(bits) == 44 + 8 * frame.dlc  # fixed overhead + data bits
+
+
+class TestStuffing:
+    def test_id_zero_gets_stuffed(self):
+        # SOF + 11 dominant ID bits forces stuff bits every 5 levels.
+        frame = CanFrame(0x000)
+        wire = serialize_frame(frame)
+        stuffs = [b for b in wire if b.is_stuff]
+        assert stuffs, "ID 0x000 must be stuffed"
+        # First stuff bit appears right after SOF + 4 ID bits (5 dominants).
+        assert wire[5].is_stuff
+        assert wire[5].level == RECESSIVE
+
+    def test_stuff_bits_alternate_polarity(self):
+        wire = serialize_frame(CanFrame(0x000, bytes(8)))
+        for i, bit in enumerate(wire):
+            if bit.is_stuff:
+                assert bit.level != wire[i - 1].level
+
+    @given(frames)
+    def test_no_six_equal_bits_in_stuffed_region(self, frame):
+        """The on-wire invariant bit stuffing exists to guarantee."""
+        wire = serialize_frame(frame)
+        run_level, run_length = -1, 0
+        for bit in wire:
+            if bit.field not in (Field.CRC_DELIM, Field.ACK_SLOT,
+                                 Field.ACK_DELIM, Field.EOF):
+                if bit.level == run_level:
+                    run_length += 1
+                else:
+                    run_level, run_length = bit.level, 1
+                assert run_length <= 5
+            else:
+                run_level, run_length = -1, 0
+
+    @given(frames)
+    def test_stuff_count_within_analytic_bound(self, frame):
+        assert stuff_bit_count(frame) <= max_stuff_bits(frame.dlc)
+
+    @given(frames)
+    def test_destuff_roundtrip(self, frame):
+        """serialize -> strip trailer -> destuff == original stuffed region."""
+        wire = serialize_frame(frame)
+        stuffed_region = [b.level for b in wire if b.field not in
+                          (Field.CRC_DELIM, Field.ACK_SLOT, Field.ACK_DELIM, Field.EOF)]
+        expected = [level for level, fld in unstuffed_frame_bits(frame)
+                    if fld not in (Field.CRC_DELIM, Field.ACK_SLOT,
+                                   Field.ACK_DELIM, Field.EOF)]
+        assert destuff(stuffed_region) == expected
+
+    @given(frames)
+    def test_wire_length_consistent(self, frame):
+        assert frame_wire_length(frame) == len(serialize_frame(frame))
+        base = 44 + 8 * frame.dlc
+        assert frame_wire_length(frame) == base + stuff_bit_count(frame)
+
+    def test_unstuffed_index_mapping(self):
+        wire = serialize_frame(CanFrame(0x000))
+        # Indices of real bits are strictly increasing; stuff bits repeat the
+        # index of the bit whose run they terminate.
+        real = [b.unstuffed_index for b in wire if not b.is_stuff]
+        assert real == list(range(len(real)))
+        for i, bit in enumerate(wire):
+            if bit.is_stuff:
+                assert bit.unstuffed_index == wire[i - 1].unstuffed_index
+
+
+class TestDestuffErrors:
+    def test_six_equal_raises(self):
+        with pytest.raises(FrameError, match="stuff error"):
+            destuff([0, 0, 0, 0, 0, 0])
+
+    def test_invalid_level_raises(self):
+        with pytest.raises(FrameError, match="invalid bus level"):
+            destuff([0, 2, 1])
+
+    def test_five_equal_then_opposite_ok(self):
+        assert destuff([0, 0, 0, 0, 0, 1]) == [0, 0, 0, 0, 0]
+
+
+class TestMaxStuffBits:
+    def test_known_values(self):
+        assert max_stuff_bits(0) == (34 - 1) // 4
+        assert max_stuff_bits(8) == (98 - 1) // 4
+
+    def test_rejects_bad_dlc(self):
+        with pytest.raises(FrameError):
+            max_stuff_bits(9)
+        with pytest.raises(FrameError):
+            max_stuff_bits(-1)
+
+
+class TestPaperConstants:
+    def test_average_frame_length_near_125(self):
+        """The paper uses s_f = 125 bits for an average 8-byte frame."""
+        lengths = [frame_wire_length(CanFrame(i * 37 % 0x7FF, bytes(8)))
+                   for i in range(64)]
+        avg = sum(lengths) / len(lengths)
+        assert 108 <= avg <= 135

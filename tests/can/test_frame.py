@@ -1,0 +1,104 @@
+"""Tests for the CanFrame model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.can.frame import CanFrame, TimestampedFrame
+from repro.errors import FrameError
+
+can_ids = st.integers(min_value=0, max_value=0x7FF)
+payloads = st.binary(min_size=0, max_size=8)
+
+
+class TestCanFrameValidation:
+    def test_valid_frame(self):
+        frame = CanFrame(0x173, b"\x01\x02")
+        assert frame.can_id == 0x173
+        assert frame.dlc == 2
+
+    def test_id_too_large(self):
+        with pytest.raises(FrameError, match="out of range"):
+            CanFrame(0x800)
+
+    def test_negative_id(self):
+        with pytest.raises(FrameError):
+            CanFrame(-1)
+
+    def test_non_int_id(self):
+        with pytest.raises(FrameError):
+            CanFrame("0x173")  # type: ignore[arg-type]
+
+    def test_payload_too_long(self):
+        with pytest.raises(FrameError, match="exceeds"):
+            CanFrame(0x100, bytes(9))
+
+    def test_payload_wrong_type(self):
+        with pytest.raises(FrameError):
+            CanFrame(0x100, [1, 2, 3])  # type: ignore[arg-type]
+
+    def test_bytearray_payload_normalised(self):
+        frame = CanFrame(0x100, bytearray(b"\xAA"))
+        assert isinstance(frame.data, bytes)
+
+    def test_empty_payload(self):
+        assert CanFrame(0x0).dlc == 0
+
+    def test_frozen(self):
+        frame = CanFrame(0x100)
+        with pytest.raises(AttributeError):
+            frame.can_id = 0x200  # type: ignore[misc]
+
+
+class TestCanFrameBits:
+    def test_id_bits_msb_first(self):
+        frame = CanFrame(0x400)  # 0b100_0000_0000
+        assert frame.id_bits() == [1] + [0] * 10
+
+    def test_id_bits_lsb(self):
+        frame = CanFrame(0x001)
+        assert frame.id_bits() == [0] * 10 + [1]
+
+    def test_dlc_bits(self):
+        assert CanFrame(0x1, bytes(8)).dlc_bits() == [1, 0, 0, 0]
+        assert CanFrame(0x1, bytes(1)).dlc_bits() == [0, 0, 0, 1]
+
+    def test_data_bits_msb_first_per_byte(self):
+        frame = CanFrame(0x1, b"\x80\x01")
+        bits = frame.data_bits()
+        assert bits[:8] == [1, 0, 0, 0, 0, 0, 0, 0]
+        assert bits[8:] == [0, 0, 0, 0, 0, 0, 0, 1]
+
+    @given(can_ids)
+    def test_id_bits_roundtrip(self, can_id):
+        frame = CanFrame(can_id)
+        value = 0
+        for bit in frame.id_bits():
+            value = (value << 1) | bit
+        assert value == can_id
+
+    @given(can_ids, payloads)
+    def test_data_bits_length(self, can_id, payload):
+        frame = CanFrame(can_id, payload)
+        assert len(frame.data_bits()) == 8 * len(payload)
+
+    def test_priority_ordering(self):
+        high = CanFrame(0x010)
+        low = CanFrame(0x700)
+        assert high.priority_key() < low.priority_key()
+
+    def test_str(self):
+        assert "0x173" in str(CanFrame(0x173, b"\x01"))
+        assert "<empty>" in str(CanFrame(0x173))
+
+
+class TestTimestampedFrame:
+    def test_str_contains_time_and_sender(self):
+        ts = TimestampedFrame(CanFrame(0x10), time=42, sender="ecu1")
+        assert "t=42" in str(ts)
+        assert "ecu1" in str(ts)
+
+    def test_equality_ignores_meta(self):
+        a = TimestampedFrame(CanFrame(0x10), 1, "x", meta={"k": 1})
+        b = TimestampedFrame(CanFrame(0x10), 1, "x", meta={"k": 2})
+        assert a == b

@@ -1,0 +1,99 @@
+"""Tests for the interval-set representation of detection ranges."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.can.intervals import IdIntervalSet, as_interval_set
+from repro.errors import ConfigurationError
+
+small_ids = st.frozensets(st.integers(min_value=0, max_value=300), max_size=60)
+
+
+class TestConstruction:
+    def test_empty(self):
+        s = IdIntervalSet()
+        assert not s
+        assert len(s) == 0
+        assert 5 not in s
+
+    def test_from_ids_merges_runs(self):
+        s = IdIntervalSet.from_ids([1, 2, 3, 7, 8, 20])
+        assert s.intervals() == ((1, 3), (7, 8), (20, 20))
+
+    def test_overlapping_intervals_merged(self):
+        s = IdIntervalSet([(0, 10), (5, 15), (16, 20)])
+        assert s.intervals() == ((0, 20),)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IdIntervalSet([(5, 3)])
+
+    def test_from_range_minus(self):
+        """The exact shape of Definition IV.4."""
+        s = IdIntervalSet.from_range_minus(0, 0x173, excluded=[0x0A0, 0x100])
+        assert 0x0A0 not in s and 0x100 not in s
+        assert 0x09F in s and 0x0A1 in s and 0x173 in s
+        assert len(s) == 0x174 - 2
+
+    def test_from_range_minus_degenerate(self):
+        assert not IdIntervalSet.from_range_minus(5, 3, [])
+
+    def test_as_interval_set_passthrough(self):
+        s = IdIntervalSet.from_ids([1])
+        assert as_interval_set(s) is s
+        assert as_interval_set([1]) == s
+
+
+class TestQueries:
+    @given(small_ids)
+    def test_membership_matches_set(self, ids):
+        s = IdIntervalSet.from_ids(ids)
+        for value in range(301):
+            assert (value in s) == (value in ids)
+
+    @given(small_ids, st.integers(0, 300), st.integers(0, 300))
+    def test_covers_and_intersects_match_enumeration(self, ids, a, b):
+        lo, hi = min(a, b), max(a, b)
+        s = IdIntervalSet.from_ids(ids)
+        window = set(range(lo, hi + 1))
+        assert s.covers_range(lo, hi) == window.issubset(ids)
+        assert s.intersects_range(lo, hi) == bool(window & ids)
+        assert s.count_in_range(lo, hi) == len(window & ids)
+
+    @given(small_ids)
+    def test_len_and_iter(self, ids):
+        s = IdIntervalSet.from_ids(ids)
+        assert len(s) == len(ids)
+        assert set(s.iter_ids()) == ids
+
+    def test_empty_range_queries(self):
+        s = IdIntervalSet.from_ids([5])
+        assert s.covers_range(7, 6)          # vacuous truth
+        assert not s.intersects_range(7, 6)
+        assert s.count_in_range(7, 6) == 0
+
+    def test_huge_ranges_without_enumeration(self):
+        """29-bit scale: all queries stay interval-arithmetic."""
+        s = IdIntervalSet.from_range_minus(
+            0, (1 << 29) - 1, excluded=[123456, 9999999]
+        )
+        assert len(s) == (1 << 29) - 2
+        assert s.covers_range(0, 123455)
+        assert not s.covers_range(0, 123456)
+        assert s.intersects_range(123456, 123456) is False
+        assert 123457 in s
+
+    @given(small_ids, small_ids)
+    def test_union(self, a, b):
+        union = IdIntervalSet.from_ids(a).union(IdIntervalSet.from_ids(b))
+        assert set(union.iter_ids()) == a | b
+
+    def test_equality_and_hash(self):
+        a = IdIntervalSet.from_ids([1, 2, 3])
+        b = IdIntervalSet([(1, 3)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr(self):
+        assert "0x1" in repr(IdIntervalSet([(1, 2)]))

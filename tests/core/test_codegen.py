@@ -1,0 +1,83 @@
+"""Tests for the FSM C code generator (the OEM firmware-patch artifact)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.can.constants import NUM_STD_IDS
+from repro.core.codegen import (
+    BENIGN_ENTRY,
+    MALICIOUS_ENTRY,
+    classify_with_table,
+    generate_c,
+    run_generated_table,
+)
+from repro.core.config import IvnConfig
+from repro.core.fsm import DetectionFsm, Verdict
+from repro.errors import ConfigurationError
+
+id_sets = st.frozensets(st.integers(min_value=0, max_value=0x7FF), max_size=48)
+
+
+class TestGeneratedSource:
+    def setup_method(self):
+        ivn = IvnConfig(ecu_ids=(0x0A0, 0x173, 0x2F0))
+        self.fsm = DetectionFsm(ivn.detection_range(0x173))
+        self.source = generate_c(self.fsm)
+
+    def test_contains_table_and_step(self):
+        assert "static const uint16_t michican_fsm" in self.source
+        assert "michican_step" in self.source
+        assert "#include <stdint.h>" in self.source
+
+    def test_algorithm1_constants_emitted(self):
+        assert "MICHICAN_ATTACK_TRIGGER_POS 13u" in self.source
+        assert "MICHICAN_ATTACK_DURATION_BITS 6u" in self.source
+        assert "MICHICAN_PROCESSING_END_POS 20u" in self.source
+
+    def test_one_row_per_state(self):
+        rows = [line for line in self.source.splitlines()
+                if line.strip().startswith("{0x")]
+        assert len(rows) == self.fsm.num_states
+
+    def test_custom_prefix(self):
+        source = generate_c(self.fsm, symbol_prefix="ecu_173")
+        assert "ecu_173_fsm" in source
+        assert "ECU_173_MALICIOUS" in source
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_c(self.fsm, symbol_prefix="not valid!")
+
+    def test_header_documents_fsm_shape(self):
+        assert f"states: {self.fsm.num_states}" in self.source
+
+
+class TestTableEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(id_sets)
+    def test_emitted_table_equals_live_fsm(self, ids):
+        """Certify the artifact: for every one of the 2048 identifiers the
+        emitted table and the live FSM agree."""
+        fsm = DetectionFsm(ids)
+        for can_id in range(NUM_STD_IDS):
+            assert classify_with_table(fsm, can_id) == fsm.classify(can_id)
+
+    def test_extended_fsm_table(self):
+        from repro.can.intervals import IdIntervalSet
+
+        fsm = DetectionFsm(
+            IdIntervalSet.from_range_minus(0, 0x0FFFFFF, [0x123456]),
+            id_bits=29,
+        )
+        assert classify_with_table(fsm, 0x0001234) is Verdict.MALICIOUS
+        assert classify_with_table(fsm, 0x0123456) is Verdict.BENIGN
+        assert classify_with_table(fsm, 0x1F000000) is Verdict.BENIGN
+
+    def test_partial_stream_pending(self):
+        fsm = DetectionFsm([0x173])
+        assert run_generated_table(fsm, [0, 0, 1]) is Verdict.PENDING
+
+    def test_sentinels_do_not_collide_with_states(self):
+        fsm = DetectionFsm(range(0, 0x7FF, 3))  # a large, fragmented set
+        assert fsm.num_states < BENIGN_ENTRY < MALICIOUS_ENTRY

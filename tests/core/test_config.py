@@ -1,0 +1,151 @@
+"""Tests for the MichiCAN initial configuration (Sec. IV-A definitions)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import (
+    AttackKind,
+    IvnConfig,
+    Scenario,
+    detection_range,
+)
+from repro.errors import ConfigurationError
+
+ecu_lists = st.lists(
+    st.integers(min_value=0, max_value=0x7FF), min_size=1, max_size=12, unique=True
+)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IvnConfig(ecu_ids=())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError, match="unique"):
+            IvnConfig(ecu_ids=(0x100, 0x100))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IvnConfig(ecu_ids=(0x800,))
+
+    def test_ids_sorted(self):
+        ivn = IvnConfig(ecu_ids=(0x300, 0x100, 0x200))
+        assert ivn.ecu_ids == (0x100, 0x200, 0x300)
+
+    def test_names_generated(self):
+        ivn = IvnConfig(ecu_ids=(0x1A0,))
+        assert ivn.names == ("ecu_1a0",)
+
+    def test_names_must_align(self):
+        with pytest.raises(ConfigurationError):
+            IvnConfig(ecu_ids=(0x100, 0x200), names=("one",))
+
+
+class TestDetectionRange:
+    def test_paper_example(self):
+        """Sec. IV-A: 𝔼 = {0x005, 0x00F}; ECU 0x00F detects 0x000-0x004 and
+        0x006-0x00F; only ECU 0x005 decides about 0x005."""
+        ids = [0x005, 0x00F]
+        high = detection_range(ids, 1)
+        assert high == frozenset(range(0x10)) - {0x005}
+        low = detection_range(ids, 0)
+        assert low == frozenset(range(0x006))
+
+    def test_own_id_always_included(self):
+        ids = [0x100, 0x200, 0x300]
+        for index, own in enumerate(ids):
+            assert own in detection_range(ids, index)
+
+    def test_lower_legitimate_excluded(self):
+        ids = [0x100, 0x200, 0x300]
+        d = detection_range(ids, 2)
+        assert 0x100 not in d and 0x200 not in d
+
+    @given(ecu_lists)
+    def test_definition_iv4(self, ids):
+        """𝔻 = {j | 0 <= j <= ECU_i and j != ECU_k for k < i}, verbatim."""
+        ordered = sorted(ids)
+        for i, own in enumerate(ordered):
+            d = detection_range(ordered, i)
+            expected = {
+                j for j in range(own + 1) if j not in set(ordered[:i])
+            }
+            assert d == expected
+
+
+class TestClassification:
+    def setup_method(self):
+        self.ivn = IvnConfig(ecu_ids=(0x0A0, 0x173, 0x2F0, 0x3D5))
+
+    def test_spoofing(self):
+        assert self.ivn.classify(0x173, 0x173) is AttackKind.SPOOFING
+
+    def test_dos(self):
+        assert self.ivn.classify(0x173, 0x064) is AttackKind.DOS
+
+    def test_legitimate(self):
+        assert self.ivn.classify(0x173, 0x0A0) is AttackKind.LEGITIMATE
+        assert self.ivn.classify(0x173, 0x2F0) is AttackKind.LEGITIMATE
+
+    def test_miscellaneous(self):
+        assert self.ivn.classify(0x173, 0x7FF) is AttackKind.MISCELLANEOUS
+
+    def test_undecidable_between_own_and_max(self):
+        assert self.ivn.classify(0x173, 0x200) is AttackKind.UNDECIDABLE
+
+    def test_lowest_ecu_classifies_everything_below(self):
+        assert self.ivn.classify(0x0A0, 0x001) is AttackKind.DOS
+
+    @given(ecu_lists, st.integers(min_value=0, max_value=0x7FF))
+    def test_classification_matches_detection_range(self, ids, observed):
+        """An ID is in an ECU's 𝔻 iff classified SPOOFING or DOS."""
+        ivn = IvnConfig(ecu_ids=tuple(ids))
+        for own in ivn.ecu_ids:
+            kind = ivn.classify(own, observed)
+            in_range = observed in ivn.detection_range(own)
+            assert in_range == (kind in (AttackKind.SPOOFING, AttackKind.DOS))
+
+
+class TestScenarios:
+    def setup_method(self):
+        self.ids = (0x050, 0x0A0, 0x173, 0x200, 0x2F0, 0x3D5)
+
+    def test_full_scenario_all_full_fsm(self):
+        ivn = IvnConfig(ecu_ids=self.ids, scenario=Scenario.FULL)
+        assert all(c.full_fsm for c in ivn.ecu_configs())
+
+    def test_light_scenario_split(self):
+        ivn = IvnConfig(ecu_ids=self.ids, scenario=Scenario.LIGHT)
+        configs = ivn.ecu_configs()
+        lower, upper = configs[:3], configs[3:]
+        assert all(not c.full_fsm for c in lower)
+        assert all(c.full_fsm for c in upper)
+        for c in lower:
+            assert c.detection_ids == frozenset({c.can_id})
+
+    def test_light_scenario_preserves_dos_coverage(self):
+        """The paper's safety argument: 𝔼₂'s full FSMs still cover every
+        DoS-able ID, so the light split loses no DoS protection."""
+        full = IvnConfig(ecu_ids=self.ids, scenario=Scenario.FULL)
+        light = IvnConfig(ecu_ids=self.ids, scenario=Scenario.LIGHT)
+        assert light.dos_coverage() == full.dos_coverage()
+
+    @given(ecu_lists)
+    def test_light_coverage_property(self, ids):
+        full = IvnConfig(ecu_ids=tuple(ids), scenario=Scenario.FULL)
+        light = IvnConfig(ecu_ids=tuple(ids), scenario=Scenario.LIGHT)
+        assert light.dos_coverage() == full.dos_coverage()
+
+    def test_ecu_config_lookup(self):
+        ivn = IvnConfig(ecu_ids=self.ids)
+        cfg = ivn.ecu_config(0x173)
+        assert cfg.can_id == 0x173
+        with pytest.raises(ConfigurationError):
+            ivn.ecu_config(0x999)
+
+    def test_len_and_highest(self):
+        ivn = IvnConfig(ecu_ids=self.ids)
+        assert len(ivn) == 6
+        assert ivn.highest_id == 0x3D5

@@ -1,0 +1,186 @@
+"""Tests for the Algorithm 1 firmware port, driven with raw bit streams."""
+
+from repro.can.bitstream import serialize_frame
+from repro.can.constants import DOMINANT, RECESSIVE
+from repro.can.frame import CanFrame
+from repro.core.detection import (
+    ATTACK_DURATION_BITS,
+    FirmwarePhase,
+    MichiCanFirmware,
+)
+from repro.core.fsm import DetectionFsm
+
+
+def firmware_for(detection_ids, **kwargs):
+    return MichiCanFirmware(DetectionFsm(detection_ids), **kwargs)
+
+
+def feed_frame_bits(fw, frame, start_time=0, own=False):
+    """Feed a full serialized frame; returns the time after the last bit."""
+    t = start_time
+    for bit in serialize_frame(frame):
+        fw.handler(t, bit.level, own_transmission=own)
+        t += 1
+    return t
+
+
+class TestSofDetection:
+    def test_detects_sof_after_idle(self):
+        fw = firmware_for([0x100])
+        fw.handler(0, DOMINANT)
+        assert fw.phase is FirmwarePhase.TRACKING
+        assert fw.counters.frames_seen == 1
+
+    def test_requires_11_recessive_without_boot_credit(self):
+        fw = firmware_for([0x100], assume_idle_at_boot=False)
+        fw.handler(0, DOMINANT)
+        assert fw.phase is FirmwarePhase.WAIT_SOF
+        for t in range(1, 12):
+            fw.handler(t, RECESSIVE)
+        fw.handler(12, DOMINANT)
+        assert fw.phase is FirmwarePhase.TRACKING
+
+    def test_dominant_resets_idle_count(self):
+        fw = firmware_for([0x100], assume_idle_at_boot=False)
+        for t in range(10):
+            fw.handler(t, RECESSIVE)
+        fw.handler(10, DOMINANT)   # only 10 recessive: not a SOF
+        assert fw.phase is FirmwarePhase.WAIT_SOF
+        for t in range(11, 22):
+            fw.handler(t, RECESSIVE)
+        fw.handler(22, DOMINANT)
+        assert fw.phase is FirmwarePhase.TRACKING
+
+
+class TestDetection:
+    def test_flags_malicious_id(self):
+        fw = firmware_for(range(0x100))  # DoS range
+        feed_frame_bits(fw, CanFrame(0x064, bytes(8)))
+        assert len(fw.detections) == 1
+        assert fw.detections[0].counterattacked
+
+    def test_benign_id_not_flagged(self):
+        fw = firmware_for(range(0x100))
+        feed_frame_bits(fw, CanFrame(0x200, bytes(8)))
+        assert fw.detections == []
+        assert fw.counters.counterattacks == 0
+
+    def test_own_transmission_never_counterattacked(self):
+        fw = firmware_for([0x173])
+        feed_frame_bits(fw, CanFrame(0x173, bytes(8)), own=True)
+        assert len(fw.detections) == 1
+        assert not fw.detections[0].counterattacked
+        assert fw.counters.counterattacks == 0
+
+    def test_decision_bit_recorded(self):
+        fw = firmware_for(range(0x100))
+        feed_frame_bits(fw, CanFrame(0x000, bytes(8)))
+        assert fw.detections[0].decision_bit == 3  # 000 prefix decides
+
+    def test_fsm_stops_after_decision(self):
+        """Algorithm 1 line 11: no FSM steps after the verdict."""
+        fw = firmware_for(range(0x400))  # decides on first ID bit
+        feed_frame_bits(fw, CanFrame(0x000, bytes(8)))
+        assert fw.counters.fsm_steps == 1
+
+    def test_stuffed_id_handled(self):
+        """ID 0x000 has stuff bits inside the ID field; the firmware must
+        destuff before feeding the FSM."""
+        fw = firmware_for([0x000])
+        feed_frame_bits(fw, CanFrame(0x000, bytes(8)))
+        assert len(fw.detections) == 1
+        assert fw.detections[0].id_prefix == (0,) * 11
+
+
+class TestCounterattack:
+    def test_pulls_low_for_six_bits(self):
+        fw = firmware_for(range(0x100))
+        frame = serialize_frame(CanFrame(0x064, bytes(8)))
+        t = 0
+        pulled = []
+        for bit in frame:
+            fw.handler(t, bit.level)
+            t += 1
+            if fw.drive_level == DOMINANT:
+                pulled.append(t)
+        assert len(pulled) == ATTACK_DURATION_BITS
+
+    def test_window_starts_after_rtr(self):
+        """TX mux is enabled at un-stuffed frame position 13 (the RTR bit)
+        so arbitration is never disturbed (Sec. IV-E)."""
+        fw = firmware_for(range(0x100))
+        frame = serialize_frame(CanFrame(0x064, bytes(8)))
+        for t, bit in enumerate(frame):
+            fw.handler(t, bit.level)
+        windows = fw.pinmux.windows()
+        assert len(windows) == 1
+        start, end = windows[0]
+        # 0x064's ID starts 0000: SOF + 4 zeros insert one stuff bit, so the
+        # RTR lands at raw bit 13 (0-indexed) instead of 12.
+        assert start == 13
+        assert end - start == ATTACK_DURATION_BITS
+
+    def test_mux_disabled_after_attack(self):
+        fw = firmware_for(range(0x100))
+        feed_frame_bits(fw, CanFrame(0x064, bytes(8)))
+        assert not fw.pinmux.tx_mux_enabled
+        assert fw.phase is FirmwarePhase.WAIT_SOF
+
+    def test_prevention_disabled_mode(self):
+        fw = firmware_for(range(0x100), prevention_enabled=False)
+        feed_frame_bits(fw, CanFrame(0x064, bytes(8)))
+        assert len(fw.detections) == 1
+        assert not fw.detections[0].counterattacked
+        assert fw.pinmux.windows() == []
+
+
+class TestErrorFrameHandling:
+    def test_six_equal_bits_aborts_frame(self):
+        """Someone else's error flag / counterattack: abandon and re-arm."""
+        fw = firmware_for([0x7FF])
+        fw.handler(0, DOMINANT)  # SOF
+        for t in range(1, 3):
+            fw.handler(t, RECESSIVE)
+        for t in range(3, 10):   # long dominant run: error flag
+            fw.handler(t, DOMINANT)
+        assert fw.phase is FirmwarePhase.WAIT_SOF
+        assert fw.counters.aborted_frames == 1
+
+    def test_rearms_after_error_delimiter(self):
+        """After an abort, 11 recessive bits re-enable SOF detection — this
+        is how every retransmission gets re-detected (Sec. IV-E)."""
+        fw = firmware_for(range(0x100))
+        fw.handler(0, DOMINANT)
+        for t in range(1, 8):
+            fw.handler(t, DOMINANT if t < 7 else RECESSIVE)
+        for t in range(8, 19):
+            fw.handler(t, RECESSIVE)
+        fw.handler(19, DOMINANT)  # retransmission SOF
+        assert fw.phase is FirmwarePhase.TRACKING
+
+    def test_detects_every_retransmission(self):
+        fw = firmware_for(range(0x100))
+        t = 0
+        for _ in range(3):
+            t = feed_frame_bits(fw, CanFrame(0x064, bytes(8)), start_time=t)
+            for _ in range(12):
+                fw.handler(t, RECESSIVE)
+                t += 1
+        assert fw.counters.counterattacks == 3
+
+
+class TestCounters:
+    def test_idle_vs_frame_bits(self):
+        fw = firmware_for([0x100])
+        for t in range(20):
+            fw.handler(t, RECESSIVE)
+        assert fw.counters.idle_bits == 20
+        assert fw.counters.frame_bits == 0
+        feed_frame_bits(fw, CanFrame(0x700), start_time=20)
+        assert fw.counters.frame_bits > 0
+
+    def test_interrupt_count(self):
+        fw = firmware_for([0x100])
+        for t in range(37):
+            fw.handler(t, RECESSIVE)
+        assert fw.counters.interrupts == 37

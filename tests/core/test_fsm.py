@@ -1,0 +1,123 @@
+"""Tests for detection-FSM generation and execution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.can.constants import NUM_STD_IDS
+from repro.core.config import IvnConfig
+from repro.core.fsm import DetectionFsm, Verdict
+from repro.errors import ConfigurationError
+
+id_sets = st.frozensets(st.integers(min_value=0, max_value=0x7FF), max_size=64)
+
+
+class TestConstruction:
+    def test_empty_set_always_benign(self):
+        fsm = DetectionFsm([])
+        assert all(fsm.classify(i) is Verdict.BENIGN for i in range(0, 2048, 97))
+        # Root decides immediately for both inputs.
+        assert fsm.num_states == 1
+
+    def test_universal_set_always_malicious(self):
+        fsm = DetectionFsm(range(NUM_STD_IDS))
+        assert fsm.classify(0x000) is Verdict.MALICIOUS
+        assert fsm.classify(0x7FF) is Verdict.MALICIOUS
+        assert fsm.num_states == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DetectionFsm([0x800])
+
+    def test_singleton_needs_full_depth(self):
+        fsm = DetectionFsm([0x173])
+        assert fsm.decision_depth(0x173) == 11
+
+
+class TestCorrectness:
+    @settings(max_examples=40, deadline=None)
+    @given(id_sets)
+    def test_fsm_equals_membership_for_all_ids(self, ids):
+        """Invariant: FSM verdict == membership in 𝔻, for every one of the
+        2048 possible identifiers (the paper's 100% detection rate)."""
+        fsm = DetectionFsm(ids)
+        for can_id in range(NUM_STD_IDS):
+            expected = Verdict.MALICIOUS if can_id in ids else Verdict.BENIGN
+            assert fsm.classify(can_id) is expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(id_sets)
+    def test_decision_always_within_11_bits(self, ids):
+        fsm = DetectionFsm(ids)
+        for can_id in range(0, NUM_STD_IDS, 31):
+            assert 1 <= fsm.decision_depth(can_id) <= 11
+
+    def test_early_decision_on_contiguous_low_range(self):
+        """A DoS range [0, 0x0FF] decides after 3 bits for IDs starting 000."""
+        fsm = DetectionFsm(range(0x100))
+        assert fsm.decision_depth(0x000) == 3
+        assert fsm.decision_depth(0x0FF) == 3
+        # An ID starting with 1 is benign after its first bit.
+        assert fsm.decision_depth(0x400) == 1
+
+    def test_michican_detection_range_fsm(self):
+        """End-to-end: FSM built from an IVN's 𝔻 classifies per Def. IV.1/2."""
+        ivn = IvnConfig(ecu_ids=(0x0A0, 0x173, 0x2F0, 0x3D5))
+        d = ivn.detection_range(0x173)
+        fsm = DetectionFsm(d)
+        assert fsm.classify(0x173) is Verdict.MALICIOUS   # spoofing
+        assert fsm.classify(0x064) is Verdict.MALICIOUS   # DoS
+        assert fsm.classify(0x0A0) is Verdict.BENIGN      # legitimate lower
+        assert fsm.classify(0x2F0) is Verdict.BENIGN      # legitimate higher
+
+
+class TestRunner:
+    def test_step_rejects_non_bits(self):
+        runner = DetectionFsm([0x100]).runner()
+        with pytest.raises(ConfigurationError):
+            runner.step(2)
+
+    def test_verdict_sticky_after_decision(self):
+        fsm = DetectionFsm(range(0x400))  # all IDs starting with 0
+        runner = fsm.runner()
+        assert runner.step(0) is Verdict.MALICIOUS
+        # Further bits don't change the verdict (Algorithm 1 stops the FSM).
+        assert runner.step(1) is Verdict.MALICIOUS
+        assert runner.decision_bit == 1
+
+    def test_reset(self):
+        fsm = DetectionFsm(range(0x400))
+        runner = fsm.runner()
+        runner.step(0)
+        runner.reset()
+        assert runner.verdict is Verdict.PENDING
+        assert runner.decision_bit is None
+        assert runner.step(1) is Verdict.BENIGN
+
+
+class TestStats:
+    def test_stats_fields(self):
+        fsm = DetectionFsm(range(0x200))
+        stats = fsm.stats()
+        assert stats.states == fsm.num_states
+        assert 1 <= stats.max_depth <= 11
+        assert 0 < stats.mean_malicious_depth <= 11
+        assert 0 < stats.mean_depth <= 11
+
+    def test_larger_detection_sets_do_not_explode(self):
+        """Tree size stays bounded by the interval structure of 𝔻."""
+        ivn = IvnConfig(ecu_ids=tuple(range(0x100, 0x500, 0x40)))
+        fsm = DetectionFsm(ivn.detection_range(0x4C0))
+        assert fsm.num_states < 2048
+
+    def test_mean_detection_position_rises_with_ivn_size(self):
+        """Sec. V-B: 'As the size of IVN 𝔼 grows, the detection bit position
+        rises' — more excluded legitimate IDs force deeper decisions."""
+        small = IvnConfig(ecu_ids=(0x100, 0x700))
+        big = IvnConfig(ecu_ids=tuple(range(0x080, 0x700, 0x60)))
+        fsm_small = DetectionFsm(small.detection_range(0x700))
+        fsm_big = DetectionFsm(big.detection_range(big.highest_id))
+        assert (
+            fsm_big.stats().mean_malicious_depth
+            >= fsm_small.stats().mean_malicious_depth
+        )

@@ -1,0 +1,64 @@
+"""Tests for the pin-multiplexing model."""
+
+import pytest
+
+from repro.can.constants import DOMINANT, RECESSIVE
+from repro.core.pinmux import PinMux
+from repro.errors import ConfigurationError
+
+
+class TestPinMux:
+    def test_initial_state(self):
+        mux = PinMux()
+        assert mux.rx_mux_enabled
+        assert not mux.tx_mux_enabled
+        assert mux.drive_level == RECESSIVE
+
+    def test_enable_pull_disable_cycle(self):
+        mux = PinMux()
+        mux.enable_tx(10)
+        mux.pull_low(10)
+        assert mux.drive_level == DOMINANT
+        mux.disable_tx(16)
+        assert mux.drive_level == RECESSIVE
+        assert not mux.tx_mux_enabled
+
+    def test_pull_without_mux_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PinMux().pull_low(0)
+
+    def test_double_enable_rejected(self):
+        mux = PinMux()
+        mux.enable_tx(0)
+        with pytest.raises(ConfigurationError):
+            mux.enable_tx(1)
+
+    def test_double_disable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PinMux().disable_tx(0)
+
+    def test_release_keeps_mux_enabled(self):
+        mux = PinMux()
+        mux.enable_tx(0)
+        mux.pull_low(0)
+        mux.release(3)
+        assert mux.tx_mux_enabled
+        assert mux.drive_level == RECESSIVE
+
+    def test_windows(self):
+        mux = PinMux()
+        mux.enable_tx(10)
+        mux.pull_low(10)
+        mux.disable_tx(16)
+        mux.enable_tx(50)
+        mux.disable_tx(56)
+        assert mux.windows() == [(10, 16), (50, 56)]
+
+    def test_operation_log(self):
+        mux = PinMux()
+        mux.enable_tx(1)
+        mux.pull_low(2)
+        mux.disable_tx(3)
+        assert [op.operation for op in mux.operations] == [
+            "enable_tx", "pull_low", "disable_tx",
+        ]

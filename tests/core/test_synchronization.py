@@ -1,0 +1,192 @@
+"""Tests for the software bit-synchronization model (Sec. IV-C)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.synchronization import (
+    SoftwareSynchronizer,
+    SyncConfig,
+    fudge_factor,
+    max_tolerable_drift_ppm,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSyncConfig:
+    def test_bit_time_500k(self):
+        assert SyncConfig(bus_speed=500_000).bit_time == pytest.approx(2e-6)
+
+    def test_invalid_sample_point(self):
+        with pytest.raises(ConfigurationError):
+            SyncConfig(bus_speed=500_000, sample_point=1.0)
+
+    def test_invalid_speed(self):
+        with pytest.raises(ConfigurationError):
+            SyncConfig(bus_speed=0)
+
+
+class TestPerfectClock:
+    def test_samples_exactly_at_sample_point(self):
+        sync = SoftwareSynchronizer(SyncConfig(bus_speed=500_000))
+        offsets = sync.sample_offsets(130)
+        assert all(abs(o - 0.70) < 1e-12 for o in offsets)
+
+    def test_first_sample_at_paper_value(self):
+        """Paper: first timer fire at 1.4 us for 500 kbit/s (0.7 * 2 us),
+        i.e. bit 1 sampled at 1.4 us into its own cell."""
+        sync = SoftwareSynchronizer(SyncConfig(bus_speed=500_000))
+        cell_relative = sync.sample_time(1) - 1 * 2e-6
+        assert cell_relative == pytest.approx(1.4e-6)
+
+    def test_whole_frame_safe(self):
+        sync = SoftwareSynchronizer(SyncConfig(bus_speed=500_000))
+        assert sync.max_safe_bits(limit=200) == 200
+
+
+class TestDrift:
+    def test_slow_clock_slides_later(self):
+        sync = SoftwareSynchronizer(
+            SyncConfig(bus_speed=500_000, drift_ppm=500.0)
+        )
+        offsets = sync.sample_offsets(100)
+        assert offsets[-1] > offsets[0]
+
+    def test_fast_clock_slides_earlier(self):
+        sync = SoftwareSynchronizer(
+            SyncConfig(bus_speed=500_000, drift_ppm=-500.0)
+        )
+        offsets = sync.sample_offsets(100)
+        assert offsets[-1] < offsets[0]
+
+    def test_crystal_oscillator_survives_a_frame(self):
+        """A typical 100 ppm crystal keeps a full 125-bit frame safe — the
+        property that makes one hard sync per frame sufficient."""
+        sync = SoftwareSynchronizer(
+            SyncConfig(bus_speed=500_000, drift_ppm=100.0)
+        )
+        assert sync.max_safe_bits(limit=125) == 125
+
+    def test_heavy_drift_fails_within_frame(self):
+        """An RC-oscillator-class clock (1%) cannot hold a frame: this is
+        issue (ii) from Sec. IV-C that hard re-sync addresses."""
+        sync = SoftwareSynchronizer(
+            SyncConfig(bus_speed=500_000, drift_ppm=10_000.0)
+        )
+        assert sync.max_safe_bits(limit=125) < 30
+
+    def test_invalid_bit_index(self):
+        sync = SoftwareSynchronizer(SyncConfig(bus_speed=500_000))
+        with pytest.raises(ConfigurationError):
+            sync.sample_time(0)
+
+    @given(st.floats(min_value=-150, max_value=150))
+    def test_bound_formula_consistent_with_simulation(self, drift_ppm):
+        """max_tolerable_drift_ppm is a sound bound: any drift within it
+        keeps the simulated sampling safe for the stated bit count."""
+        bits = 125
+        bound = max_tolerable_drift_ppm(500_000, bits)
+        if abs(drift_ppm) <= bound:
+            sync = SoftwareSynchronizer(
+                SyncConfig(bus_speed=500_000, drift_ppm=drift_ppm)
+            )
+            assert sync.max_safe_bits(limit=bits) == bits
+
+
+class TestJitterAndFudge:
+    def test_jitter_shrinks_safe_window(self):
+        calm = SoftwareSynchronizer(SyncConfig(bus_speed=500_000,
+                                               drift_ppm=1000.0))
+        jittery = SoftwareSynchronizer(
+            SyncConfig(bus_speed=500_000, drift_ppm=1000.0, isr_jitter=3e-7)
+        )
+        assert jittery.max_safe_bits(limit=300) <= calm.max_safe_bits(limit=300)
+
+    def test_fudge_error_shifts_all_samples(self):
+        shifted = SoftwareSynchronizer(
+            SyncConfig(bus_speed=500_000, fudge_error=2e-7)
+        )
+        assert shifted.sample_offset(1) == pytest.approx(0.8)
+
+    def test_fudge_factor_computation(self):
+        # 84 MHz Due, 42 cycles of reset work -> 0.5 us; first deadline
+        # 1.4 us; the timer must be armed 0.9 us out.
+        value = fudge_factor(reset_cycles=42, clock_hz=84e6, bus_speed=500_000)
+        assert value == pytest.approx(1.4e-6 - 0.5e-6)
+
+    def test_fudge_factor_rejects_too_slow_mcu(self):
+        with pytest.raises(ConfigurationError, match="too slow"):
+            fudge_factor(reset_cycles=10_000, clock_hz=84e6, bus_speed=500_000)
+
+    def test_fudge_factor_rejects_negative_cycles(self):
+        with pytest.raises(ConfigurationError):
+            fudge_factor(reset_cycles=-1, clock_hz=84e6)
+
+
+class TestWaveformSampling:
+    """The paper's Sec. IV-C issues (i) and (ii), made measurable."""
+
+    def _frame_levels(self):
+        from repro.can.bitstream import serialize_frame
+        from repro.can.frame import CanFrame
+
+        return [b.level for b in serialize_frame(CanFrame(0x2A5, bytes(8)))]
+
+    def test_hard_sync_reads_frame_perfectly(self):
+        from repro.core.synchronization import sample_with_hard_sync
+
+        levels = self._frame_levels()
+        result = sample_with_hard_sync(
+            levels, SyncConfig(bus_speed=500_000, drift_ppm=100))
+        assert result.missampled == []
+        assert result.sampled == levels[1:]
+
+    def test_free_running_timer_missamples(self):
+        """Issue (i): arbitrary initial phase; issue (ii): unbounded drift
+        accumulation.  The naive scheme corrupts a realistic frame."""
+        from repro.core.synchronization import sample_with_free_running_timer
+
+        levels = self._frame_levels()
+        result = sample_with_free_running_timer(
+            levels, SyncConfig(bus_speed=500_000, drift_ppm=300),
+            initial_phase=0.02)
+        assert result.missampled  # the naive scheme fails
+
+    def test_comparison_hard_sync_strictly_better(self):
+        from repro.core.synchronization import compare_sampling_schemes
+
+        levels = self._frame_levels()
+        for phase in (0.02, 0.5, 0.95):
+            hard, naive = compare_sampling_schemes(
+                levels, SyncConfig(bus_speed=500_000, drift_ppm=400),
+                initial_phase=phase)
+            assert len(hard.missampled) <= len(naive.missampled)
+        assert hard.missampled == []
+
+    def test_free_running_ok_at_perfect_phase_and_clock(self):
+        """With a perfect oscillator AND a lucky mid-bit phase the naive
+        scheme happens to work — which is why the bug is intermittent on
+        real hardware and hard sync is the robust fix."""
+        from repro.core.synchronization import sample_with_free_running_timer
+
+        levels = self._frame_levels()
+        result = sample_with_free_running_timer(
+            levels, SyncConfig(bus_speed=500_000, drift_ppm=0.0),
+            initial_phase=0.5)
+        assert result.missampled == []
+
+    def test_invalid_phase(self):
+        from repro.core.synchronization import sample_with_free_running_timer
+
+        with pytest.raises(ConfigurationError):
+            sample_with_free_running_timer(
+                [0, 1], SyncConfig(bus_speed=500_000), initial_phase=1.5)
+
+    def test_error_rate_property(self):
+        from repro.core.synchronization import SamplingResult
+
+        result = SamplingResult(sampled=[0, 1], missampled=[1],
+                                worst_offset=0.2)
+        assert result.error_rate == 0.5
+        empty = SamplingResult(sampled=[], missampled=[], worst_offset=0.0)
+        assert empty.error_rate == 0.0

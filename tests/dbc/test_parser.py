@@ -1,0 +1,71 @@
+"""Tests for the minimal DBC parser/writer."""
+
+import pytest
+
+from repro.dbc.parser import parse_dbc, write_dbc
+from repro.errors import DbcError
+from repro.workloads.vehicles import pacifica_matrix, vehicle_buses
+
+SAMPLE = """VERSION ""
+
+BU_: ABS ENGINE
+
+BO_ 416 SPEED: 8 ABS
+ SG_ wheel_fl : 0|16@1+ (0.01,0) [0|655.35] "km/h" Vector__XXX
+ SG_ valid : 32|1@1+ (1,0) [0|1] "" Vector__XXX
+
+BO_ 640 RPM: 4 ENGINE
+ SG_ rpm : 0|16@1+ (0.25,0) [0|16383.75] "rpm" Vector__XXX
+
+BA_ "GenMsgCycleTime" BO_ 416 20;
+BA_ "GenMsgCycleTime" BO_ 640 10;
+"""
+
+
+class TestParse:
+    def test_messages_and_signals(self):
+        matrix = parse_dbc(SAMPLE)
+        assert len(matrix) == 2
+        speed = matrix.by_id(416)
+        assert speed.name == "SPEED"
+        assert speed.transmitter == "ABS"
+        assert speed.dlc == 8
+        assert speed.signal("wheel_fl").scale == 0.01
+        assert speed.signal("valid").length == 1
+
+    def test_cycle_times(self):
+        matrix = parse_dbc(SAMPLE)
+        assert matrix.by_id(416).period_ms == 20
+        assert matrix.by_id(640).period_ms == 10
+
+    def test_unknown_keywords_tolerated(self):
+        matrix = parse_dbc('VERSION "x"\nCM_ "a comment";\n' + SAMPLE)
+        assert len(matrix) == 2
+
+    def test_malformed_bo(self):
+        with pytest.raises(DbcError, match="malformed BO_"):
+            parse_dbc("BO_ not a message")
+
+    def test_malformed_sg(self):
+        with pytest.raises(DbcError, match="malformed SG_"):
+            parse_dbc("BO_ 416 SPEED: 8 ABS\n SG_ broken signal")
+
+    def test_sg_before_bo(self):
+        with pytest.raises(DbcError, match="before any BO_"):
+            parse_dbc(' SG_ s : 0|8@1+ (1,0) [0|255] "" X')
+
+
+class TestRoundTrip:
+    def test_sample_roundtrip(self):
+        matrix = parse_dbc(SAMPLE)
+        again = parse_dbc(write_dbc(matrix))
+        assert again.all_ids() == matrix.all_ids()
+        assert again.by_id(416).period_ms == 20
+        assert again.by_id(416).signal("wheel_fl").scale == 0.01
+
+    def test_synthetic_vehicles_roundtrip(self):
+        """Every synthetic bus survives a write/parse cycle."""
+        for matrix in vehicle_buses("veh_a") + (pacifica_matrix(),):
+            again = parse_dbc(write_dbc(matrix), name=matrix.name)
+            assert again.all_ids() == matrix.all_ids()
+            assert len(again.periodic_messages()) == len(matrix.periodic_messages())

@@ -1,0 +1,147 @@
+"""Tests for communication-matrix types and the signal codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dbc.codec import (
+    decode_message,
+    decode_raw,
+    encode_message,
+    encode_raw,
+    physical_to_raw,
+    raw_to_physical,
+)
+from repro.dbc.types import CommunicationMatrix, Message, Signal
+from repro.errors import DbcError
+
+
+def speed_message():
+    return Message(
+        can_id=0x1A0, name="SPEED", dlc=8, transmitter="abs_module",
+        period_ms=20,
+        signals=(
+            Signal("wheel_fl", 0, 16, scale=0.01, unit="km/h"),
+            Signal("wheel_fr", 16, 16, scale=0.01, unit="km/h"),
+            Signal("valid", 32, 1),
+        ),
+    )
+
+
+class TestSignalValidation:
+    def test_length_bounds(self):
+        with pytest.raises(DbcError):
+            Signal("s", 0, 0)
+        with pytest.raises(DbcError):
+            Signal("s", 0, 65)
+
+    def test_exceeds_payload(self):
+        with pytest.raises(DbcError):
+            Signal("s", 60, 8)
+
+    def test_empty_name(self):
+        with pytest.raises(DbcError):
+            Signal("", 0, 8)
+
+
+class TestMessageValidation:
+    def test_signal_must_fit_dlc(self):
+        with pytest.raises(DbcError, match="does not fit"):
+            Message(0x100, "M", 2, "ecu",
+                    signals=(Signal("s", 8, 16),))
+
+    def test_duplicate_signals(self):
+        with pytest.raises(DbcError, match="duplicate"):
+            Message(0x100, "M", 8, "ecu",
+                    signals=(Signal("s", 0, 8), Signal("s", 8, 8)))
+
+    def test_period_bits(self):
+        assert speed_message().period_bits(500_000) == 10_000
+
+    def test_event_triggered_has_no_period(self):
+        message = Message(0x100, "M", 8, "ecu")
+        with pytest.raises(DbcError, match="event-triggered"):
+            message.period_bits(500_000)
+
+    def test_signal_lookup(self):
+        assert speed_message().signal("valid").length == 1
+        with pytest.raises(DbcError):
+            speed_message().signal("missing")
+
+
+class TestMatrix:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(DbcError, match="duplicate"):
+            CommunicationMatrix("m", (
+                Message(0x100, "A", 8, "e1"),
+                Message(0x100, "B", 8, "e2"),
+            ))
+
+    def test_lookups(self):
+        matrix = CommunicationMatrix("m", (speed_message(),))
+        assert matrix.by_id(0x1A0).name == "SPEED"
+        assert matrix.by_name("SPEED").can_id == 0x1A0
+        with pytest.raises(DbcError):
+            matrix.by_id(0x999)
+        with pytest.raises(DbcError):
+            matrix.by_name("nope")
+
+    def test_ecu_ids_lowest_per_transmitter(self):
+        matrix = CommunicationMatrix("m", (
+            Message(0x200, "A", 8, "e1"),
+            Message(0x100, "B", 8, "e1"),
+            Message(0x300, "C", 8, "e2"),
+        ))
+        assert matrix.ecu_ids() == [0x100, 0x300]
+
+    def test_transmitters(self):
+        matrix = CommunicationMatrix("m", (speed_message(),))
+        assert list(matrix.transmitters()) == ["abs_module"]
+
+
+class TestCodec:
+    def test_roundtrip_named_values(self):
+        message = speed_message()
+        payload = encode_message(message, {"wheel_fl": 88.5, "valid": 1})
+        decoded = decode_message(message, payload)
+        assert decoded["wheel_fl"] == pytest.approx(88.5, abs=0.01)
+        assert decoded["valid"] == 1
+        assert decoded["wheel_fr"] == 0
+
+    def test_out_of_range_physical(self):
+        with pytest.raises(DbcError, match="out of range"):
+            encode_message(speed_message(), {"valid": 5})
+
+    def test_zero_scale(self):
+        with pytest.raises(DbcError, match="zero scale"):
+            physical_to_raw(Signal("s", 0, 8, scale=0.0), 1)
+
+    def test_short_payload(self):
+        with pytest.raises(DbcError):
+            decode_message(speed_message(), b"\x00")
+
+    def test_raw_out_of_range(self):
+        with pytest.raises(DbcError):
+            encode_raw(Signal("s", 0, 4), bytearray(1), 16)
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1),
+           st.integers(min_value=0, max_value=48))
+    def test_raw_roundtrip_anywhere(self, raw, start):
+        signal = Signal("s", start, 16)
+        payload = bytearray(8)
+        encode_raw(signal, payload, raw)
+        assert decode_raw(signal, bytes(payload)) == raw
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_physical_roundtrip(self, raw):
+        signal = Signal("s", 0, 8, scale=0.25, offset=-10)
+        physical = raw_to_physical(signal, raw)
+        assert physical_to_raw(signal, physical) == raw
+
+    def test_adjacent_signals_dont_clobber(self):
+        a, b = Signal("a", 0, 5), Signal("b", 5, 11)
+        payload = bytearray(2)
+        encode_raw(a, payload, 0b10101)
+        encode_raw(b, payload, 0b111_1111_1111)
+        assert decode_raw(a, bytes(payload)) == 0b10101
+        assert decode_raw(b, bytes(payload)) == 0b111_1111_1111

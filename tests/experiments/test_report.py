@@ -1,0 +1,33 @@
+"""Tests for the one-shot reproduction report."""
+
+from repro.experiments.report import generate_report
+
+
+class TestReport:
+    def test_quick_sections(self):
+        text = generate_report(sections=["table3", "cpu"])
+        assert "# MichiCAN reproduction report" in text
+        assert "Table III" in text
+        assert "1248" in text
+        assert "CPU utilization" in text
+        assert "Table I" in text  # always appended
+
+    def test_latency_section(self):
+        text = generate_report(sections=["latency"], latency_fsms=60)
+        assert "detection rate | 100% | 100.0%" in text
+
+    def test_table2_section_runs_experiments(self):
+        text = generate_report(sections=["table2"], table2_bits=10_000)
+        assert "Exp 4 mean" in text
+        assert "Exp 5 attacker_066 mean" in text
+
+    def test_multi_section(self):
+        text = generate_report(sections=["multi"], multi_bits=10_000)
+        assert "A = 5 total fight" in text
+        assert "deadline miss" in text
+
+    def test_markdown_tables_well_formed(self):
+        text = generate_report(sections=["table3"])
+        lines = [l for l in text.splitlines() if l.startswith("|")]
+        widths = {l.count("|") for l in lines}
+        assert widths == {4}  # three columns everywhere

@@ -1,0 +1,59 @@
+"""Tests for the experiment harness itself."""
+
+from repro.attacks.dos import DosAttacker
+from repro.core.defense import MichiCanNode
+from repro.experiments.runner import make_simulator, run_and_measure
+
+
+def small_fight():
+    sim = make_simulator()
+    defender = sim.add_node(MichiCanNode("defender", range(0x100)))
+    attacker = sim.add_node(DosAttacker("attacker", 0x064))
+    return sim, defender, attacker
+
+
+class TestRunAndMeasure:
+    def test_result_fields(self):
+        sim, defender, attacker = small_fight()
+        result = run_and_measure(sim, [attacker], 5_000,
+                                 name="unit", defenders=[defender])
+        assert result.name == "unit"
+        assert result.bus_speed == 50_000
+        assert result.duration_bits == 5_000
+        assert result.detections > 0
+        assert result.counterattacks > 0
+        assert 0.0 < result.busy_fraction <= 1.0
+
+    def test_episode_statistics_exposed(self):
+        sim, defender, attacker = small_fight()
+        result = run_and_measure(sim, [attacker], 5_000,
+                                 defenders=[defender])
+        assert result.episodes["attacker"]
+        assert result.mean_busoff_ms("attacker") > 0
+
+    def test_render_contains_rows(self):
+        sim, defender, attacker = small_fight()
+        result = run_and_measure(sim, [attacker], 5_000,
+                                 name="render-test", defenders=[defender])
+        text = result.render()
+        assert "render-test" in text
+        assert "attacker" in text
+        assert "mean=" in text and "max=" in text
+
+    def test_busy_fraction_skipped_without_recording(self):
+        sim = make_simulator(record=False)
+        defender = sim.add_node(MichiCanNode("defender", range(0x100)))
+        attacker = sim.add_node(DosAttacker("attacker", 0x064))
+        result = run_and_measure(sim, [attacker], 3_000,
+                                 defenders=[defender])
+        assert result.busy_fraction == 0.0
+
+    def test_multiple_attackers_tracked_separately(self):
+        sim = make_simulator()
+        defender = sim.add_node(MichiCanNode("defender", range(0x100)))
+        a1 = sim.add_node(DosAttacker("a1", 0x066))
+        a2 = sim.add_node(DosAttacker("a2", 0x067))
+        result = run_and_measure(sim, [a1, a2], 8_000,
+                                 defenders=[defender])
+        assert set(result.attacker_stats) == {"a1", "a2"}
+        assert set(result.episodes) == {"a1", "a2"}

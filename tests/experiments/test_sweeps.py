@@ -1,0 +1,57 @@
+"""Tests for the parameter-sweep machinery."""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    sweep_attack_ids,
+    sweep_attacker_dlc,
+    sweep_restbus_load,
+)
+
+
+class TestAttackIdSweep:
+    def test_all_in_range_ids_eradicated(self):
+        samples = sweep_attack_ids([0x000, 0x033, 0x064, 0x0AA, 0x0FF])
+        assert all(s.eradicated for s in samples)
+        for sample in samples:
+            assert 1_050 <= sample.busoff_bits <= 1_350
+            assert 1 <= sample.detection_bit <= 11
+
+    def test_busoff_band_spans_best_to_worst(self):
+        """Across IDs the per-fight totals vary with stuffing and error
+        position, inside the Table III band."""
+        samples = sweep_attack_ids(list(range(0x00, 0x100, 0x15)))
+        totals = {s.busoff_bits for s in samples}
+        assert len(totals) > 1  # the band is real, not a constant
+
+
+class TestDlcSweep:
+    def test_every_dlc_eradicated(self):
+        """Sec. IV-E: 6 injected bits cover every DLC case, 0..8 bytes."""
+        samples = sweep_attacker_dlc()
+        assert len(samples) == 9
+        assert all(s.eradicated for s in samples)
+
+    def test_dlc_variation_within_band(self):
+        samples = sweep_attacker_dlc(dlcs=(0, 1, 8))
+        for sample in samples:
+            assert 1_050 <= sample.busoff_bits <= 1_350
+
+
+class TestLoadSweep:
+    def test_monotone_in_load_and_matches_model(self):
+        from repro.analysis.busoff_theory import (
+            expected_busoff_bits_under_load,
+        )
+
+        curve = sweep_restbus_load([0.0, 0.10, 0.20])
+        values = [curve[k] for k in sorted(curve)]
+        assert values == sorted(values)  # more load, longer fights
+        base = curve[0.0]
+        for load in (0.10, 0.20):
+            predicted = expected_busoff_bits_under_load(load, base_bits=base)
+            assert curve[load] == pytest.approx(predicted, rel=0.15)
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_restbus_load([0.9])

@@ -1,0 +1,156 @@
+"""Tests for the Sec. III isolation model: a compromised exposed domain
+cannot reach the CAN controller or MichiCAN's pin multiplexer."""
+
+import pytest
+
+from repro.can.frame import CanFrame
+from repro.dbc.types import CommunicationMatrix, Message, Signal
+from repro.isolation.model import (
+    CanService,
+    Domain,
+    EcuSoftwareStack,
+    IsolationViolation,
+    PropertyMapping,
+    TrustLevel,
+)
+
+
+def hvac_matrix():
+    return CommunicationMatrix("hvac", (
+        Message(0x2E0, "HVAC_CONTROL", 4, "hvac_module", period_ms=100,
+                signals=(
+                    Signal("fan_speed", 0, 4, 1, 0, 0, 7),
+                    Signal("target_temp", 8, 8, 0.5, 10, 10, 32, "degC"),
+                )),
+        Message(0x1B0, "BRAKE_CMD", 8, "brake_module", period_ms=10,
+                signals=(Signal("pressure", 0, 16, 0.01, 0, 0, 500, "bar"),)),
+    ))
+
+
+MAPPINGS = [
+    PropertyMapping("hvac_fan_speed", 0x2E0, "fan_speed", 0, 7),
+    PropertyMapping("hvac_target_temp", 0x2E0, "target_temp", 16, 28),
+]
+
+
+def hypervisor_stack(sent=None):
+    return EcuSoftwareStack.hypervisor(
+        hvac_matrix(), MAPPINGS,
+        transmit=(sent.append if sent is not None else None),
+    )
+
+
+class TestBoundaries:
+    def test_exposed_domain_cannot_own_service(self):
+        ivi = Domain("ivi", TrustLevel.EXPOSED)
+        with pytest.raises(IsolationViolation, match="may not own"):
+            CanService(ivi)
+
+    def test_compromised_ivi_cannot_send_raw_frames(self):
+        stack = hypervisor_stack()
+        ivi = stack.compromise("ivi")
+        with pytest.raises(IsolationViolation, match="raw CAN transmission"):
+            stack.service.send(ivi, CanFrame(0x000, bytes(8)))
+
+    def test_compromised_ivi_cannot_acquire_pinmux(self):
+        """The MichiCAN weapon stays out of reach (paper: 'a compromised
+        IVI VM will not be able to access CAN functionality directly')."""
+        stack = hypervisor_stack()
+        ivi = stack.compromise("ivi")
+        with pytest.raises(IsolationViolation, match="pin-multiplexer"):
+            stack.service.acquire_pinmux(ivi)
+
+    def test_trusted_domain_cannot_be_remotely_compromised(self):
+        stack = hypervisor_stack()
+        with pytest.raises(IsolationViolation, match="not remotely"):
+            stack.compromise("rtos")
+
+    def test_rtos_owns_controller_and_pinmux(self):
+        stack = hypervisor_stack()
+        rtos = stack.domains["rtos"]
+        stack.service.send(rtos, CanFrame(0x2E0, bytes(4)))
+        assert stack.service.acquire_pinmux(rtos) is not None
+
+
+class TestVhalBridge:
+    def test_legitimate_property_write(self):
+        """The paper's example: Android writes the AC fan speed by abstract
+        name; the RTOS VM builds the frame."""
+        sent = []
+        stack = hypervisor_stack(sent)
+        ivi = stack.domains["ivi"]
+        frame = stack.bridge.write_property(ivi, "hvac_fan_speed", 3)
+        assert frame.can_id == 0x2E0
+        assert sent == [frame]
+        assert frame.data[0] & 0x0F == 3
+
+    def test_compromised_ivi_keeps_only_the_property_surface(self):
+        """Compromise does not widen the surface: whitelisted, range-checked
+        property writes still work; nothing else does."""
+        stack = hypervisor_stack()
+        ivi = stack.compromise("ivi")
+        frame = stack.bridge.write_property(ivi, "hvac_fan_speed", 7)
+        assert frame.can_id == 0x2E0  # nuisance-level influence only
+
+    def test_unlisted_property_rejected(self):
+        """The brake-pressure signal exists on the bus but is not exposed:
+        the compromised IVI cannot command braking."""
+        stack = hypervisor_stack()
+        ivi = stack.compromise("ivi")
+        with pytest.raises(IsolationViolation, match="not exposed"):
+            stack.bridge.write_property(ivi, "brake_pressure", 100)
+
+    def test_out_of_range_value_rejected(self):
+        stack = hypervisor_stack()
+        ivi = stack.domains["ivi"]
+        with pytest.raises(IsolationViolation, match="outside"):
+            stack.bridge.write_property(ivi, "hvac_target_temp", 90)
+
+    def test_audit_log_records_denials(self):
+        stack = hypervisor_stack()
+        ivi = stack.compromise("ivi")
+        with pytest.raises(IsolationViolation):
+            stack.bridge.write_property(ivi, "brake_pressure", 1)
+        stack.bridge.write_property(ivi, "hvac_fan_speed", 1)
+        outcomes = [entry[3] for entry in stack.bridge.audit_log]
+        assert outcomes == [False, True]
+
+    def test_mapping_validated_against_matrix(self):
+        with pytest.raises(Exception):
+            EcuSoftwareStack.hypervisor(
+                hvac_matrix(),
+                [PropertyMapping("ghost", 0x7FF, "nope", 0, 1)],
+            )
+
+    def test_allowed_properties_listed(self):
+        stack = hypervisor_stack()
+        assert stack.bridge.allowed_properties == [
+            "hvac_fan_speed", "hvac_target_temp",
+        ]
+
+
+class TestIsolationOptions:
+    """The paper: 'a range of isolation options exist depending on budget'."""
+
+    def test_trustzone_stack_same_guarantees(self):
+        stack = EcuSoftwareStack.trustzone(hvac_matrix(), MAPPINGS)
+        normal = stack.compromise("normal")
+        with pytest.raises(IsolationViolation):
+            stack.service.send(normal, CanFrame(0x000))
+        with pytest.raises(IsolationViolation):
+            stack.service.acquire_pinmux(normal)
+        assert stack.bridge.write_property(normal, "hvac_fan_speed", 2)
+
+    def test_mpu_only_stack_blocks_raw_access(self):
+        stack = EcuSoftwareStack.mpu_only(hvac_matrix())
+        app = stack.compromise("application")
+        with pytest.raises(IsolationViolation):
+            stack.service.send(app, CanFrame(0x000))
+        assert stack.bridge is None  # low-end: no property surface at all
+
+    def test_mechanism_labels(self):
+        assert EcuSoftwareStack.hypervisor(
+            hvac_matrix(), MAPPINGS).mechanism == "hypervisor"
+        assert EcuSoftwareStack.trustzone(
+            hvac_matrix(), MAPPINGS).mechanism == "trustzone"
+        assert EcuSoftwareStack.mpu_only(hvac_matrix()).mechanism == "mpu"

@@ -1,0 +1,172 @@
+"""Tests for the TEC/REC fault-confinement machine (paper Fig. 1b)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.node.faults import ErrorState, FaultConfinement
+
+
+class TestStates:
+    def test_starts_error_active(self):
+        assert FaultConfinement().state is ErrorState.ERROR_ACTIVE
+
+    def test_error_passive_at_tec_128(self):
+        fc = FaultConfinement()
+        for _ in range(16):
+            fc.on_transmit_error(0)
+        assert fc.tec == 128
+        assert fc.state is ErrorState.ERROR_PASSIVE
+
+    def test_error_passive_at_tec_127_not_yet(self):
+        fc = FaultConfinement()
+        fc.tec = 127
+        fc.on_transmit_success(0)  # forces recompute via decrement
+        assert fc.state is ErrorState.ERROR_ACTIVE
+
+    def test_bus_off_at_tec_256(self):
+        fc = FaultConfinement()
+        for _ in range(32):
+            fc.on_transmit_error(0)
+        assert fc.tec == 256
+        assert fc.state is ErrorState.BUS_OFF
+
+    def test_paper_count_32_errors_to_bus_off(self):
+        """Sec. IV-E: '32 consecutive errors' reach the bus-off threshold."""
+        fc = FaultConfinement()
+        errors = 0
+        while not fc.bus_off:
+            fc.on_transmit_error(errors)
+            errors += 1
+        assert errors == 32
+
+    def test_rec_never_causes_bus_off(self):
+        fc = FaultConfinement()
+        for t in range(500):
+            fc.on_receive_error(t)
+        assert fc.state is ErrorState.ERROR_PASSIVE
+        assert not fc.bus_off
+
+    def test_rec_128_is_error_passive(self):
+        fc = FaultConfinement()
+        for t in range(128):
+            fc.on_receive_error(t)
+        assert fc.state is ErrorState.ERROR_PASSIVE
+
+
+class TestRecovery:
+    def test_success_decrements_tec(self):
+        fc = FaultConfinement()
+        fc.on_transmit_error(0)
+        assert fc.tec == 8
+        fc.on_transmit_success(1)
+        assert fc.tec == 7
+
+    def test_tec_floor_zero(self):
+        fc = FaultConfinement()
+        fc.on_transmit_success(0)
+        assert fc.tec == 0
+
+    def test_rec_floor_zero(self):
+        fc = FaultConfinement()
+        fc.on_receive_success(0)
+        assert fc.rec == 0
+
+    def test_rec_clamp_from_above_127(self):
+        fc = FaultConfinement()
+        fc.rec = 140
+        fc.on_receive_success(0)
+        assert 110 <= fc.rec <= 127
+
+    def test_return_to_error_active(self):
+        """Fig. 1b: dropping both counters below 128 re-enters error-active."""
+        fc = FaultConfinement()
+        for _ in range(16):
+            fc.on_transmit_error(0)
+        assert fc.error_passive
+        for t in range(2):
+            fc.on_transmit_success(t)
+        assert fc.tec == 126
+        assert fc.error_active
+
+    def test_bus_off_recovery_resets_counters(self):
+        fc = FaultConfinement()
+        for _ in range(32):
+            fc.on_transmit_error(0)
+        assert fc.bus_off
+        fc.recover_from_bus_off(1000)
+        assert fc.state is ErrorState.ERROR_ACTIVE
+        assert fc.tec == 0 and fc.rec == 0
+
+    def test_recover_when_not_bus_off_is_noop(self):
+        fc = FaultConfinement()
+        fc.tec = 50
+        fc.recover_from_bus_off(0)
+        assert fc.tec == 50
+
+    def test_bus_off_sticky_without_recovery(self):
+        """Only recover_from_bus_off may leave bus-off (Fig. 1b)."""
+        fc = FaultConfinement()
+        for _ in range(32):
+            fc.on_transmit_error(0)
+        fc.on_transmit_success(1)  # must NOT leave bus-off
+        assert fc.bus_off
+
+
+class TestEscalations:
+    def test_receiver_flag_escalation_adds_8(self):
+        fc = FaultConfinement()
+        fc.on_receiver_flag_escalation(0)
+        assert fc.rec == 8
+
+    def test_flag_overrun_transmitter(self):
+        fc = FaultConfinement()
+        fc.on_flag_overrun_escalation(0, as_transmitter=True)
+        assert fc.tec == 8 and fc.rec == 0
+
+    def test_flag_overrun_receiver(self):
+        fc = FaultConfinement()
+        fc.on_flag_overrun_escalation(0, as_transmitter=False)
+        assert fc.rec == 8 and fc.tec == 0
+
+
+class TestTransitions:
+    def test_transition_log(self):
+        fc = FaultConfinement()
+        for _ in range(32):
+            fc.on_transmit_error(0)
+        states = [(t.old_state, t.new_state) for t in fc.transitions]
+        assert states == [
+            (ErrorState.ERROR_ACTIVE, ErrorState.ERROR_PASSIVE),
+            (ErrorState.ERROR_PASSIVE, ErrorState.BUS_OFF),
+        ]
+
+    def test_observer_called(self):
+        seen = []
+        fc = FaultConfinement()
+        fc.on_transition = seen.append
+        for _ in range(16):
+            fc.on_transmit_error(0)
+        assert len(seen) == 1
+        assert seen[0].new_state is ErrorState.ERROR_PASSIVE
+
+    @given(st.lists(st.sampled_from(["terr", "rerr", "tok", "rok"]), max_size=200))
+    def test_state_always_consistent_with_counters(self, ops):
+        """Property: derived state always matches the counter thresholds."""
+        fc = FaultConfinement()
+        for t, op in enumerate(ops):
+            if fc.bus_off:
+                break
+            if op == "terr":
+                fc.on_transmit_error(t)
+            elif op == "rerr":
+                fc.on_receive_error(t)
+            elif op == "tok":
+                fc.on_transmit_success(t)
+            else:
+                fc.on_receive_success(t)
+            if fc.tec >= 256:
+                assert fc.bus_off
+            elif fc.tec >= 128 or fc.rec >= 128:
+                assert fc.error_passive
+            else:
+                assert fc.error_active

@@ -1,0 +1,119 @@
+"""Tests for transmit queueing and periodic scheduling."""
+
+import pytest
+
+from repro.can.frame import CanFrame
+from repro.errors import SchedulingError
+from repro.node.scheduler import (
+    PeriodicMessage,
+    PeriodicScheduler,
+    TransmitQueue,
+)
+
+
+class TestTransmitQueue:
+    def test_priority_order(self):
+        q = TransmitQueue()
+        q.enqueue(CanFrame(0x300), 0)
+        q.enqueue(CanFrame(0x100), 1)
+        q.enqueue(CanFrame(0x200), 2)
+        assert q.peek().frame.can_id == 0x100
+
+    def test_fifo_within_same_id(self):
+        q = TransmitQueue()
+        first = q.enqueue(CanFrame(0x100, b"\x01"), 0)
+        q.enqueue(CanFrame(0x100, b"\x02"), 5)
+        assert q.peek() is first
+
+    def test_success_pops_and_records(self):
+        q = TransmitQueue()
+        q.enqueue(CanFrame(0x100), 0)
+        done = q.on_success(50)
+        assert done.completed_at == 50
+        assert not q.has_pending
+        assert q.completed == [done]
+
+    def test_attempts_counted(self):
+        q = TransmitQueue()
+        q.enqueue(CanFrame(0x100), 0)
+        q.on_attempt()
+        q.on_attempt()
+        assert q.peek().attempts == 2
+
+    def test_capacity_enforced(self):
+        q = TransmitQueue(capacity=1)
+        q.enqueue(CanFrame(0x100), 0)
+        with pytest.raises(SchedulingError, match="full"):
+            q.enqueue(CanFrame(0x200), 0)
+
+    def test_success_on_empty_raises(self):
+        with pytest.raises(SchedulingError):
+            TransmitQueue().on_success(0)
+
+    def test_attempt_on_empty_raises(self):
+        with pytest.raises(SchedulingError):
+            TransmitQueue().on_attempt()
+
+    def test_len_and_clear(self):
+        q = TransmitQueue()
+        q.enqueue(CanFrame(0x100), 0)
+        q.enqueue(CanFrame(0x200), 0)
+        assert len(q) == 2
+        q.clear()
+        assert len(q) == 0
+
+
+class TestPeriodicMessage:
+    def test_due_at_offset(self):
+        m = PeriodicMessage(0x100, period_bits=1000, offset_bits=100)
+        assert not m.due(99)
+        assert m.due(100)
+
+    def test_subsequent_periods(self):
+        m = PeriodicMessage(0x100, period_bits=1000)
+        assert m.due(0)
+        m.emit(0)
+        assert not m.due(999)
+        assert m.due(1000)
+
+    def test_limit(self):
+        m = PeriodicMessage(0x100, period_bits=10, limit=2)
+        m.emit(0)
+        m.emit(10)
+        assert not m.due(100000)
+
+    def test_payload_fn_receives_instance_counter(self):
+        m = PeriodicMessage(0x100, period_bits=10,
+                            payload_fn=lambda n: bytes([n]))
+        assert m.emit(0).data == b"\x00"
+        assert m.emit(10).data == b"\x01"
+
+    def test_invalid_period(self):
+        with pytest.raises(SchedulingError):
+            PeriodicMessage(0x100, period_bits=0)
+
+
+class TestPeriodicScheduler:
+    def test_tick_enqueues_due_messages(self):
+        sched = PeriodicScheduler([
+            PeriodicMessage(0x100, period_bits=50),
+            PeriodicMessage(0x200, period_bits=70, offset_bits=10),
+        ])
+        q = TransmitQueue()
+        assert sched.tick(0, q) == 1
+        assert sched.tick(10, q) == 1
+        assert len(q) == 2
+
+    def test_catch_up_after_gap(self):
+        """If ticks are skipped (bus busy), all overdue instances enqueue."""
+        sched = PeriodicScheduler([PeriodicMessage(0x100, period_bits=10)])
+        q = TransmitQueue()
+        sched.tick(35, q)
+        assert len(q) == 4  # t=0,10,20,30
+
+    def test_add(self):
+        sched = PeriodicScheduler()
+        sched.add(PeriodicMessage(0x100, period_bits=10))
+        q = TransmitQueue()
+        sched.tick(0, q)
+        assert q.has_pending

@@ -1,0 +1,147 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "MichiCAN" in out and "Parrot" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "1248" in out
+
+    def test_table2_single_experiment(self, capsys):
+        assert main(["table2", "--experiment", "4",
+                     "--duration", "10000"]) == 0
+        out = capsys.readouterr().out
+        assert "exp4" in out and "mean=" in out
+
+    def test_table2_invalid_experiment(self, capsys):
+        assert main(["table2", "--experiment", "9"]) == 2
+
+    def test_latency(self, capsys):
+        assert main(["latency", "--fsms", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "detection rate" in out
+        assert "100.00%" in out
+
+    def test_multi(self, capsys):
+        assert main(["multi", "--attackers", "2",
+                     "--duration", "8000"]) == 0
+        out = capsys.readouterr().out
+        assert "total fight" in out
+
+    def test_cpu(self, capsys):
+        assert main(["cpu"]) == 0
+        out = capsys.readouterr().out
+        assert "Arduino Due" in out and "S32K144" in out
+
+    def test_fsm(self, capsys):
+        assert main(["fsm", "--ecus", "0xA0,0x173", "--own", "0x173",
+                     "--classify", "0x064"]) == 0
+        out = capsys.readouterr().out
+        assert "malicious" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--attack-id", "0x040"]) == 0
+        out = capsys.readouterr().out
+        assert "bus-off" in out
+
+    def test_parksense_undefended(self, capsys):
+        assert main(["parksense", "--undefended",
+                     "--duration", "250000"]) == 0
+        out = capsys.readouterr().out
+        assert "unavailable" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCliLogTools:
+    @pytest.fixture()
+    def logfile(self, tmp_path):
+        path = tmp_path / "capture.log"
+        path.write_text(
+            "(0.000000) can0 123#DEADBEEF\n"
+            "(0.010000) can0 123#DEADBEF0\n"
+            "(0.020000) can0 18DAF110#01\n"
+            "(0.025000) can0 064#0000000000000000\n"
+        )
+        return str(path)
+
+    def test_decode(self, capsys, logfile):
+        assert main(["decode", logfile]) == 0
+        out = capsys.readouterr().out
+        assert "0x123" in out and "0x18DAF110" in out
+        assert "10.0" in out  # measured period of 0x123
+
+    def test_replay(self, capsys, logfile):
+        assert main(["replay", logfile, "--time-scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 4/4 frames" in out
+
+    def test_replay_with_defense(self, capsys, logfile):
+        assert main(["replay", logfile, "--time-scale", "0.05",
+                     "--defend", "0x123"]) == 0
+        out = capsys.readouterr().out
+        assert "MichiCAN detections" in out
+
+    def test_codegen(self, capsys):
+        assert main(["codegen", "--ecus", "0xA0,0x173",
+                     "--own", "0x173", "--prefix", "ecu_a"]) == 0
+        out = capsys.readouterr().out
+        assert "ecu_a_fsm" in out and "#include <stdint.h>" in out
+
+
+class TestCliPlanningTools:
+    def test_coverage(self, capsys):
+        assert main(["coverage", "--ecus", "0xA0,0x173,0x2F0",
+                     "--equip", "0xA0"]) == 0
+        out = capsys.readouterr().out
+        assert "PARTIAL" in out and "uncovered DoS ranges" in out
+
+    def test_coverage_default_top_ecu(self, capsys):
+        assert main(["coverage", "--ecus", "0xA0,0x173,0x2F0"]) == 0
+        out = capsys.readouterr().out
+        assert "FULL" in out
+
+    def test_waveform(self, capsys, tmp_path):
+        output = str(tmp_path / "fight.svg")
+        assert main(["waveform", "--output", output,
+                     "--duration", "300", "--bits", "100"]) == 0
+        content = open(output, encoding="utf-8").read()
+        assert content.startswith("<svg")
+        assert "counterattack" in content
+
+    def test_waveform_timeline(self, capsys, tmp_path):
+        output = str(tmp_path / "timeline.svg")
+        assert main(["waveform", "--output", output, "--timeline",
+                     "--duration", "2600"]) == 0
+        content = open(output, encoding="utf-8").read()
+        assert "attacker" in content and "bus-off" in content
+
+    def test_report_sections(self, capsys):
+        assert main(["report", "--sections", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "1248" in out
+
+
+class TestCliErrorPaths:
+    def test_decode_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            main(["decode", "/nonexistent/capture.log"])
+
+    def test_fsm_requires_ecus(self):
+        with pytest.raises(SystemExit):
+            main(["fsm"])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])

@@ -1,0 +1,98 @@
+"""Tests for the feature-availability model and ParkSense."""
+
+import pytest
+
+from repro.can.frame import CanFrame
+from repro.vehicle.features import (
+    FeatureState,
+    MessageSupervision,
+    VehicleFeature,
+)
+from repro.vehicle.parksense import DASHBOARD_MESSAGE, ParkSense
+from repro.workloads.vehicles import PARKSENSE_IDS, pacifica_matrix
+
+
+def simple_feature(timeout=100):
+    return VehicleFeature(
+        "thing",
+        [MessageSupervision(0x260, timeout), MessageSupervision(0x264, timeout)],
+        unavailable_message="THING BROKE",
+    )
+
+
+class TestSupervision:
+    def test_initializing_until_first_inputs(self):
+        feature = simple_feature()
+        assert feature.poll(0) is FeatureState.INITIALIZING
+
+    def test_becomes_available(self):
+        feature = simple_feature()
+        feature.on_frame(10, CanFrame(0x260))
+        feature.on_frame(12, CanFrame(0x264))
+        assert feature.poll(20) is FeatureState.AVAILABLE
+
+    def test_partial_inputs_not_available(self):
+        feature = simple_feature()
+        feature.on_frame(10, CanFrame(0x260))
+        assert feature.poll(20) is FeatureState.INITIALIZING
+
+    def test_unrelated_frames_ignored(self):
+        feature = simple_feature()
+        feature.on_frame(10, CanFrame(0x100))
+        assert feature.poll(20) is FeatureState.INITIALIZING
+
+    def test_timeout_latches_unavailable(self):
+        feature = simple_feature(timeout=100)
+        feature.on_frame(10, CanFrame(0x260))
+        feature.on_frame(10, CanFrame(0x264))
+        feature.poll(50)
+        assert feature.available
+        feature.poll(200)
+        assert feature.state is FeatureState.UNAVAILABLE
+        assert feature.dashboard == ["THING BROKE"]
+
+    def test_recovery_after_inputs_resume(self):
+        feature = simple_feature(timeout=100)
+        feature.on_frame(10, CanFrame(0x260))
+        feature.on_frame(10, CanFrame(0x264))
+        feature.poll(50)
+        feature.poll(300)  # starved
+        feature.on_frame(400, CanFrame(0x260))
+        feature.on_frame(400, CanFrame(0x264))
+        feature.poll(410)
+        assert feature.available
+        windows = feature.downtime_windows()
+        assert len(windows) == 1
+        assert windows[0][0] == 300 and windows[0][1] == 410
+
+    def test_ongoing_downtime_window(self):
+        feature = simple_feature(timeout=100)
+        feature.on_frame(10, CanFrame(0x260))
+        feature.on_frame(10, CanFrame(0x264))
+        feature.poll(50)
+        feature.poll(500)
+        assert feature.downtime_windows() == [(500, None)]
+
+    def test_requires_supervision(self):
+        with pytest.raises(ValueError):
+            VehicleFeature("empty", [])
+
+
+class TestParkSense:
+    def test_supervises_parksense_ids(self):
+        feature = ParkSense(pacifica_matrix(), bus_speed=50_000)
+        assert set(feature.supervised) == set(PARKSENSE_IDS)
+
+    def test_dashboard_message(self):
+        assert "PARKSENSE" in DASHBOARD_MESSAGE
+        feature = ParkSense(pacifica_matrix(), bus_speed=50_000)
+        assert feature.unavailable_message == DASHBOARD_MESSAGE
+
+    def test_automatic_braking_tracks_availability(self):
+        feature = ParkSense(pacifica_matrix(), bus_speed=50_000)
+        for can_id in PARKSENSE_IDS:
+            feature.on_frame(100, CanFrame(can_id))
+        feature.poll(200)
+        assert feature.automatic_braking_available
+        feature.poll(10_000_000)
+        assert not feature.automatic_braking_available

@@ -1,0 +1,61 @@
+"""Tests for random IVN / attack-sample generation."""
+
+import random
+
+from repro.core.config import AttackKind, IvnConfig
+from repro.workloads.generator import (
+    RandomIvnSpec,
+    ivn_population,
+    random_attack_id,
+    random_ivn,
+    sample_benign_ids,
+    sample_malicious_ids,
+)
+
+
+class TestRandomIvn:
+    def test_size_within_spec(self):
+        rng = random.Random(0)
+        spec = RandomIvnSpec(min_ecus=3, max_ecus=5)
+        for _ in range(50):
+            ivn = random_ivn(rng, spec)
+            assert 3 <= len(ivn) <= 5
+
+    def test_population_deterministic(self):
+        a = [ivn.ecu_ids for ivn in ivn_population(20, seed=1)]
+        b = [ivn.ecu_ids for ivn in ivn_population(20, seed=1)]
+        assert a == b
+
+    def test_population_count(self):
+        assert len(list(ivn_population(37, seed=2))) == 37
+
+
+class TestSampling:
+    def test_malicious_samples_in_detection_set(self):
+        rng = random.Random(3)
+        ivn = random_ivn(rng)
+        detection = ivn.detection_range(ivn.highest_id)
+        samples = sample_malicious_ids(rng, detection, 30)
+        assert len(samples) == 30
+        assert all(s in detection for s in samples)
+
+    def test_benign_samples_outside_detection_set(self):
+        rng = random.Random(4)
+        ivn = random_ivn(rng)
+        detection = ivn.detection_range(ivn.highest_id)
+        samples = sample_benign_ids(rng, detection, 30)
+        assert all(s not in detection for s in samples)
+
+    def test_empty_pools(self):
+        rng = random.Random(5)
+        assert sample_malicious_ids(rng, frozenset(), 5) == []
+        everything = frozenset(range(2048))
+        assert sample_benign_ids(rng, everything, 5) == []
+
+    def test_random_attack_id_classified_malicious(self):
+        rng = random.Random(6)
+        for _ in range(20):
+            ivn = random_ivn(rng)
+            attack = random_attack_id(rng, ivn)
+            kind = ivn.classify(ivn.highest_id, attack)
+            assert kind in (AttackKind.DOS, AttackKind.SPOOFING)
