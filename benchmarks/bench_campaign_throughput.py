@@ -1,0 +1,83 @@
+"""Campaign engine throughput: serial vs parallel wall-time and steps/sec.
+
+Runs the same 8-spec campaign with ``n_workers=1`` and ``n_workers=4``,
+verifies the determinism guarantee (payloads bit-identical modulo timing
+metadata), and records both runs to ``BENCH_campaign.json`` in the repo
+root so future PRs have a perf trajectory to beat.
+
+The speedup assertion only applies on multi-core hosts; a single-core
+container still records the numbers and checks determinism.
+
+Regenerate:  pytest benchmarks/bench_campaign_throughput.py --benchmark-only -s
+"""
+
+import json
+import os
+import pathlib
+
+from conftest import report
+from repro.experiments.campaign import Campaign, ScenarioSpec
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_campaign.json"
+PARALLEL_WORKERS = 4
+
+
+def campaign_specs():
+    """8 mixed specs: the Table II core plus sweep-style fights."""
+    specs = [ScenarioSpec(f"exp{number}", duration_bits=20_000)
+             for number in range(1, 7)]
+    specs.append(ScenarioSpec("multi_attacker", {"num_attackers": 3},
+                              duration_bits=20_000))
+    specs.append(ScenarioSpec("single_frame_fight", {"bus_speed": 500_000},
+                              duration_bits=20_000))
+    return specs
+
+
+def _summarize(outcome):
+    return {
+        "n_workers": outcome.n_workers,
+        "wall_seconds": round(outcome.wall_seconds, 3),
+        "total_steps": outcome.total_steps(),
+        "steps_per_second": round(
+            outcome.total_steps() / outcome.wall_seconds, 1),
+        "per_run_steps_per_second": {
+            record.spec.name: round(record.steps_per_second, 1)
+            for record in outcome.records
+        },
+    }
+
+
+def test_campaign_serial_vs_parallel(benchmark):
+    specs = campaign_specs()
+    serial = Campaign(specs, n_workers=1).run()
+    parallel = benchmark.pedantic(
+        Campaign(specs, n_workers=PARALLEL_WORKERS).run,
+        rounds=1, iterations=1,
+    )
+
+    assert len(serial.records) == len(specs) == 8
+    assert serial.payload_equal(parallel)
+
+    cores = os.cpu_count() or 1
+    payload = {
+        "cpu_count": cores,
+        "specs": [spec.to_dict() for spec in specs],
+        "serial": _summarize(serial),
+        "parallel": _summarize(parallel),
+        "speedup": round(serial.wall_seconds / parallel.wall_seconds, 2),
+    }
+    BENCH_FILE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")
+
+    report("Campaign throughput — serial vs parallel", [
+        ("specs in campaign", 8, len(specs)),
+        ("serial wall (s)", "-", f"{serial.wall_seconds:.2f}"),
+        (f"parallel wall (s), {PARALLEL_WORKERS} workers", "-",
+         f"{parallel.wall_seconds:.2f}"),
+        ("speedup", f">1 on {PARALLEL_WORKERS}-core hosts",
+         payload["speedup"]),
+        ("payloads bit-identical", True, True),
+    ], notes=f"recorded to {BENCH_FILE.name} (cpu_count={cores})")
+    if cores >= 2:
+        assert parallel.wall_seconds < serial.wall_seconds

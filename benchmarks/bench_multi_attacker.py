@@ -5,38 +5,52 @@ bus-off time consists of 3515 and 4660 bits, respectively.  MichiCAN is
 effective against up to four attackers, as A >= 5 would render the CAN bus
 inoperable" (10 ms deadline at 500 kbit/s = 5000 bits).
 
+All four attacker counts run as one ``multi_attacker`` campaign fanned out
+over worker processes.
+
 Regenerate:  pytest benchmarks/bench_multi_attacker.py --benchmark-only -s
 """
+
+import os
 
 import pytest
 
 from conftest import report
 from repro.analysis.busoff_theory import max_attackers_before_deadline_miss
-from repro.experiments.scenarios import multi_attacker_experiment, total_fight_bits
+from repro.experiments.campaign import Campaign, ScenarioSpec
+from repro.experiments.scenarios import total_fight_bits
 
 PAPER_TOTALS = {3: 3515, 4: 4660}
 DEADLINE_BITS = 5_000
+ATTACKER_COUNTS = (2, 3, 4, 5)
+N_WORKERS = min(4, os.cpu_count() or 1)
 
 
-@pytest.mark.parametrize("attackers", [2, 3, 4, 5])
-def test_multi_attacker_fight(benchmark, attackers):
-    result = benchmark.pedantic(
-        lambda: multi_attacker_experiment(attackers).run(24_000),
-        rounds=1, iterations=1,
-    )
-    total = total_fight_bits(result)
-    paper = PAPER_TOTALS.get(attackers, "-")
-    report(f"Multi-attacker fight, A = {attackers}", [
-        ("total bus-off fight (bits)", paper, total),
-        ("within 5000-bit deadline", attackers <= 4, total <= DEADLINE_BITS),
-        ("all attackers eradicated", True,
-         all(eps for eps in result.episodes.values())),
-    ])
-    assert all(eps for eps in result.episodes.values())
-    if attackers in PAPER_TOTALS:
-        assert total == pytest.approx(PAPER_TOTALS[attackers], rel=0.15)
-    if attackers >= 5:
-        assert total > DEADLINE_BITS
+def test_multi_attacker_fights(benchmark):
+    specs = [
+        ScenarioSpec("multi_attacker", {"num_attackers": attackers},
+                     duration_bits=24_000, label=f"A={attackers}")
+        for attackers in ATTACKER_COUNTS
+    ]
+    campaign = Campaign(specs, n_workers=N_WORKERS)
+    outcome = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
+
+    for attackers, record in zip(ATTACKER_COUNTS, outcome.records):
+        result = record.result
+        total = total_fight_bits(result)
+        paper = PAPER_TOTALS.get(attackers, "-")
+        report(f"Multi-attacker fight, A = {attackers}", [
+            ("total bus-off fight (bits)", paper, total),
+            ("within 5000-bit deadline", attackers <= 4,
+             total <= DEADLINE_BITS),
+            ("all attackers eradicated", True,
+             all(eps for eps in result.episodes.values())),
+        ])
+        assert all(eps for eps in result.episodes.values())
+        if attackers in PAPER_TOTALS:
+            assert total == pytest.approx(PAPER_TOTALS[attackers], rel=0.15)
+        if attackers >= 5:
+            assert total > DEADLINE_BITS
 
 
 def test_attacker_limit_formula(benchmark):

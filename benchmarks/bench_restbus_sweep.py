@@ -5,8 +5,14 @@ selected Veh. D").  The simulator sweeps all eight buses of Veh. A-D and
 checks each measured mean against the closed-form load model
 ``T = base / (1 - b)`` (the Table III c-terms collapsed to a utilization).
 
+The eight buses are declared as one campaign of ``restbus_fight`` specs and
+fanned out over worker processes — the first consumer of the campaign
+engine's parallelism.
+
 Regenerate:  pytest benchmarks/bench_restbus_sweep.py --benchmark-only -s
 """
+
+import os
 
 import pytest
 
@@ -15,42 +21,34 @@ from repro.analysis.busoff_theory import (
     busoff_ms,
     expected_busoff_bits_under_load,
 )
-from repro.attacks.dos import DosAttacker
-from repro.bus.simulator import CanBusSimulator
-from repro.core.defense import MichiCanNode
-from repro.experiments.runner import run_and_measure
-from repro.experiments.scenarios import (
-    RESTBUS_TARGET_LOAD,
-    detection_ids_for,
-)
-from repro.workloads.matrix import theoretical_bus_load
-from repro.workloads.restbus import RestbusNode
-from repro.workloads.vehicles import all_vehicle_buses
+from repro.experiments.campaign import Campaign, ScenarioSpec
+from repro.experiments.scenarios import RESTBUS_TARGET_LOAD
+from repro.workloads.vehicles import VEHICLES
 
 BASE_BITS = 1_230  # measured clean-bus episode (Exp. 4)
+N_WORKERS = min(4, os.cpu_count() or 1)
 
 
-def run_bus(matrix, duration=60_000):
-    sim = CanBusSimulator(bus_speed=50_000)
-    native = theoretical_bus_load(matrix, sim.bus_speed)
-    scale = max(1.0, native / RESTBUS_TARGET_LOAD)
-    sim.add_node(RestbusNode("restbus", matrix, sim.bus_speed,
-                             time_scale=scale))
-    defender = MichiCanNode(
-        "michican", detection_ids_for(0x173, matrix.all_ids()))
-    sim.add_node(defender)
-    attacker = sim.add_node(DosAttacker("attacker", 0x064))
-    result = run_and_measure(sim, [attacker], duration,
-                             name=matrix.name, defenders=[defender])
-    return result.attacker_stats["attacker"]
+def sweep_specs(duration=60_000):
+    return [
+        ScenarioSpec(
+            "restbus_fight",
+            {"vehicle": vehicle, "bus": bus,
+             "target_load": RESTBUS_TARGET_LOAD},
+            duration_bits=duration,
+            label=f"{vehicle}_bus{bus}",
+        )
+        for vehicle in sorted(VEHICLES)
+        for bus in (1, 2)
+    ]
 
 
 def test_exp3_across_all_vehicle_buses(benchmark):
-    def run():
-        return {matrix.name: run_bus(matrix)
-                for matrix in all_vehicle_buses()}
+    campaign = Campaign(sweep_specs(), n_workers=N_WORKERS)
 
-    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    outcome = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
+    stats = {record.spec.name: record.result.attacker_stats["attacker"]
+             for record in outcome.records}
     predicted_bits = expected_busoff_bits_under_load(
         RESTBUS_TARGET_LOAD, base_bits=BASE_BITS)
     predicted_ms = busoff_ms(round(predicted_bits), 50_000)
@@ -61,7 +59,8 @@ def test_exp3_across_all_vehicle_buses(benchmark):
                      f"{bus_stats['mean_ms']:.1f}"))
     report("Restbus sweep — Exp. 3 on all eight buses", rows,
            notes="paper evaluated Veh. D only; the load model T = base/(1-b) "
-                 "predicts every bus")
+                 f"predicts every bus ({N_WORKERS} campaign worker(s))")
+    assert len(stats) == 8
     for bus_stats in stats.values():
         assert bus_stats["count"] >= 10
         assert bus_stats["mean_ms"] == pytest.approx(predicted_ms, rel=0.12)

@@ -6,39 +6,39 @@ takes 24.3 ms at 50 kbit/s and 2.43 ms at 500 kbit/s.  The hardware could
 only validate 50/125 kbit/s (the Due runs out of cycles above that); the
 simulator, with the NXP-class CPU budget, sweeps every standard speed.
 
+The per-speed fights are one ``single_frame_fight`` campaign; each
+:class:`BusOffEpisode` spans first-malicious-SOF to the end of the final
+passive error frame, i.e. exactly the paper's bus-off time.
+
 Regenerate:  pytest benchmarks/bench_speed_sweep.py --benchmark-only -s
 """
+
+import os
 
 import pytest
 
 from conftest import report
 from repro.analysis.cpu import NXP_S32K144, analytic_utilization
-from repro.bus.events import BusOffEntered, FrameStarted
-from repro.bus.simulator import CanBusSimulator
-from repro.can.frame import CanFrame
-from repro.core.defense import MichiCanNode
-from repro.node.controller import CanNode
+from repro.experiments.campaign import Campaign, ScenarioSpec
 
 SPEEDS = (50_000, 125_000, 250_000, 500_000, 1_000_000)
-
-
-def fight_at(speed):
-    sim = CanBusSimulator(bus_speed=speed)
-    sim.add_node(MichiCanNode("defender", range(0x100)))
-    attacker = sim.add_node(CanNode("attacker"))
-    attacker.send(CanFrame(0x064, bytes(8)))
-    sim.run_until(lambda s: attacker.is_bus_off, 10_000)
-    boff = sim.events_of(BusOffEntered)[0]
-    first = sim.events_of(FrameStarted)[0]
-    bits = boff.time + 14 - first.time
-    return bits, sim.milliseconds(bits)
+N_WORKERS = min(4, os.cpu_count() or 1)
 
 
 def test_bit_count_invariant_across_speeds(benchmark):
-    results = benchmark.pedantic(
-        lambda: {speed: fight_at(speed) for speed in SPEEDS},
-        rounds=1, iterations=1,
-    )
+    specs = [
+        ScenarioSpec("single_frame_fight", {"bus_speed": speed},
+                     duration_bits=6_000, label=f"{speed}bps")
+        for speed in SPEEDS
+    ]
+    campaign = Campaign(specs, n_workers=N_WORKERS)
+    outcome = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
+
+    results = {}
+    for speed, record in zip(SPEEDS, outcome.records):
+        episode = record.result.episodes["attacker"][0]
+        bits = episode.duration_bits
+        results[speed] = (bits, episode.duration_ms(speed))
     rows = []
     for speed, (bits, ms) in results.items():
         rows.append((f"{speed // 1000} kbit/s: bus-off bits / ms",

@@ -52,6 +52,7 @@ class CanBusSimulator:
         self.events: List[Event] = []
         self._event_listeners: List[Callable[[Event], None]] = []
         self._stop_requested = False
+        self._outputs: List[int] = []
 
     # ------------------------------------------------------------- topology
 
@@ -63,6 +64,12 @@ class CanBusSimulator:
         self.nodes.append(node)
         node.attach(self._record_event)
         return node
+
+    def add_nodes(self, *nodes: CanNode) -> "CanBusSimulator":
+        """Attach several nodes at once; returns ``self`` for chaining."""
+        for node in nodes:
+            self.add_node(node)
+        return self
 
     def node(self, name: str) -> CanNode:
         """Look a node up by name."""
@@ -111,10 +118,39 @@ class CanBusSimulator:
         """
         if bits < 0:
             raise ConfigurationError(f"cannot run for negative time {bits}")
+        if not self.nodes and bits > 0:
+            raise SimulationError("cannot step a bus with no nodes")
         self._stop_requested = False
         deadline = self.time + bits
-        while self.time < deadline and not self._stop_requested:
-            self.step()
+        # Instrumented simulators (subclass or per-instance step() override)
+        # keep the one-call-per-bit contract.
+        if "step" in self.__dict__ or type(self).step is not CanBusSimulator.step:
+            while self.time < deadline and not self._stop_requested:
+                self.step()
+            return self.time
+        # The campaign layer multiplies total simulated bits, so this loop
+        # is the hottest path in the repo: bind the per-node methods once,
+        # reuse one outputs buffer, and avoid the step() dispatch per bit.
+        nodes = self.nodes
+        drive = self.wire.drive
+        output_methods = [node.output for node in nodes]
+        observe_methods = [node.observe for node in nodes]
+        outputs = self._outputs
+        if len(outputs) != len(nodes):
+            outputs = self._outputs = [0] * len(nodes)
+        time = self.time
+        while time < deadline and not self._stop_requested:
+            if len(nodes) != len(output_methods):  # topology changed mid-run
+                output_methods = [node.output for node in nodes]
+                observe_methods = [node.observe for node in nodes]
+                outputs = self._outputs = [0] * len(nodes)
+            for index, output in enumerate(output_methods):
+                outputs[index] = output(time)
+            level = drive(outputs)
+            for observe in observe_methods:
+                observe(time, level)
+            time += 1
+            self.time = time
         return self.time
 
     def run_until(
@@ -122,14 +158,20 @@ class CanBusSimulator:
     ) -> Optional[int]:
         """Run until ``predicate(self)`` holds, at most ``limit`` bits.
 
-        Returns the time at which the predicate first held, or None if the
-        limit was reached first.
+        Honors :meth:`request_stop` exactly like :meth:`run` does.  Returns
+        the time at which the predicate first held, or None if the limit was
+        reached (or a stop was requested) first.
         """
+        if limit < 0:
+            raise ConfigurationError(f"cannot run for negative time {limit}")
+        self._stop_requested = False
         deadline = self.time + limit
         while self.time < deadline:
             self.step()
             if predicate(self):
                 return self.time
+            if self._stop_requested:
+                return None
         return None
 
     # ------------------------------------------------------------ conversions

@@ -32,6 +32,32 @@ def _parse_id_list(text: str) -> List[int]:
     return [_parse_id(part) for part in text.split(",") if part.strip()]
 
 
+def _parse_param_value(text: str):
+    """Best-effort typing for ``--param key=value`` values."""
+    if "," in text:
+        return [_parse_param_value(part) for part in text.split(",")
+                if part.strip()]
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for parse in (lambda t: int(t, 0), float):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_params(pairs: Optional[List[str]]) -> dict:
+    params = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"error: --param expects key=value, got {pair!r}")
+        key, _, value = pair.partition("=")
+        params[key] = _parse_param_value(value)
+    return params
+
+
 # ----------------------------------------------------------------- commands
 
 def cmd_table1(_args: argparse.Namespace) -> int:
@@ -305,6 +331,57 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import (
+        Campaign,
+        ScenarioSpec,
+        scenario_names,
+        scenario_summary,
+    )
+    from repro.experiments.store import load_report, save_report
+
+    if args.campaign_command == "scenarios":
+        width = max(len(name) for name in scenario_names())
+        for name in scenario_names():
+            print(f"{name:<{width}}  {scenario_summary(name)}")
+        return 0
+
+    if args.campaign_command == "show":
+        report = load_report(args.report)
+        print(report.render())
+        return 0
+
+    # campaign run
+    specs = []
+    if args.spec_file:
+        import json
+
+        with open(args.spec_file, encoding="utf-8") as handle:
+            specs = [ScenarioSpec.from_dict(entry)
+                     for entry in json.load(handle)]
+    if args.scenario:
+        if args.scenario not in scenario_names():
+            print(f"error: unknown scenario {args.scenario!r} "
+                  f"(see `repro campaign scenarios`)", file=sys.stderr)
+            return 2
+        params = _parse_params(args.param)
+        specs.extend(
+            ScenarioSpec(args.scenario, params=params, seed=seed,
+                         duration_bits=args.duration)
+            for seed in args.seeds
+        )
+    if not specs:
+        print("error: nothing to run — give --scenario and/or --spec-file",
+              file=sys.stderr)
+        return 2
+    report = Campaign(specs, n_workers=args.workers).run()
+    print(report.render())
+    if args.out:
+        save_report(report, args.out)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
 # --------------------------------------------------------------------- main
 
 def build_parser() -> argparse.ArgumentParser:
@@ -385,6 +462,28 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["table2", "table3", "latency", "multi", "cpu",
                             "parksense"])
 
+    p = sub.add_parser("campaign",
+                       help="declarative experiment campaigns (parallel)")
+    campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
+    campaign_sub.add_parser("scenarios", help="list registered scenarios")
+    cp = campaign_sub.add_parser("run", help="run a campaign of specs")
+    cp.add_argument("--scenario", default=None,
+                    help="registered scenario name (one spec per seed)")
+    cp.add_argument("--seeds", type=_parse_id_list, default=[0],
+                    help="comma-separated seeds (default: 0)")
+    cp.add_argument("--duration", type=int, default=20_000,
+                    help="simulated window per run, in bit times")
+    cp.add_argument("--param", action="append", metavar="KEY=VALUE",
+                    help="scenario factory parameter (repeatable)")
+    cp.add_argument("--spec-file", default=None,
+                    help="JSON file with a list of ScenarioSpec dicts")
+    cp.add_argument("--workers", type=int, default=1,
+                    help="worker processes (1 = serial)")
+    cp.add_argument("--out", default=None,
+                    help="write the CampaignReport JSON here")
+    cp = campaign_sub.add_parser("show", help="render a stored report")
+    cp.add_argument("report")
+
     p = sub.add_parser("codegen", help="emit the C firmware patch for an FSM")
     p.add_argument("--ecus", type=_parse_id_list, required=True)
     p.add_argument("--own", type=_parse_id, default=None)
@@ -409,6 +508,7 @@ COMMANDS = {
     "coverage": cmd_coverage,
     "replay": cmd_replay,
     "codegen": cmd_codegen,
+    "campaign": cmd_campaign,
 }
 
 

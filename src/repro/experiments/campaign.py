@@ -1,0 +1,319 @@
+"""The campaign engine: declarative scenario specs + parallel fan-out.
+
+The paper's large studies — the Table II grid, the restbus sweep over all
+eight vehicle buses, the speed sweep — are all "build a bus from parameters,
+run it for a window, keep the :class:`ExperimentResult`".  This module makes
+that shape first-class:
+
+* a **scenario registry** maps names to factories that build a ready-to-run
+  :class:`~repro.experiments.scenarios.ExperimentSetup` from keyword
+  parameters;
+* a :class:`ScenarioSpec` is the declarative, pickle-safe description of one
+  run (factory name + params + seed + duration) that any worker process can
+  rebuild into a fresh simulator;
+* a :class:`Campaign` fans a list of specs out over ``multiprocessing``
+  workers (serial fallback for ``n_workers=1``) and collects a
+  JSON-serializable :class:`CampaignReport`.
+
+Determinism guarantee: workers re-seed the ``random`` module from
+``spec.seed`` before building, and factories that take a ``seed`` parameter
+receive it explicitly — so a campaign run serially and a campaign run with
+any worker count produce bit-identical :class:`ExperimentResult` payloads.
+Only the timing fields (wall seconds, steps/s, worker name) differ.
+"""
+
+from __future__ import annotations
+
+import inspect
+import random
+import time as _time
+from dataclasses import dataclass, field
+from multiprocessing import current_process, get_context
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import ExperimentResult
+
+#: Bump when the report dict layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: A factory takes keyword params and returns an object with
+#: ``run(duration_bits) -> ExperimentResult`` (an ``ExperimentSetup``).
+ScenarioFactory = Callable[..., Any]
+
+
+# --------------------------------------------------------------- registry
+
+_REGISTRY: Dict[str, ScenarioFactory] = {}
+
+
+def register_scenario(name: str, factory: ScenarioFactory) -> ScenarioFactory:
+    """Register ``factory`` under ``name`` for spec-driven rebuilding."""
+    if name in _REGISTRY:
+        raise ConfigurationError(f"scenario {name!r} already registered")
+    _REGISTRY[name] = factory
+    return factory
+
+
+def scenario_names() -> List[str]:
+    """All registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def scenario_factory(name: str) -> ScenarioFactory:
+    """Look a factory up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; choose from {scenario_names()}"
+        ) from None
+
+
+def scenario_summary(name: str) -> str:
+    """First docstring line of a registered factory (for listings)."""
+    doc = scenario_factory(name).__doc__ or ""
+    return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
+def _register_builtin_scenarios() -> None:
+    from repro.experiments import scenarios, sweeps
+
+    for number, factory in scenarios.EXPERIMENTS.items():
+        register_scenario(f"exp{number}", factory)
+    register_scenario("multi_attacker", scenarios.multi_attacker_experiment)
+    register_scenario("michican_vs_parrot", scenarios.michican_defense_setup)
+    register_scenario("dos_fight", sweeps.dos_fight_setup)
+    register_scenario("single_frame_fight", sweeps.single_frame_fight_setup)
+    register_scenario("restbus_fight", sweeps.restbus_fight_setup)
+
+
+_register_builtin_scenarios()
+
+
+# ------------------------------------------------------------------ specs
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative description of one experiment run.
+
+    Plain data (name + params + seed + duration): pickle-safe, so it can
+    cross a process boundary, and JSON-safe, so it can be stored and
+    replayed later.
+
+    Attributes:
+        scenario: Registered factory name (see :func:`scenario_names`).
+        params: Keyword arguments for the factory.
+        seed: Deterministic seed; re-seeds ``random`` before the build and
+            is forwarded to factories that accept a ``seed`` parameter.
+        duration_bits: Simulated window length handed to ``setup.run()``.
+        label: Optional display name; defaults to ``scenario#seed``.
+    """
+
+    scenario: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    duration_bits: int = 20_000
+    label: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.label or f"{self.scenario}#{self.seed}"
+
+    def build(self) -> Any:
+        """Rebuild a fresh, fully-wired ``ExperimentSetup`` from the spec."""
+        factory = scenario_factory(self.scenario)
+        random.seed(self.seed)
+        kwargs = dict(self.params)
+        if "seed" not in kwargs:
+            try:
+                accepts_seed = "seed" in inspect.signature(factory).parameters
+            except (TypeError, ValueError):  # builtins without signatures
+                accepts_seed = False
+            if accepts_seed:
+                kwargs["seed"] = self.seed
+        return factory(**kwargs)
+
+    def run(self) -> ExperimentResult:
+        """Build and run the scenario; convenience for one-off use."""
+        return self.build().run(self.duration_bits)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "duration_bits": self.duration_bits,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        return cls(
+            scenario=data["scenario"],
+            params=dict(data.get("params", {})),
+            seed=data.get("seed", 0),
+            duration_bits=data.get("duration_bits", 20_000),
+            label=data.get("label"),
+        )
+
+
+# ---------------------------------------------------------------- records
+
+@dataclass
+class RunRecord:
+    """One executed spec: the result plus per-run throughput metrics.
+
+    ``wall_seconds`` / ``steps_per_second`` / ``worker`` are *timing
+    metadata* — excluded from the determinism contract and from
+    :meth:`CampaignReport.payload_equal` comparisons.
+    """
+
+    spec: ScenarioSpec
+    result: ExperimentResult
+    wall_seconds: float
+    steps_per_second: float
+    worker: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "result": self.result.to_dict(),
+            "wall_seconds": self.wall_seconds,
+            "steps_per_second": self.steps_per_second,
+            "worker": self.worker,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
+        return cls(
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            result=ExperimentResult.from_dict(data["result"]),
+            wall_seconds=data.get("wall_seconds", 0.0),
+            steps_per_second=data.get("steps_per_second", 0.0),
+            worker=data.get("worker", ""),
+        )
+
+
+@dataclass
+class CampaignReport:
+    """The JSON-serializable outcome of one campaign."""
+
+    records: List[RunRecord]
+    n_workers: int
+    wall_seconds: float
+    schema_version: int = SCHEMA_VERSION
+
+    @property
+    def results(self) -> List[ExperimentResult]:
+        return [record.result for record in self.records]
+
+    def result_of(self, name: str) -> ExperimentResult:
+        """The result of the spec whose :attr:`ScenarioSpec.name` matches."""
+        for record in self.records:
+            if record.spec.name == name:
+                return record.result
+        raise KeyError(f"no spec named {name!r} in this report")
+
+    def total_steps(self) -> int:
+        return sum(record.spec.duration_bits for record in self.records)
+
+    def payload_equal(self, other: "CampaignReport") -> bool:
+        """True when both reports carry identical specs and results —
+        the serial-vs-parallel determinism check (timing fields ignored)."""
+        mine = [(r.spec.to_dict(), r.result.to_dict()) for r in self.records]
+        theirs = [(r.spec.to_dict(), r.result.to_dict())
+                  for r in other.records]
+        return mine == theirs
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "n_workers": self.n_workers,
+            "wall_seconds": self.wall_seconds,
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignReport":
+        return cls(
+            records=[RunRecord.from_dict(r) for r in data.get("records", [])],
+            n_workers=data.get("n_workers", 1),
+            wall_seconds=data.get("wall_seconds", 0.0),
+            schema_version=data.get("schema_version", SCHEMA_VERSION),
+        )
+
+    def render(self) -> str:
+        """Human-readable summary: every run's Table II block + throughput."""
+        lines = [
+            f"campaign: {len(self.records)} runs, "
+            f"{self.n_workers} worker(s), "
+            f"{self.total_steps()} bits in {self.wall_seconds:.2f} s"
+        ]
+        for record in self.records:
+            lines.append("")
+            lines.append(f"[{record.spec.name}] "
+                         f"{record.steps_per_second:,.0f} steps/s "
+                         f"on {record.worker}")
+            lines.append(record.result.render())
+        return "\n".join(lines)
+
+
+# -------------------------------------------------------------- execution
+
+def execute_spec(spec: ScenarioSpec) -> RunRecord:
+    """Build, run and measure one spec (the worker entry point)."""
+    setup = spec.build()
+    started = _time.perf_counter()
+    result = setup.run(spec.duration_bits)
+    wall = _time.perf_counter() - started
+    steps = getattr(getattr(setup, "sim", None), "time", spec.duration_bits)
+    return RunRecord(
+        spec=spec,
+        result=result,
+        wall_seconds=wall,
+        steps_per_second=steps / wall if wall > 0 else 0.0,
+        worker=current_process().name,
+    )
+
+
+class Campaign:
+    """Execute a list of :class:`ScenarioSpec` over worker processes.
+
+    Args:
+        specs: The runs, in order.  Report records keep this order
+            regardless of which worker finishes first.
+        n_workers: Process count; ``1`` runs everything in-process (no
+            multiprocessing import-side effects, easier debugging).
+
+    Example:
+        >>> from repro.experiments.campaign import Campaign, ScenarioSpec
+        >>> specs = [ScenarioSpec("exp4", duration_bits=5_000, seed=s)
+        ...          for s in range(4)]
+        >>> report = Campaign(specs, n_workers=2).run()
+        >>> len(report.results)
+        4
+    """
+
+    def __init__(self, specs: Sequence[ScenarioSpec], n_workers: int = 1) -> None:
+        if n_workers < 1:
+            raise ConfigurationError(
+                f"worker count must be positive, got {n_workers}")
+        for spec in specs:
+            scenario_factory(spec.scenario)  # fail fast on unknown names
+        self.specs = list(specs)
+        self.n_workers = n_workers
+
+    def run(self) -> CampaignReport:
+        started = _time.perf_counter()
+        if self.n_workers == 1 or len(self.specs) <= 1:
+            records = [execute_spec(spec) for spec in self.specs]
+        else:
+            workers = min(self.n_workers, len(self.specs))
+            with get_context().Pool(processes=workers) as pool:
+                records = pool.map(execute_spec, self.specs)
+        return CampaignReport(
+            records=records,
+            n_workers=self.n_workers,
+            wall_seconds=_time.perf_counter() - started,
+        )

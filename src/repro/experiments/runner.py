@@ -3,12 +3,17 @@
 Mirrors the paper's method (Sec. V-C): record the bus for a fixed window
 containing multiple bus-off attempts, then report mean / standard deviation /
 maximum bus-off time per attacker — one Table II row per experiment.
+
+:class:`ExperimentResult` carries a stable serialization contract
+(:meth:`ExperimentResult.to_dict` / :meth:`ExperimentResult.from_dict`):
+it is the payload the campaign layer (:mod:`repro.experiments.campaign`)
+ships between worker processes and persists to disk.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.bus.simulator import CanBusSimulator
 from repro.can.constants import BUS_SPEED_50K
@@ -45,13 +50,67 @@ class ExperimentResult:
     def mean_busoff_ms(self, attacker: str) -> float:
         return self.attacker_stats[attacker]["mean_ms"]
 
+    # ------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible dict that round-trips through
+        :meth:`from_dict` (episodes included)."""
+        return {
+            "name": self.name,
+            "bus_speed": self.bus_speed,
+            "duration_bits": self.duration_bits,
+            "attacker_stats": {
+                attacker: dict(stats)
+                for attacker, stats in self.attacker_stats.items()
+            },
+            "episodes": {
+                attacker: [
+                    {
+                        "node": e.node,
+                        "start": e.start,
+                        "end": e.end,
+                        "attempts": e.attempts,
+                        "interruptions": e.interruptions,
+                    }
+                    for e in eps
+                ]
+                for attacker, eps in self.episodes.items()
+            },
+            "detections": self.detections,
+            "counterattacks": self.counterattacks,
+            "busy_fraction": self.busy_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            bus_speed=data["bus_speed"],
+            duration_bits=data["duration_bits"],
+            attacker_stats={
+                attacker: dict(stats)
+                for attacker, stats in data.get("attacker_stats", {}).items()
+            },
+            episodes={
+                attacker: [BusOffEpisode(**episode) for episode in eps]
+                for attacker, eps in data.get("episodes", {}).items()
+            },
+            detections=data.get("detections", 0),
+            counterattacks=data.get("counterattacks", 0),
+            busy_fraction=data.get("busy_fraction", 0.0),
+        )
+
     def render(self) -> str:
         """One experiment's rows in the Table II format."""
+        data = self.to_dict()
         lines = [
-            f"{self.name}: {self.duration_bits} bits at {self.bus_speed} bit/s, "
-            f"{self.detections} detections, {self.counterattacks} counterattacks"
+            f"{data['name']}: {data['duration_bits']} bits at "
+            f"{data['bus_speed']} bit/s, "
+            f"{data['detections']} detections, "
+            f"{data['counterattacks']} counterattacks"
         ]
-        for attacker, stats in sorted(self.attacker_stats.items()):
+        for attacker, stats in sorted(data["attacker_stats"].items()):
             lines.append(
                 f"  {attacker:<14} episodes={stats['count']:<3.0f} "
                 f"mean={stats['mean_ms']:6.1f} ms  "
@@ -66,10 +125,25 @@ def run_and_measure(
     duration_bits: int,
     name: str = "experiment",
     defenders: Optional[Sequence[MichiCanNode]] = None,
+    *,
+    log: Optional[FrameLog] = None,
 ) -> ExperimentResult:
-    """Run ``sim`` for ``duration_bits`` and collect Table II statistics."""
+    """Run ``sim`` for ``duration_bits`` and collect Table II statistics.
+
+    This is the single-run primitive.  For multi-run parameterized studies
+    (sweeps, repeated seeds, fan-out over worker processes) build
+    :class:`repro.experiments.campaign.ScenarioSpec` lists and hand them to
+    :class:`repro.experiments.campaign.Campaign` instead of looping over
+    this function by hand.
+
+    Args:
+        log: Escape hatch — supply a pre-built :class:`FrameLog` (e.g. a
+            filtered one) instead of having one derived from ``sim.events``
+            after the run.  Keyword-only; the positional signature is frozen.
+    """
     sim.run(duration_bits)
-    log = FrameLog(sim.events)
+    if log is None:
+        log = FrameLog(sim.events)
     result = ExperimentResult(
         name=name,
         bus_speed=sim.bus_speed,
@@ -90,6 +164,17 @@ def run_and_measure(
     return result
 
 
-def make_simulator(bus_speed: int = BUS_SPEED_50K, record: bool = True) -> CanBusSimulator:
-    """A simulator at the paper's online-evaluation bus speed (50 kbit/s)."""
-    return CanBusSimulator(bus_speed=bus_speed, record_wire=record)
+def make_simulator(
+    bus_speed: int = BUS_SPEED_50K,
+    record: bool = True,
+    nodes: Sequence[CanNode] = (),
+) -> CanBusSimulator:
+    """A simulator at the paper's online-evaluation bus speed (50 kbit/s).
+
+    Args:
+        nodes: Convenience — nodes to attach immediately, in order, so
+            callers stop hand-rolling ``add_node`` loops.
+    """
+    sim = CanBusSimulator(bus_speed=bus_speed, record_wire=record)
+    sim.add_nodes(*nodes)
+    return sim

@@ -1,0 +1,88 @@
+"""Persistence for campaign reports: write / load / merge, schema-versioned.
+
+A stored report is one JSON document produced by
+:meth:`~repro.experiments.campaign.CampaignReport.to_dict`.  The
+``schema_version`` field is checked on load so a future layout change fails
+loudly instead of silently misreading old files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Union
+
+from repro.errors import ConfigurationError
+from repro.experiments.campaign import SCHEMA_VERSION, CampaignReport
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_report(report: CampaignReport, path: PathLike) -> str:
+    """Write ``report`` as JSON; returns the path written."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return os.fspath(path)
+
+
+def load_report(path: PathLike) -> CampaignReport:
+    """Load a stored report, validating its schema version."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"report {os.fspath(path)!r} has schema version {version!r}; "
+            f"this build reads version {SCHEMA_VERSION}"
+        )
+    return CampaignReport.from_dict(data)
+
+
+def merge_reports(*reports: CampaignReport) -> CampaignReport:
+    """Concatenate several reports into one (records in argument order).
+
+    Wall time adds up (total compute spent); the worker count keeps the
+    maximum, as the merged report no longer describes a single pool.
+    """
+    if not reports:
+        raise ConfigurationError("cannot merge zero reports")
+    merged = CampaignReport(records=[], n_workers=1, wall_seconds=0.0)
+    for report in reports:
+        merged.records.extend(report.records)
+        merged.n_workers = max(merged.n_workers, report.n_workers)
+        merged.wall_seconds += report.wall_seconds
+    return merged
+
+
+class ResultStore:
+    """A directory of named campaign reports (``<name>.json`` files)."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, name: str) -> str:
+        if os.sep in name or name.startswith("."):
+            raise ConfigurationError(f"invalid report name {name!r}")
+        return os.path.join(self.root, f"{name}.json")
+
+    def write(self, name: str, report: CampaignReport) -> str:
+        """Persist ``report`` under ``name``; returns the file path."""
+        return save_report(report, self._path(name))
+
+    def load(self, name: str) -> CampaignReport:
+        return load_report(self._path(name))
+
+    def names(self) -> List[str]:
+        """Stored report names, sorted."""
+        return sorted(
+            entry[:-len(".json")]
+            for entry in os.listdir(self.root)
+            if entry.endswith(".json")
+        )
+
+    def merge(self, *names: str) -> CampaignReport:
+        """Load and merge the named reports (all of them when none given)."""
+        chosen = names or tuple(self.names())
+        return merge_reports(*(self.load(name) for name in chosen))

@@ -32,6 +32,20 @@ class TestTopology:
         with pytest.raises(SimulationError):
             CanBusSimulator().step()
 
+    def test_run_without_nodes(self):
+        with pytest.raises(SimulationError):
+            CanBusSimulator().run(10)
+
+    def test_add_nodes_returns_sim(self):
+        sim = CanBusSimulator()
+        assert sim.add_nodes(CanNode("a"), CanNode("b")) is sim
+        assert [node.name for node in sim.nodes] == ["a", "b"]
+
+    def test_add_nodes_checks_duplicates(self):
+        sim = CanBusSimulator()
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            sim.add_nodes(CanNode("a"), CanNode("a"))
+
 
 class TestRun:
     def test_idle_bus_stays_recessive(self):
@@ -74,6 +88,79 @@ class TestRun:
         )
         sim.run(10_000)
         assert sim.time < 10_000
+
+    def test_run_until_honors_request_stop(self):
+        sim = CanBusSimulator()
+        a, b = CanNode("a"), CanNode("b")
+        sim.add_node(a), sim.add_node(b)
+        a.send(CanFrame(0x10))
+        sim.on_event(
+            lambda e: sim.request_stop()
+            if isinstance(e, FrameTransmitted) else None
+        )
+        assert sim.run_until(lambda s: False, limit=10_000) is None
+        assert sim.time < 10_000
+
+    def test_run_until_resets_stale_stop_request(self):
+        sim = CanBusSimulator()
+        sim.add_node(CanNode("a"))
+        sim.request_stop()
+        assert sim.run_until(lambda s: False, limit=20) is None
+        assert sim.time == 20  # stale request must not cut the run short
+
+    def test_run_resets_stale_stop_request(self):
+        sim = CanBusSimulator()
+        sim.add_node(CanNode("a"))
+        sim.request_stop()
+        sim.run(20)
+        assert sim.time == 20
+
+    def test_run_until_predicate_wins_over_stop(self):
+        sim = CanBusSimulator()
+        a, b = CanNode("a"), CanNode("b")
+        sim.add_node(a), sim.add_node(b)
+        a.send(CanFrame(0x10))
+        sim.on_event(
+            lambda e: sim.request_stop()
+            if isinstance(e, FrameTransmitted) else None
+        )
+        hit = sim.run_until(
+            lambda s: bool(s.events_of(FrameTransmitted)), limit=10_000
+        )
+        assert hit is not None  # same bit: predicate reported, not the stop
+
+
+class TestRunLoopEquivalence:
+    @staticmethod
+    def _build():
+        sim = CanBusSimulator()
+        a = CanNode("a")
+        sim.add_nodes(a, CanNode("b"))
+        a.send(CanFrame(0x123, b"\x55"))
+        return sim
+
+    def test_tight_run_loop_matches_stepping(self):
+        fast = self._build()
+        fast.run(400)
+        slow = self._build()
+        for _ in range(400):
+            slow.step()
+        assert fast.time == slow.time == 400
+        assert fast.wire.history == slow.wire.history
+        assert len(fast.events) == len(slow.events)
+
+    def test_run_honors_instance_step_override(self):
+        sim = self._build()
+        calls = []
+        original_step = sim.step
+
+        def traced_step():
+            calls.append(sim.time)
+            return original_step()
+
+        sim.step = traced_step  # type: ignore[method-assign]
+        sim.run(50)
+        assert len(calls) == 50
 
 
 class TestEventPlumbing:

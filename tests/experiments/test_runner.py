@@ -2,7 +2,12 @@
 
 from repro.attacks.dos import DosAttacker
 from repro.core.defense import MichiCanNode
-from repro.experiments.runner import make_simulator, run_and_measure
+from repro.experiments.runner import (
+    ExperimentResult,
+    make_simulator,
+    run_and_measure,
+)
+from repro.trace.framelog import FrameLog
 
 
 def small_fight():
@@ -57,3 +62,59 @@ class TestRunAndMeasure:
                                  defenders=[defender])
         assert set(result.attacker_stats) == {"a1", "a2"}
         assert set(result.episodes) == {"a1", "a2"}
+
+    def test_log_escape_hatch(self):
+        """A supplied FrameLog replaces the one derived from sim.events."""
+        sim, defender, attacker = small_fight()
+        empty_log = FrameLog([])
+        result = run_and_measure(sim, [attacker], 5_000,
+                                 defenders=[defender], log=empty_log)
+        # the sim ran (detections happened) but stats came from the
+        # caller's log, which saw no episodes
+        assert result.detections > 0
+        assert result.attacker_stats["attacker"]["count"] == 0
+        assert result.episodes["attacker"] == []
+
+
+class TestMakeSimulator:
+    def test_nodes_convenience(self):
+        defender = MichiCanNode("defender", range(0x100))
+        attacker = DosAttacker("attacker", 0x064)
+        sim = make_simulator(nodes=[defender, attacker])
+        assert [node.name for node in sim.nodes] == ["defender", "attacker"]
+        result = run_and_measure(sim, [attacker], 4_000,
+                                 defenders=[defender])
+        assert result.episodes["attacker"]
+
+
+class TestExperimentResultSerialization:
+    def test_round_trip_with_episodes(self):
+        sim, defender, attacker = small_fight()
+        result = run_and_measure(sim, [attacker], 5_000,
+                                 name="roundtrip", defenders=[defender])
+        clone = ExperimentResult.from_dict(result.to_dict())
+        assert clone == result  # dataclass equality covers episodes
+        assert clone.to_dict() == result.to_dict()
+
+    def test_dict_is_json_compatible(self):
+        import json
+
+        sim, defender, attacker = small_fight()
+        result = run_and_measure(sim, [attacker], 5_000,
+                                 defenders=[defender])
+        encoded = json.dumps(result.to_dict())
+        decoded = ExperimentResult.from_dict(json.loads(encoded))
+        assert decoded == result
+
+    def test_from_dict_tolerates_minimal_payload(self):
+        result = ExperimentResult.from_dict(
+            {"name": "min", "bus_speed": 50_000, "duration_bits": 10})
+        assert result.detections == 0
+        assert result.episodes == {}
+
+    def test_render_reflects_serialized_payload(self):
+        sim, defender, attacker = small_fight()
+        result = run_and_measure(sim, [attacker], 5_000,
+                                 name="render", defenders=[defender])
+        rebuilt = ExperimentResult.from_dict(result.to_dict())
+        assert rebuilt.render() == result.render()

@@ -1,0 +1,80 @@
+"""Tests for the campaign result store (write / load / merge)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.campaign import Campaign, ScenarioSpec
+from repro.experiments.store import (
+    ResultStore,
+    load_report,
+    merge_reports,
+    save_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    specs = [ScenarioSpec("exp4", duration_bits=3_000, seed=s)
+             for s in (1, 2)]
+    return Campaign(specs, n_workers=1).run()
+
+
+class TestSaveLoad:
+    def test_round_trip(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        assert save_report(report, path) == str(path)
+        loaded = load_report(path)
+        assert loaded.payload_equal(report)
+        assert loaded.wall_seconds == report.wall_seconds
+
+    def test_written_file_is_plain_json(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        save_report(report, path)
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == 1
+        assert len(data["records"]) == 2
+
+    def test_schema_version_checked(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        data = report.to_dict()
+        data["schema_version"] = 999
+        path.write_text(json.dumps(data))
+        with pytest.raises(ConfigurationError, match="schema version"):
+            load_report(path)
+
+
+class TestMerge:
+    def test_merge_concatenates_records(self, report):
+        merged = merge_reports(report, report)
+        assert len(merged.records) == 4
+        assert merged.wall_seconds == pytest.approx(2 * report.wall_seconds)
+        assert merged.n_workers == report.n_workers
+
+    def test_merge_nothing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            merge_reports()
+
+
+class TestResultStore:
+    def test_write_load_names(self, report, tmp_path):
+        store = ResultStore(tmp_path / "reports")
+        store.write("sweep_a", report)
+        store.write("sweep_b", report)
+        assert store.names() == ["sweep_a", "sweep_b"]
+        assert store.load("sweep_a").payload_equal(report)
+
+    def test_merge_all(self, report, tmp_path):
+        store = ResultStore(tmp_path / "reports")
+        store.write("sweep_a", report)
+        store.write("sweep_b", report)
+        merged = store.merge()
+        assert len(merged.records) == 4
+        named = store.merge("sweep_a")
+        assert len(named.records) == 2
+
+    def test_invalid_name_rejected(self, report, tmp_path):
+        store = ResultStore(tmp_path / "reports")
+        with pytest.raises(ConfigurationError, match="invalid"):
+            store.write("../escape", report)

@@ -133,6 +133,51 @@ class TestCliPlanningTools:
         assert "1248" in out
 
 
+class TestCliCampaign:
+    def test_scenarios_listing(self, capsys):
+        assert main(["campaign", "scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "exp1" in out and "multi_attacker" in out
+        assert "restbus_fight" in out
+
+    def test_run_and_show(self, capsys, tmp_path):
+        out_file = str(tmp_path / "report.json")
+        assert main(["campaign", "run", "--scenario", "exp4",
+                     "--seeds", "1,2", "--duration", "4000",
+                     "--out", out_file]) == 0
+        out = capsys.readouterr().out
+        assert "campaign: 2 runs" in out
+        assert "exp4#1" in out and "exp4#2" in out
+        assert main(["campaign", "show", out_file]) == 0
+        out = capsys.readouterr().out
+        assert "campaign: 2 runs" in out
+
+    def test_run_with_params_and_workers(self, capsys):
+        assert main(["campaign", "run", "--scenario", "multi_attacker",
+                     "--param", "num_attackers=2",
+                     "--duration", "6000", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "multi_attacker#0" in out
+
+    def test_run_from_spec_file(self, capsys, tmp_path):
+        spec_file = tmp_path / "specs.json"
+        spec_file.write_text(
+            '[{"scenario": "exp4", "duration_bits": 4000, "seed": 5}]')
+        assert main(["campaign", "run", "--spec-file", str(spec_file)]) == 0
+        out = capsys.readouterr().out
+        assert "exp4#5" in out
+
+    def test_run_unknown_scenario(self, capsys):
+        assert main(["campaign", "run", "--scenario", "bogus"]) == 2
+
+    def test_run_without_specs(self, capsys):
+        assert main(["campaign", "run"]) == 2
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["campaign"])
+
+
 class TestCliErrorPaths:
     def test_decode_missing_file(self):
         with pytest.raises(FileNotFoundError):
