@@ -1,0 +1,111 @@
+"""Telemetry overhead: probe-off vs probe-on engine throughput.
+
+Runs the same fight scenario three ways — bare (no probe), with a
+:class:`~repro.obs.probe.BusProbe` attached, and with a probe plus a
+periodic :class:`~repro.obs.snapshot.SnapshotRecorder` — and records the
+steps/sec of each to ``BENCH_metrics.json`` in the repo root, together
+with a :func:`~repro.obs.profiler.profile_run` phase breakdown.
+
+The contract this bench enforces: observability is opt-in, so the
+probe-on run may cost at most ``MAX_OVERHEAD`` relative throughput, and
+the probe-off path is the same hot loop the campaign baseline
+(``BENCH_campaign.json``) measures.
+
+Regenerate:  pytest benchmarks/bench_metrics_overhead.py --benchmark-only -s
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from conftest import report
+from repro.experiments.campaign import ScenarioSpec
+from repro.obs.probe import BusProbe
+from repro.obs.profiler import profile_run
+from repro.obs.snapshot import SnapshotRecorder
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_metrics.json"
+
+#: Probe-on throughput must stay within this fraction of probe-off.
+MAX_OVERHEAD = 0.15
+
+SCENARIO = "exp4"
+ROUNDS = 3
+
+
+def _run_once(duration_bits, metrics=False, snapshot_every=None):
+    """Build a fresh scenario, run it, return (steps/s, event count)."""
+    setup = ScenarioSpec(SCENARIO, duration_bits=duration_bits).build()
+    sim = setup.sim
+    probe = None
+    if metrics:
+        probe = BusProbe(sim)
+        if snapshot_every:
+            sim.add_node(SnapshotRecorder(probe, snapshot_every))
+    started = time.perf_counter()
+    sim.run(duration_bits)
+    wall = time.perf_counter() - started
+    if probe is not None:
+        probe.close()
+    return duration_bits / wall, len(sim.events)
+
+
+def _best_of(rounds, duration_bits, **kwargs):
+    """Best steps/s over several rounds (min-noise estimator)."""
+    best = 0.0
+    events = 0
+    for _ in range(rounds):
+        rate, events = _run_once(duration_bits, **kwargs)
+        best = max(best, rate)
+    return best, events
+
+
+def test_probe_overhead(benchmark, quick):
+    duration = 10_000 if quick else 100_000
+    rounds = 1 if quick else ROUNDS
+
+    bare, _ = _best_of(rounds, duration)
+    probed, events = _best_of(rounds, duration, metrics=True)
+    snapshotted, _ = _best_of(rounds, duration, metrics=True,
+                              snapshot_every=1_000)
+    benchmark.pedantic(lambda: _run_once(duration, metrics=True),
+                       rounds=1, iterations=1)
+
+    overhead = 1.0 - probed / bare
+    snapshot_overhead = 1.0 - snapshotted / bare
+
+    profile_setup = ScenarioSpec(SCENARIO, duration_bits=duration).build()
+    profile = profile_run(profile_setup.sim, duration)
+
+    payload = {
+        "scenario": SCENARIO,
+        "duration_bits": duration,
+        "rounds": rounds,
+        "cpu_count": os.cpu_count() or 1,
+        "probe_off_steps_per_second": round(bare, 1),
+        "probe_on_steps_per_second": round(probed, 1),
+        "probe_and_snapshots_steps_per_second": round(snapshotted, 1),
+        "probe_overhead_fraction": round(overhead, 4),
+        "snapshot_overhead_fraction": round(snapshot_overhead, 4),
+        "events_per_run": events,
+        "phase_profile": profile.to_dict(),
+    }
+    if not quick:
+        BENCH_FILE.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+    report("Telemetry probe overhead", [
+        ("probe off (steps/s)", "-", f"{bare:,.0f}"),
+        ("probe on (steps/s)", "-", f"{probed:,.0f}"),
+        ("probe + snapshots (steps/s)", "-", f"{snapshotted:,.0f}"),
+        ("probe overhead", f"<{MAX_OVERHEAD:.0%}", f"{overhead:.1%}"),
+        ("snapshot overhead", "-", f"{snapshot_overhead:.1%}"),
+        ("hot-loop phases", "-",
+         " ".join(f"{name}={fraction:.0%}" for name, fraction
+                  in profile.phase_fractions().items())),
+    ], notes=f"recorded to {BENCH_FILE.name}")
+
+    assert overhead < MAX_OVERHEAD

@@ -10,7 +10,23 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Tuple
 
+import pytest
+
 Row = Tuple[str, object, object]
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="shrink benchmark workloads for a CI smoke run; quick runs "
+             "never overwrite the recorded BENCH_*.json baselines",
+    )
+
+
+@pytest.fixture
+def quick(request) -> bool:
+    """True when the run was invoked with ``--quick``."""
+    return request.config.getoption("--quick")
 
 
 def report(title: str, rows: Iterable[Row], notes: Optional[str] = None) -> None:

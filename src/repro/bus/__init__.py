@@ -13,6 +13,7 @@ from repro.bus.events import (
     FrameReceived,
     FrameStarted,
     FrameTransmitted,
+    OverloadSignalled,
 )
 from repro.bus.gateway import (
     GatewayNode,
@@ -44,6 +45,7 @@ __all__ = [
     "FrameReceived",
     "FrameStarted",
     "FrameTransmitted",
+    "OverloadSignalled",
     "Wire",
     "resolve",
 ]

@@ -88,6 +88,14 @@ class BusOffRecovered(Event):
 
 
 @dataclass(frozen=True)
+class OverloadSignalled(Event):
+    """A node began transmitting an overload flag (dominant during the
+    first two intermission bits)."""
+
+    consecutive: int = 1
+
+
+@dataclass(frozen=True)
 class CounterattackStarted(Event):
     """MichiCAN began pulling the bus dominant against a malicious frame."""
 

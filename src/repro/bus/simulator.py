@@ -28,6 +28,10 @@ class CanBusSimulator:
             (the engine itself is unit-less: one step == one bit).
         record_wire: Keep the full per-bit level history (needed by the
             trace recorder; disable only for very long runs).
+        wire_history_bits: Bound the recorded history to a ring buffer of
+            the last N bits (see :class:`~repro.bus.wire.Wire`); long
+            observed runs then use constant memory, and the evicted-bit
+            count is exposed as ``sim.wire.dropped_bits``.
 
     Example:
         >>> from repro.node.controller import CanNode
@@ -40,16 +44,20 @@ class CanBusSimulator:
     """
 
     def __init__(
-        self, bus_speed: int = BUS_SPEED_500K, record_wire: bool = True
+        self,
+        bus_speed: int = BUS_SPEED_500K,
+        record_wire: bool = True,
+        wire_history_bits: Optional[int] = None,
     ) -> None:
         if bus_speed <= 0:
             raise ConfigurationError(f"bus speed must be positive, got {bus_speed}")
         self.bus_speed = bus_speed
-        self.wire = Wire(record=record_wire)
+        self.wire = Wire(record=record_wire, max_history=wire_history_bits)
         self.nodes: List[CanNode] = []
         self._names: Dict[str, CanNode] = {}
         self.time = 0
         self.events: List[Event] = []
+        self._events_by_type: Dict[type, List[Event]] = {}
         self._event_listeners: List[Callable[[Event], None]] = []
         self._stop_requested = False
         self._outputs: List[int] = []
@@ -82,15 +90,52 @@ class CanBusSimulator:
 
     def _record_event(self, event: Event) -> None:
         self.events.append(event)
+        bucket = self._events_by_type.get(type(event))
+        if bucket is None:
+            bucket = self._events_by_type[type(event)] = []
+        bucket.append(event)
         for listener in self._event_listeners:
             listener(event)
 
-    def on_event(self, listener: Callable[[Event], None]) -> None:
-        """Register a live event listener (called as events happen)."""
+    def on_event(
+        self, listener: Callable[[Event], None]
+    ) -> Callable[[], None]:
+        """Register a live event listener (called as events happen).
+
+        Returns a zero-argument unsubscribe handle: calling it detaches the
+        listener again (idempotently), so probes and recorders do not
+        accumulate forever on a reused simulator.
+        """
         self._event_listeners.append(listener)
 
+        def unsubscribe() -> None:
+            if listener in self._event_listeners:
+                self._event_listeners.remove(listener)
+
+        return unsubscribe
+
+    def off_event(self, listener: Callable[[Event], None]) -> None:
+        """Detach a listener registered with :meth:`on_event`."""
+        try:
+            self._event_listeners.remove(listener)
+        except ValueError:
+            raise ConfigurationError(
+                "listener is not subscribed to this simulator") from None
+
     def events_of(self, event_type: type) -> List[Event]:
-        """All recorded events of ``event_type`` (or a subclass)."""
+        """All recorded events of ``event_type`` (or a subclass).
+
+        Exact-type queries — every call site in the repo — are O(matches)
+        via a per-type index maintained in :meth:`_record_event` instead of
+        a linear rescan of the whole event list.  Base-class queries fall
+        back to the scan to preserve exact stream order across subtypes.
+        """
+        buckets = [bucket for recorded, bucket in self._events_by_type.items()
+                   if issubclass(recorded, event_type)]
+        if not buckets:
+            return []
+        if len(buckets) == 1:
+            return list(buckets[0])
         return [e for e in self.events if isinstance(e, event_type)]
 
     def request_stop(self) -> None:

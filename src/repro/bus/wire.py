@@ -3,11 +3,15 @@
 A dominant (0) level driven by any node overwrites recessive (1) levels from
 all others — the property arbitration, ACK and error signalling all rely on.
 The wire optionally records every resolved level for the logic-analyzer
-substitute (:mod:`repro.trace`).
+substitute (:mod:`repro.trace`); recording can be bounded to a ring buffer
+of the last N bits so long observed runs do not grow memory linearly.
+Independently of recording, the wire keeps exact occupancy counters
+(``total_bits`` / ``dominant_bits``) so bus load is always O(1) to read.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Iterable, List, Optional
 
 from repro.can.constants import DOMINANT, RECESSIVE
@@ -27,15 +31,35 @@ def resolve(levels: Iterable[int]) -> int:
 
 
 class Wire:
-    """A CAN bus segment with optional full level recording.
+    """A CAN bus segment with optional (optionally bounded) level recording.
+
+    Args:
+        record: Keep the resolved per-bit level history.
+        max_history: When set, keep only the last ``max_history`` bits (a
+            ring buffer); older bits are dropped and counted in
+            :attr:`dropped_bits`.  Unbounded (a plain list) when None.
 
     Attributes:
-        history: Per-bit resolved levels since t=0 when recording is on.
+        history: Resolved levels when recording is on — a list covering all
+            of t=0.. when unbounded, a deque covering the trailing window
+            when bounded.
+        total_bits: Bits resolved since construction (recording or not).
+        dominant_bits: How many of those resolved dominant.
     """
 
-    def __init__(self, record: bool = True) -> None:
+    def __init__(self, record: bool = True,
+                 max_history: Optional[int] = None) -> None:
+        if max_history is not None and max_history <= 0:
+            raise ValueError(
+                f"max_history must be positive, got {max_history}")
         self.record = record
-        self.history: List[int] = []
+        self.max_history = max_history
+        if record and max_history is not None:
+            self.history = deque(maxlen=max_history)
+        else:
+            self.history: List[int] = []
+        self.total_bits = 0
+        self.dominant_bits = 0
         self._level = RECESSIVE
 
     @property
@@ -43,18 +67,48 @@ class Wire:
         """The most recently resolved bus level."""
         return self._level
 
+    @property
+    def dropped_bits(self) -> int:
+        """Recorded bits evicted by the bounded window (0 when unbounded
+        or recording is off)."""
+        if not self.record:
+            return 0
+        return self.total_bits - len(self.history)
+
+    def dominant_fraction(self) -> float:
+        """Fraction of all resolved bits that were dominant — exact over
+        the whole run even when the history window is bounded or off."""
+        if not self.total_bits:
+            return 0.0
+        return self.dominant_bits / self.total_bits
+
     def drive(self, levels: Iterable[int]) -> int:
         """Resolve one bit time of simultaneous drives; record and return it."""
-        self._level = resolve(levels)
+        level = resolve(levels)
+        self._level = level
+        self.total_bits += 1
+        if level == DOMINANT:
+            self.dominant_bits += 1
         if self.record:
-            self.history.append(self._level)
-        return self._level
+            self.history.append(level)
+        return level
 
     def recessive_run_ending_at(self, time: Optional[int] = None) -> int:
-        """Length of the recessive run ending at ``time`` (default: now)."""
+        """Length of the recessive run ending at ``time`` (default: now).
+
+        With a bounded window the run is measured within the window only
+        (it cannot see evicted bits); asking about a time before the window
+        start raises.
+        """
         if not self.record:
             raise ValueError("wire recording is disabled")
-        end = len(self.history) if time is None else time + 1
+        dropped = self.dropped_bits
+        end = self.total_bits if time is None else time + 1
+        end -= dropped
+        if end < 0:
+            raise ValueError(
+                f"time {time} precedes the recorded window "
+                f"(first recorded bit is t={dropped})")
         run = 0
         for index in range(end - 1, -1, -1):
             if self.history[index] != RECESSIVE:

@@ -367,7 +367,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         params = _parse_params(args.param)
         specs.extend(
             ScenarioSpec(args.scenario, params=params, seed=seed,
-                         duration_bits=args.duration)
+                         duration_bits=args.duration,
+                         metrics=not args.no_metrics,
+                         snapshot_every_bits=args.snapshot_every)
             for seed in args.seeds
         )
     if not specs:
@@ -379,6 +381,102 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.out:
         save_report(report, args.out)
         print(f"\nwrote {args.out}")
+    if args.snapshot_dir:
+        import os
+
+        from repro.obs.snapshot import write_snapshots
+
+        os.makedirs(args.snapshot_dir, exist_ok=True)
+        for record in report.records:
+            if not record.snapshots:
+                continue
+            safe = record.spec.name.replace(os.sep, "_").replace("#", "_")
+            path = write_snapshots(
+                record.snapshots,
+                os.path.join(args.snapshot_dir, f"{safe}.snapshots.jsonl"),
+                meta={"spec": record.spec.name},
+            )
+            print(f"wrote {path}")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.experiments.store import load_report
+
+    if args.metrics_command == "summary":
+        report = load_report(args.report)
+        shown = 0
+        for record in report.records:
+            summary = record.result.metrics
+            if summary is None:
+                continue
+            shown += 1
+            print(f"[{record.spec.name}]")
+            print(summary.render())
+        if not shown:
+            print("(report carries no metrics — run the campaign "
+                  "without --no-metrics)")
+            return 1
+        from repro.obs.probe import render_totals
+
+        totals = report.metrics_totals()
+        print("\ncampaign-wide telemetry totals:")
+        print(render_totals(totals))
+        return 0
+
+    if args.metrics_command == "export":
+        report = load_report(args.report)
+        if args.format == "prometheus":
+            from repro.obs.export import report_to_prometheus
+
+            text = report_to_prometheus(report)
+        else:
+            import json
+
+            lines = []
+            for record in report.records:
+                summary = record.result.metrics
+                if summary is None:
+                    continue
+                entry = {"spec": record.spec.name, **summary.to_dict()}
+                lines.append(json.dumps(entry, sort_keys=True))
+            text = "\n".join(lines) + "\n" if lines else ""
+        if not text:
+            print("(report carries no metrics)", file=sys.stderr)
+            return 1
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {args.output}")
+        else:
+            print(text, end="")
+        return 0
+
+    if args.metrics_command == "tail":
+        from repro.obs.snapshot import read_snapshots, render_snapshots
+
+        snapshots = read_snapshots(args.snapshots)
+        print(render_snapshots(snapshots, last=args.lines))
+        return 0
+
+    # metrics profile
+    from repro.experiments.campaign import ScenarioSpec, scenario_names
+    from repro.obs.profiler import profile_run
+
+    if args.scenario not in scenario_names():
+        print(f"error: unknown scenario {args.scenario!r} "
+              f"(see `repro campaign scenarios`)", file=sys.stderr)
+        return 2
+    spec = ScenarioSpec(args.scenario, params=_parse_params(args.param),
+                        seed=args.seed)
+    setup = spec.build()
+    sim = getattr(setup, "sim", None)
+    if sim is None:
+        print(f"error: scenario {args.scenario!r} exposes no simulator",
+              file=sys.stderr)
+        return 2
+    profile = profile_run(sim, args.duration)
+    print(profile.render())
     return 0
 
 
@@ -481,8 +579,37 @@ def build_parser() -> argparse.ArgumentParser:
                     help="worker processes (1 = serial)")
     cp.add_argument("--out", default=None,
                     help="write the CampaignReport JSON here")
+    cp.add_argument("--no-metrics", action="store_true",
+                    help="skip the per-run telemetry probe")
+    cp.add_argument("--snapshot-every", type=int, default=None, metavar="BITS",
+                    help="sample a telemetry snapshot every N simulated bits")
+    cp.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                    help="write per-spec snapshot JSONL timelines here")
     cp = campaign_sub.add_parser("show", help="render a stored report")
     cp.add_argument("report")
+
+    p = sub.add_parser("metrics",
+                       help="inspect / export campaign telemetry")
+    metrics_sub = p.add_subparsers(dest="metrics_command", required=True)
+    mp = metrics_sub.add_parser("summary",
+                                help="per-spec metrics blocks of a report")
+    mp.add_argument("report")
+    mp = metrics_sub.add_parser("export",
+                                help="export a report's metrics")
+    mp.add_argument("report")
+    mp.add_argument("--format", choices=["prometheus", "jsonl"],
+                    default="prometheus")
+    mp.add_argument("--output", default=None, help="write to a file")
+    mp = metrics_sub.add_parser("tail",
+                                help="tail a snapshot JSONL timeline")
+    mp.add_argument("snapshots")
+    mp.add_argument("-n", "--lines", type=int, default=10)
+    mp = metrics_sub.add_parser("profile",
+                                help="wall-clock phase profile of a scenario")
+    mp.add_argument("--scenario", required=True)
+    mp.add_argument("--duration", type=int, default=20_000)
+    mp.add_argument("--seed", type=int, default=0)
+    mp.add_argument("--param", action="append", metavar="KEY=VALUE")
 
     p = sub.add_parser("codegen", help="emit the C firmware patch for an FSM")
     p.add_argument("--ecus", type=_parse_id_list, required=True)
@@ -509,6 +636,7 @@ COMMANDS = {
     "replay": cmd_replay,
     "codegen": cmd_codegen,
     "campaign": cmd_campaign,
+    "metrics": cmd_metrics,
 }
 
 

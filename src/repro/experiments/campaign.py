@@ -108,6 +108,12 @@ class ScenarioSpec:
             is forwarded to factories that accept a ``seed`` parameter.
         duration_bits: Simulated window length handed to ``setup.run()``.
         label: Optional display name; defaults to ``scenario#seed``.
+        metrics: Attach a :class:`~repro.obs.probe.BusProbe` for the run
+            and embed its summary in the result (off by default so the
+            un-instrumented hot path stays the baseline).
+        snapshot_every_bits: With ``metrics``, additionally sample a
+            telemetry snapshot every N simulated bits into the record's
+            JSONL-ready timeline.
     """
 
     scenario: str
@@ -115,6 +121,8 @@ class ScenarioSpec:
     seed: int = 0
     duration_bits: int = 20_000
     label: Optional[str] = None
+    metrics: bool = False
+    snapshot_every_bits: Optional[int] = None
 
     @property
     def name(self) -> str:
@@ -145,6 +153,8 @@ class ScenarioSpec:
             "seed": self.seed,
             "duration_bits": self.duration_bits,
             "label": self.label,
+            "metrics": self.metrics,
+            "snapshot_every_bits": self.snapshot_every_bits,
         }
 
     @classmethod
@@ -155,6 +165,8 @@ class ScenarioSpec:
             seed=data.get("seed", 0),
             duration_bits=data.get("duration_bits", 20_000),
             label=data.get("label"),
+            metrics=data.get("metrics", False),
+            snapshot_every_bits=data.get("snapshot_every_bits"),
         )
 
 
@@ -174,6 +186,7 @@ class RunRecord:
     wall_seconds: float
     steps_per_second: float
     worker: str
+    snapshots: List[Dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -182,6 +195,7 @@ class RunRecord:
             "wall_seconds": self.wall_seconds,
             "steps_per_second": self.steps_per_second,
             "worker": self.worker,
+            "snapshots": [dict(snapshot) for snapshot in self.snapshots],
         }
 
     @classmethod
@@ -192,6 +206,7 @@ class RunRecord:
             wall_seconds=data.get("wall_seconds", 0.0),
             steps_per_second=data.get("steps_per_second", 0.0),
             worker=data.get("worker", ""),
+            snapshots=list(data.get("snapshots", [])),
         )
 
 
@@ -217,6 +232,18 @@ class CampaignReport:
 
     def total_steps(self) -> int:
         return sum(record.spec.duration_bits for record in self.records)
+
+    def metrics_totals(self) -> Optional[Dict[str, Any]]:
+        """Campaign-wide totals aggregated over every instrumented record
+        (see :meth:`~repro.obs.probe.MetricsSummary.aggregate`), or
+        ``None`` when no record carried metrics."""
+        from repro.obs.probe import MetricsSummary
+
+        summaries = [record.result.metrics for record in self.records
+                     if record.result.metrics is not None]
+        if not summaries:
+            return None
+        return MetricsSummary.aggregate(summaries)
 
     def payload_equal(self, other: "CampaignReport") -> bool:
         """True when both reports carry identical specs and results —
@@ -256,6 +283,16 @@ class CampaignReport:
                          f"{record.steps_per_second:,.0f} steps/s "
                          f"on {record.worker}")
             lines.append(record.result.render())
+            if record.snapshots:
+                lines.append(f"  snapshots: {len(record.snapshots)} "
+                             f"(every {record.spec.snapshot_every_bits} bits)")
+        totals = self.metrics_totals()
+        if totals is not None:
+            from repro.obs.probe import render_totals
+
+            lines.append("")
+            lines.append("campaign-wide telemetry totals:")
+            lines.append(render_totals(totals))
         return "\n".join(lines)
 
 
@@ -264,16 +301,30 @@ class CampaignReport:
 def execute_spec(spec: ScenarioSpec) -> RunRecord:
     """Build, run and measure one spec (the worker entry point)."""
     setup = spec.build()
+    probe = recorder = None
+    sim = getattr(setup, "sim", None)
+    if spec.metrics and sim is not None:
+        from repro.obs.probe import BusProbe
+        from repro.obs.snapshot import SnapshotRecorder
+
+        probe = BusProbe(sim)
+        if spec.snapshot_every_bits:
+            recorder = SnapshotRecorder(probe, spec.snapshot_every_bits)
+            sim.add_node(recorder)
     started = _time.perf_counter()
     result = setup.run(spec.duration_bits)
     wall = _time.perf_counter() - started
-    steps = getattr(getattr(setup, "sim", None), "time", spec.duration_bits)
+    steps = getattr(sim, "time", spec.duration_bits)
+    if probe is not None:
+        result.metrics = probe.summary()
+        probe.close()
     return RunRecord(
         spec=spec,
         result=result,
         wall_seconds=wall,
         steps_per_second=steps / wall if wall > 0 else 0.0,
         worker=current_process().name,
+        snapshots=list(recorder.snapshots) if recorder is not None else [],
     )
 
 

@@ -13,12 +13,13 @@ ships between worker processes and persists to disk.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.bus.simulator import CanBusSimulator
 from repro.can.constants import BUS_SPEED_50K
 from repro.core.defense import MichiCanNode
 from repro.node.controller import CanNode
+from repro.obs.probe import BusProbe, MetricsSummary
 from repro.trace.framelog import BusOffEpisode, FrameLog
 
 
@@ -36,6 +37,8 @@ class ExperimentResult:
         detections: Total MichiCAN detections.
         counterattacks: Total counterattacks launched.
         busy_fraction: Observed bus-occupancy fraction.
+        metrics: Optional per-node protocol telemetry collected by a
+            :class:`~repro.obs.probe.BusProbe` during the run.
     """
 
     name: str
@@ -46,6 +49,7 @@ class ExperimentResult:
     detections: int = 0
     counterattacks: int = 0
     busy_fraction: float = 0.0
+    metrics: Optional[MetricsSummary] = None
 
     def mean_busoff_ms(self, attacker: str) -> float:
         return self.attacker_stats[attacker]["mean_ms"]
@@ -79,6 +83,7 @@ class ExperimentResult:
             "detections": self.detections,
             "counterattacks": self.counterattacks,
             "busy_fraction": self.busy_fraction,
+            "metrics": self.metrics.to_dict() if self.metrics else None,
         }
 
     @classmethod
@@ -99,6 +104,8 @@ class ExperimentResult:
             detections=data.get("detections", 0),
             counterattacks=data.get("counterattacks", 0),
             busy_fraction=data.get("busy_fraction", 0.0),
+            metrics=(MetricsSummary.from_dict(data["metrics"])
+                     if data.get("metrics") else None),
         )
 
     def render(self) -> str:
@@ -116,6 +123,8 @@ class ExperimentResult:
                 f"mean={stats['mean_ms']:6.1f} ms  "
                 f"std={stats['std_ms']:5.2f} ms  max={stats['max_ms']:6.1f} ms"
             )
+        if self.metrics is not None:
+            lines.append(self.metrics.render())
         return "\n".join(lines)
 
 
@@ -127,6 +136,7 @@ def run_and_measure(
     defenders: Optional[Sequence[MichiCanNode]] = None,
     *,
     log: Optional[FrameLog] = None,
+    metrics: Union[bool, BusProbe] = False,
 ) -> ExperimentResult:
     """Run ``sim`` for ``duration_bits`` and collect Table II statistics.
 
@@ -140,7 +150,19 @@ def run_and_measure(
         log: Escape hatch — supply a pre-built :class:`FrameLog` (e.g. a
             filtered one) instead of having one derived from ``sim.events``
             after the run.  Keyword-only; the positional signature is frozen.
+        metrics: Truthy attaches a :class:`~repro.obs.probe.BusProbe` for
+            the run and embeds its :class:`~repro.obs.probe.MetricsSummary`
+            in the result.  Pass an existing probe (e.g. one already
+            snapshotting) to reuse it — the caller then owns its lifetime;
+            a probe created here is closed before returning.
     """
+    probe: Optional[BusProbe] = None
+    own_probe = False
+    if isinstance(metrics, BusProbe):
+        probe = metrics
+    elif metrics:
+        probe = BusProbe(sim)
+        own_probe = True
     sim.run(duration_bits)
     if log is None:
         log = FrameLog(sim.events)
@@ -149,6 +171,10 @@ def run_and_measure(
         bus_speed=sim.bus_speed,
         duration_bits=duration_bits,
     )
+    if probe is not None:
+        result.metrics = probe.summary()
+        if own_probe:
+            probe.close()
     for attacker in attackers:
         result.episodes[attacker.name] = log.busoff_episodes(attacker.name)
         result.attacker_stats[attacker.name] = log.busoff_statistics(
@@ -158,9 +184,15 @@ def run_and_measure(
         result.detections += len(defender.firmware.detections)
         result.counterattacks += defender.counterattacks
     if sim.wire.record:
-        from repro.trace.recorder import LogicTrace
+        if sim.wire.dropped_bits:
+            # Bounded recording evicted part of the window: fall back to
+            # the exact dominant-level fraction the wire counts in O(1).
+            result.busy_fraction = sim.wire.dominant_fraction()
+        else:
+            from repro.trace.recorder import LogicTrace
 
-        result.busy_fraction = LogicTrace(sim.wire.history).busy_fraction()
+            result.busy_fraction = LogicTrace(
+                sim.wire.history).busy_fraction()
     return result
 
 

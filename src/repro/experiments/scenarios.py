@@ -94,10 +94,11 @@ class ExperimentSetup:
     attackers: Tuple[CanNode, ...]
     name: str
 
-    def run(self, duration_bits: int = DEFAULT_DURATION_BITS) -> ExperimentResult:
+    def run(self, duration_bits: int = DEFAULT_DURATION_BITS,
+            metrics: bool = False) -> ExperimentResult:
         return run_and_measure(
             self.sim, self.attackers, duration_bits,
-            name=self.name, defenders=[self.defender],
+            name=self.name, defenders=[self.defender], metrics=metrics,
         )
 
 

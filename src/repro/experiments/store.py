@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import List, Union
+from typing import Any, Dict, List, Union
 
 from repro.errors import ConfigurationError
 from repro.experiments.campaign import SCHEMA_VERSION, CampaignReport
@@ -86,3 +86,33 @@ class ResultStore:
         """Load and merge the named reports (all of them when none given)."""
         chosen = names or tuple(self.names())
         return merge_reports(*(self.load(name) for name in chosen))
+
+    # ------------------------------------------------- snapshot sidecars
+
+    def _snapshot_path(self, name: str, spec_name: str) -> str:
+        safe = spec_name.replace(os.sep, "_").replace("#", "_")
+        return os.path.join(self.root, f"{name}.{safe}.snapshots.jsonl")
+
+    def write_snapshots(self, name: str, report: CampaignReport) -> List[str]:
+        """Write each record's snapshot timeline as a JSONL sidecar next to
+        the report; returns the paths written (instrumented records only)."""
+        from repro.obs.snapshot import write_snapshots as _write
+
+        self._path(name)  # validate the report name
+        paths = []
+        for record in report.records:
+            if not record.snapshots:
+                continue
+            paths.append(_write(
+                record.snapshots,
+                self._snapshot_path(name, record.spec.name),
+                meta={"report": name, "spec": record.spec.name},
+            ))
+        return paths
+
+    def load_snapshots(self, name: str, spec_name: str
+                       ) -> List[Dict[str, Any]]:
+        """Load one record's snapshot timeline sidecar."""
+        from repro.obs.snapshot import read_snapshots as _read
+
+        return _read(self._snapshot_path(name, spec_name))

@@ -39,6 +39,7 @@ from repro.bus.events import (
     FrameReceived,
     FrameStarted,
     FrameTransmitted,
+    OverloadSignalled,
 )
 from repro.can.bitstream import (
     ARBITRATION_FIELDS,
@@ -513,8 +514,9 @@ class CanNode:
         error counters are untouched and at most two consecutive overload
         frames are generated (ISO 11898-1).
         """
-        del time
         self._overload_count += 1
+        self.emit(OverloadSignalled(time=time, node=self.name,
+                                    consecutive=self._overload_count))
         self.state = ControllerState.OVERLOAD_FLAG
         self._flag_remaining = ACTIVE_ERROR_FLAG_BITS
         self._delim_first_bit = False

@@ -1,0 +1,53 @@
+"""Observability: metrics primitives, bus probes, snapshots, exporters.
+
+The paper's evaluation is a set of derived time-series metrics over
+bit-level protocol activity (bus-off times, detection latency, bus load,
+CPU cost).  This package makes that a first-class layer instead of ad-hoc
+rescans of ``sim.events``:
+
+* :mod:`repro.obs.metrics` — counters / gauges / histograms behind a
+  near-zero-overhead :class:`~repro.obs.metrics.MetricsRegistry`;
+* :mod:`repro.obs.probe` — :class:`~repro.obs.probe.BusProbe`, a live
+  subscriber on the simulator event stream maintaining per-node protocol
+  metrics, summarized into a :class:`~repro.obs.probe.MetricsSummary`;
+* :mod:`repro.obs.snapshot` — a periodic snapshotter sampling every N
+  simulated bits into a schema-versioned JSONL timeline;
+* :mod:`repro.obs.export` — Prometheus-style text exposition and JSONL;
+* :mod:`repro.obs.profiler` — wall-clock per-phase timing of the engine's
+  output / drive / observe cycle.
+"""
+
+from repro.obs.export import (
+    registry_to_jsonl,
+    registry_to_prometheus,
+    report_to_prometheus,
+    summary_to_prometheus,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.probe import BusProbe, MetricsSummary
+from repro.obs.profiler import PhaseProfile, profile_run
+from repro.obs.snapshot import (
+    SNAPSHOT_SCHEMA_VERSION,
+    SnapshotRecorder,
+    read_snapshots,
+    write_snapshots,
+)
+
+__all__ = [
+    "BusProbe",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSummary",
+    "PhaseProfile",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "SnapshotRecorder",
+    "profile_run",
+    "read_snapshots",
+    "registry_to_jsonl",
+    "registry_to_prometheus",
+    "report_to_prometheus",
+    "summary_to_prometheus",
+    "write_snapshots",
+]

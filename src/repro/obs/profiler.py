@@ -1,0 +1,127 @@
+"""Wall-clock profiling of the engine's per-bit phases.
+
+:func:`profile_run` times the three phases of every bit — collect node
+outputs, resolve the wired-AND level, deliver observations — by installing
+a per-instance instrumented ``step`` on the simulator.
+:meth:`CanBusSimulator.run` detects the override and falls back to its
+one-call-per-bit loop, so the *un*-profiled hot loop stays exactly as fast
+as before: the hooks cost nothing unless a profile is requested.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict
+
+if TYPE_CHECKING:
+    from repro.bus.simulator import CanBusSimulator
+
+
+@dataclass
+class PhaseProfile:
+    """Per-phase wall time of one profiled window.
+
+    Attributes:
+        bits: Simulated bits covered.
+        output_seconds: Time spent asking nodes what they drive.
+        drive_seconds: Time spent resolving the wired-AND level.
+        observe_seconds: Time spent delivering observations (this is where
+            controllers, firmware and probes run).
+        events: Events recorded during the window.
+    """
+
+    bits: int = 0
+    output_seconds: float = 0.0
+    drive_seconds: float = 0.0
+    observe_seconds: float = 0.0
+    events: int = 0
+    wall_seconds: float = 0.0
+    _fractions: Dict[str, float] = field(default_factory=dict, repr=False)
+
+    @property
+    def steps_per_second(self) -> float:
+        return self.bits / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def events_per_second(self) -> float:
+        return (self.events / self.wall_seconds
+                if self.wall_seconds > 0 else 0.0)
+
+    def phase_fractions(self) -> Dict[str, float]:
+        """Each phase's share of the summed phase time."""
+        total = (self.output_seconds + self.drive_seconds
+                 + self.observe_seconds)
+        if total <= 0:
+            return {"output": 0.0, "drive": 0.0, "observe": 0.0}
+        return {
+            "output": self.output_seconds / total,
+            "drive": self.drive_seconds / total,
+            "observe": self.observe_seconds / total,
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bits": self.bits,
+            "output_seconds": self.output_seconds,
+            "drive_seconds": self.drive_seconds,
+            "observe_seconds": self.observe_seconds,
+            "wall_seconds": self.wall_seconds,
+            "events": self.events,
+            "steps_per_second": self.steps_per_second,
+            "events_per_second": self.events_per_second,
+            "phase_fractions": self.phase_fractions(),
+        }
+
+    def render(self) -> str:
+        fractions = self.phase_fractions()
+        return (
+            f"profiled {self.bits} bits in {self.wall_seconds:.3f} s "
+            f"({self.steps_per_second:,.0f} steps/s, "
+            f"{self.events_per_second:,.0f} events/s)\n"
+            f"  output  {self.output_seconds:8.3f} s  "
+            f"{fractions['output']:6.1%}\n"
+            f"  drive   {self.drive_seconds:8.3f} s  "
+            f"{fractions['drive']:6.1%}\n"
+            f"  observe {self.observe_seconds:8.3f} s  "
+            f"{fractions['observe']:6.1%}"
+        )
+
+
+def profile_run(sim: "CanBusSimulator", bits: int) -> PhaseProfile:
+    """Run ``sim`` for ``bits`` bit times with per-phase timing.
+
+    Installs an instrumented per-instance ``step`` for the duration of the
+    call and removes it afterwards, leaving the simulator's fast path
+    untouched for subsequent runs.
+    """
+    profile = PhaseProfile()
+    perf = _time.perf_counter
+    events_before = len(sim.events)
+
+    def timed_step() -> int:
+        started = perf()
+        outputs = [node.output(sim.time) for node in sim.nodes]
+        after_output = perf()
+        level = sim.wire.drive(outputs)
+        after_drive = perf()
+        for node in sim.nodes:
+            node.observe(sim.time, level)
+        after_observe = perf()
+        sim.time += 1
+        profile.output_seconds += after_output - started
+        profile.drive_seconds += after_drive - after_output
+        profile.observe_seconds += after_observe - after_drive
+        return level
+
+    sim.step = timed_step  # type: ignore[method-assign]
+    wall_started = perf()
+    try:
+        started_at = sim.time
+        sim.run(bits)
+        profile.bits = sim.time - started_at
+    finally:
+        profile.wall_seconds = perf() - wall_started
+        del sim.step
+    profile.events = len(sim.events) - events_before
+    return profile

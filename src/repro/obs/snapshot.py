@@ -1,0 +1,146 @@
+"""Periodic telemetry snapshots: a schema-versioned JSONL timeline.
+
+:class:`SnapshotRecorder` samples an attached :class:`~repro.obs.probe.
+BusProbe` every N simulated bits.  It is implemented as a *pseudo-node*:
+attach it with ``sim.add_node(recorder)`` and it rides the engine's
+output/observe cycle, always driving recessive (so it is electrically
+invisible) and capturing a snapshot whenever the sample period elapses.
+This keeps the engine's hot loop untouched — the cost exists only when a
+recorder is actually attached.
+
+The JSONL format is one header line (``kind`` + ``schema_version``)
+followed by one snapshot object per line, so a timeline can be tailed
+while a long campaign is still running.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Union
+
+from repro.can.constants import RECESSIVE
+from repro.errors import ConfigurationError
+from repro.obs.probe import BusProbe
+
+#: Bump when the snapshot line layout changes incompatibly.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: The header line's format marker.
+SNAPSHOT_KIND = "repro.obs.snapshots"
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+class SnapshotRecorder:
+    """Samples a probe every ``every_bits`` simulated bits.
+
+    Attach to the probed simulator as a node::
+
+        probe = BusProbe(sim)
+        recorder = sim.add_node(SnapshotRecorder(probe, every_bits=1_000))
+        sim.run(20_000)
+        write_snapshots(recorder.snapshots, "timeline.jsonl")
+
+    Attributes:
+        snapshots: The captured timeline, oldest first.
+    """
+
+    def __init__(self, probe: BusProbe, every_bits: int,
+                 name: str = "obs.snapshots") -> None:
+        if every_bits <= 0:
+            raise ConfigurationError(
+                f"snapshot period must be positive, got {every_bits}")
+        self.probe = probe
+        self.every_bits = every_bits
+        self.name = name
+        self.snapshots: List[Dict[str, Any]] = []
+        self._next_at = probe.sim.time + every_bits
+
+    # ------------------------------------------------- pseudo-node duties
+
+    def attach(self, event_sink) -> None:
+        """Node-protocol hook; the recorder emits no events."""
+        del event_sink
+
+    def output(self, time: int) -> int:
+        """Never drives the bus."""
+        del time
+        return RECESSIVE
+
+    def observe(self, time: int, level: int) -> None:
+        del level
+        if time >= self._next_at:
+            self.capture(time)
+            self._next_at += self.every_bits
+
+    # ----------------------------------------------------------- capture
+
+    def capture(self, time: Optional[int] = None) -> Dict[str, Any]:
+        """Take one snapshot now and append it to the timeline."""
+        snapshot = self.probe.snapshot(time)
+        self.snapshots.append(snapshot)
+        return snapshot
+
+
+# ------------------------------------------------------------------- JSONL
+
+def write_snapshots(snapshots: List[Dict[str, Any]], path: PathLike,
+                    meta: Optional[Dict[str, Any]] = None) -> str:
+    """Write a snapshot timeline as schema-versioned JSONL; returns the path.
+
+    Args:
+        meta: Extra header fields (e.g. the producing spec's name).
+    """
+    header = {"kind": SNAPSHOT_KIND,
+              "schema_version": SNAPSHOT_SCHEMA_VERSION}
+    header.update(meta or {})
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for snapshot in snapshots:
+            handle.write(json.dumps(snapshot, sort_keys=True) + "\n")
+    return os.fspath(path)
+
+
+def read_snapshots(path: PathLike) -> List[Dict[str, Any]]:
+    """Load a snapshot timeline, validating the header's schema version."""
+    with open(path, encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line.strip():
+            raise ConfigurationError(
+                f"snapshot file {os.fspath(path)!r} is empty")
+        header = json.loads(header_line)
+        if header.get("kind") != SNAPSHOT_KIND:
+            raise ConfigurationError(
+                f"{os.fspath(path)!r} is not a snapshot timeline "
+                f"(kind={header.get('kind')!r})")
+        version = header.get("schema_version")
+        if version != SNAPSHOT_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"snapshot file {os.fspath(path)!r} has schema version "
+                f"{version!r}; this build reads "
+                f"version {SNAPSHOT_SCHEMA_VERSION}")
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def render_snapshots(snapshots: List[Dict[str, Any]],
+                     last: Optional[int] = None) -> str:
+    """A fixed-width table of (the tail of) a snapshot timeline."""
+    chosen = snapshots[-last:] if last else snapshots
+    if not chosen:
+        return "(no snapshots)"
+    names = sorted({name for snap in chosen for name in snap.get("nodes", {})})
+    header = f"{'time':>9} {'busload':>8} {'events':>7}"
+    for name in names:
+        header += f"  {name[:14] + ' tec/err':>22}"
+    lines = [header]
+    for snap in chosen:
+        line = (f"{snap.get('time', 0):>9} "
+                f"{snap.get('dominant_fraction', 0.0):>8.1%} "
+                f"{snap.get('events', 0):>7}")
+        for name in names:
+            node = snap.get("nodes", {}).get(name, {})
+            cell = f"{node.get('tec', '-')}/{node.get('errors', 0)}"
+            line += f"  {cell:>22}"
+        lines.append(line)
+    return "\n".join(lines)

@@ -183,6 +183,67 @@ class TestEventPlumbing:
         sim.run(300)
         assert seen == sim.events
 
+    def test_on_event_returns_unsubscribe_handle(self):
+        sim = CanBusSimulator()
+        a, b = CanNode("a"), CanNode("b")
+        sim.add_node(a), sim.add_node(b)
+        seen = []
+        unsubscribe = sim.on_event(seen.append)
+        a.send(CanFrame(0x123))
+        sim.run(150)
+        count = len(seen)
+        assert count > 0
+        unsubscribe()
+        unsubscribe()  # idempotent
+        a.send(CanFrame(0x124))
+        sim.run(300)
+        assert len(seen) == count
+
+    def test_off_event(self):
+        sim = CanBusSimulator()
+        a, b = CanNode("a"), CanNode("b")
+        sim.add_node(a), sim.add_node(b)
+        seen = []
+        sim.on_event(seen.append)
+        sim.off_event(seen.append)
+        a.send(CanFrame(0x123))
+        sim.run(300)
+        assert seen == []
+
+    def test_off_event_unknown_listener_rejected(self):
+        sim = CanBusSimulator()
+        with pytest.raises(ConfigurationError, match="not subscribed"):
+            sim.off_event(lambda e: None)
+
+    def test_events_of_uses_exact_type_index(self):
+        sim = CanBusSimulator()
+        a, b = CanNode("a"), CanNode("b")
+        sim.add_node(a), sim.add_node(b)
+        a.send(CanFrame(0x123, b"\x01"))
+        sim.run(300)
+        # per-type index result matches a linear scan, in stream order
+        for event_type in (FrameTransmitted, FrameReceived):
+            assert sim.events_of(event_type) == [
+                e for e in sim.events if isinstance(e, event_type)]
+
+    def test_events_of_base_class_query(self):
+        from repro.bus.events import Event
+
+        sim = CanBusSimulator()
+        a, b = CanNode("a"), CanNode("b")
+        sim.add_node(a), sim.add_node(b)
+        a.send(CanFrame(0x123))
+        sim.run(300)
+        assert sim.events_of(Event) == sim.events
+
+    def test_events_of_unseen_type_is_empty(self):
+        from repro.bus.events import BusOffEntered
+
+        sim = CanBusSimulator()
+        sim.add_node(CanNode("a"))
+        sim.run(20)
+        assert sim.events_of(BusOffEntered) == []
+
 
 class TestTimeConversion:
     def test_milliseconds_at_50k(self):

@@ -56,3 +56,69 @@ class TestWire:
         for _ in range(5):
             wire.drive([1])
         assert wire.recessive_run_ending_at() == 5
+
+
+class TestBoundedWire:
+    def test_keeps_only_last_n_bits(self):
+        wire = Wire(max_history=4)
+        for level in [0, 0, 1, 1, 1, 0]:
+            wire.drive([level])
+        assert list(wire.history) == [1, 1, 1, 0]
+        assert wire.total_bits == 6
+        assert wire.dropped_bits == 2
+
+    def test_counters_exact_despite_eviction(self):
+        wire = Wire(max_history=3)
+        for level in [0, 0, 0, 1, 1, 1, 1]:
+            wire.drive([level])
+        assert wire.dominant_bits == 3
+        assert wire.dominant_fraction() == pytest.approx(3 / 7)
+        assert list(wire.history) == [1, 1, 1]  # dominants evicted
+
+    def test_unbounded_never_drops(self):
+        wire = Wire()
+        for _ in range(100):
+            wire.drive([1])
+        assert wire.dropped_bits == 0
+        assert len(wire.history) == 100
+
+    def test_recording_off_counts_but_drops_nothing(self):
+        wire = Wire(record=False)
+        wire.drive([0])
+        wire.drive([1])
+        assert wire.total_bits == 2
+        assert wire.dominant_fraction() == 0.5
+        assert wire.dropped_bits == 0
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError, match="positive"):
+            Wire(max_history=0)
+
+    def test_recessive_run_within_window(self):
+        wire = Wire(max_history=4)
+        for level in [0, 1, 1, 1, 1, 1]:
+            wire.drive([level])
+        # window covers t=2..5, all recessive
+        assert wire.recessive_run_ending_at() == 4
+        assert wire.recessive_run_ending_at(4) == 3
+
+    def test_recessive_run_before_window_rejected(self):
+        wire = Wire(max_history=2)
+        for level in [1, 1, 1, 1]:
+            wire.drive([level])
+        with pytest.raises(ValueError, match="precedes"):
+            wire.recessive_run_ending_at(0)
+
+    def test_dominant_fraction_empty(self):
+        assert Wire().dominant_fraction() == 0.0
+
+    def test_simulator_bounded_history(self):
+        from repro.bus.simulator import CanBusSimulator
+        from repro.node.controller import CanNode
+
+        sim = CanBusSimulator(wire_history_bits=32)
+        sim.add_node(CanNode("a"))
+        sim.run(100)
+        assert len(sim.wire.history) == 32
+        assert sim.wire.dropped_bits == 68
+        assert sim.wire.total_bits == 100

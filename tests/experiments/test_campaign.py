@@ -137,3 +137,67 @@ class TestCampaignReport:
         a = Campaign(small_specs()[:1], n_workers=1).run()
         b = Campaign(small_specs()[:2], n_workers=1).run()
         assert not a.payload_equal(b)
+
+
+class TestCampaignMetrics:
+    def metric_specs(self):
+        return [
+            ScenarioSpec("exp4", duration_bits=4_000, seed=s, metrics=True,
+                         snapshot_every_bits=1_000)
+            for s in (1, 2)
+        ]
+
+    def test_spec_round_trip_with_metrics_fields(self):
+        spec = ScenarioSpec("exp4", metrics=True, snapshot_every_bits=500)
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.metrics is True
+        assert clone.snapshot_every_bits == 500
+
+    def test_execute_spec_attaches_probe(self):
+        record = execute_spec(self.metric_specs()[0])
+        assert record.result.metrics is not None
+        assert record.result.metrics.nodes["attacker"]["busoffs"] >= 1
+        assert [s["time"] for s in record.snapshots] == \
+            [1_000, 2_000, 3_000]
+
+    def test_metrics_off_spec_stays_bare(self):
+        record = execute_spec(ScenarioSpec("exp4", duration_bits=3_000))
+        assert record.result.metrics is None
+        assert record.snapshots == []
+
+    def test_metrics_deterministic_across_workers(self):
+        specs = self.metric_specs()
+        serial = Campaign(specs, n_workers=1).run()
+        parallel = Campaign(specs, n_workers=2).run()
+        assert serial.payload_equal(parallel)
+        assert [r.snapshots for r in serial.records] == \
+            [r.snapshots for r in parallel.records]
+
+    def test_report_round_trip_keeps_metrics_and_snapshots(self):
+        report = Campaign(self.metric_specs(), n_workers=1).run()
+        clone = CampaignReport.from_dict(report.to_dict())
+        assert clone.records[0].result.metrics.to_dict() == \
+            report.records[0].result.metrics.to_dict()
+        assert clone.records[0].snapshots == report.records[0].snapshots
+
+    def test_metrics_totals_aggregate(self):
+        report = Campaign(self.metric_specs(), n_workers=1).run()
+        totals = report.metrics_totals()
+        assert totals["runs"] == 2
+        assert totals["duration_bits"] == 8_000
+        per_run = [r.result.metrics.totals()["busoffs"]
+                   for r in report.records]
+        assert totals["busoffs"] == sum(per_run)
+
+    def test_metrics_totals_none_without_metrics(self):
+        report = Campaign(small_specs()[:1], n_workers=1).run()
+        assert report.metrics_totals() is None
+        assert "telemetry totals" not in report.render()
+
+    def test_render_includes_metrics_blocks(self):
+        report = Campaign(self.metric_specs(), n_workers=1).run()
+        text = report.render()
+        assert "metrics:" in text
+        assert "snapshots: 3 (every 1000 bits)" in text
+        assert "campaign-wide telemetry totals:" in text

@@ -118,3 +118,52 @@ class TestExperimentResultSerialization:
                                  name="render", defenders=[defender])
         rebuilt = ExperimentResult.from_dict(result.to_dict())
         assert rebuilt.render() == result.render()
+
+
+class TestRunnerMetrics:
+    def test_metrics_off_by_default(self):
+        sim, defender, attacker = small_fight()
+        result = run_and_measure(sim, [attacker], 3_000,
+                                 defenders=[defender])
+        assert result.metrics is None
+        assert result.to_dict()["metrics"] is None
+
+    def test_metrics_true_embeds_summary(self):
+        sim, defender, attacker = small_fight()
+        result = run_and_measure(sim, [attacker], 3_000,
+                                 defenders=[defender], metrics=True)
+        assert result.metrics is not None
+        assert result.metrics.nodes["attacker"]["busoffs"] >= 1
+        assert result.metrics.nodes["defender"]["counterattacks"] == \
+            result.counterattacks
+        assert not sim._event_listeners  # own probe was closed
+
+    def test_metrics_accepts_existing_probe(self):
+        from repro.obs.probe import BusProbe
+
+        sim, defender, attacker = small_fight()
+        probe = BusProbe(sim)
+        result = run_and_measure(sim, [attacker], 3_000,
+                                 defenders=[defender], metrics=probe)
+        assert result.metrics is not None
+        assert not probe.closed  # caller owns the lifetime
+        probe.close()
+
+    def test_metrics_survive_serialization(self):
+        sim, defender, attacker = small_fight()
+        result = run_and_measure(sim, [attacker], 3_000,
+                                 defenders=[defender], metrics=True)
+        clone = ExperimentResult.from_dict(result.to_dict())
+        assert clone.metrics.to_dict() == result.metrics.to_dict()
+        assert "metrics:" in clone.render()
+
+    def test_bounded_recording_falls_back_to_dominant_fraction(self):
+        from repro.bus.simulator import CanBusSimulator
+
+        sim = CanBusSimulator(bus_speed=50_000, wire_history_bits=512)
+        defender = sim.add_node(MichiCanNode("defender", range(0x100)))
+        attacker = sim.add_node(DosAttacker("attacker", 0x064))
+        result = run_and_measure(sim, [attacker], 3_000,
+                                 defenders=[defender])
+        assert sim.wire.dropped_bits > 0
+        assert result.busy_fraction == sim.wire.dominant_fraction()

@@ -78,3 +78,32 @@ class TestResultStore:
         store = ResultStore(tmp_path / "reports")
         with pytest.raises(ConfigurationError, match="invalid"):
             store.write("../escape", report)
+
+
+class TestSnapshotSidecars:
+    @pytest.fixture()
+    def metric_report(self):
+        specs = [ScenarioSpec("exp4", duration_bits=3_000, seed=s,
+                              metrics=True, snapshot_every_bits=1_000)
+                 for s in (1, 2)]
+        return Campaign(specs, n_workers=1).run()
+
+    def test_write_and_load_snapshots(self, metric_report, tmp_path):
+        store = ResultStore(tmp_path)
+        store.write("fights", metric_report)
+        paths = store.write_snapshots("fights", metric_report)
+        assert len(paths) == 2
+        loaded = store.load_snapshots("fights", "exp4#1")
+        assert loaded == metric_report.records[0].snapshots
+
+    def test_uninstrumented_records_write_no_sidecars(self, report,
+                                                     tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.write_snapshots("plain", report) == []
+
+    def test_sidecars_do_not_pollute_report_names(self, metric_report,
+                                                  tmp_path):
+        store = ResultStore(tmp_path)
+        store.write("fights", metric_report)
+        store.write_snapshots("fights", metric_report)
+        assert store.names() == ["fights"]

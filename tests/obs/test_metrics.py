@@ -1,0 +1,102 @@
+"""Tests for the metric primitives and their registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("frames")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_cannot_decrease(self):
+        counter = Counter("frames")
+        with pytest.raises(ConfigurationError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_to_dict(self):
+        counter = Counter("frames", (("node", "a"),))
+        counter.inc(2)
+        assert counter.to_dict() == {
+            "type": "counter", "name": "frames",
+            "labels": {"node": "a"}, "value": 2,
+        }
+
+
+class TestGauge:
+    def test_set(self):
+        gauge = Gauge("tec")
+        gauge.set(96)
+        assert gauge.value == 96
+        gauge.set(0)
+        assert gauge.value == 0
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        histogram = Histogram("latency", buckets=(2.0, 4.0, 8.0))
+        for value in (1, 2, 3, 9):
+            histogram.observe(value)
+        # counts: <=2, <=4, <=8, overflow
+        assert histogram.counts == [2, 1, 0, 1]
+        assert histogram.count == 4
+        assert histogram.sum == 15
+        assert histogram.min == 1 and histogram.max == 9
+        assert histogram.mean == pytest.approx(3.75)
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=())
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=(4.0, 2.0))
+
+    def test_round_trip(self):
+        histogram = Histogram("latency", buckets=(2.0, 4.0))
+        histogram.observe(3)
+        clone = Histogram.from_dict(histogram.to_dict())
+        assert clone.to_dict() == histogram.to_dict()
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        first = registry.counter("frames", node="a")
+        second = registry.counter("frames", node="a")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_labels_distinguish(self):
+        registry = MetricsRegistry()
+        a = registry.counter("frames", node="a")
+        b = registry.counter("frames", node="b")
+        assert a is not b
+        assert len(registry) == 2
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("frames")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.gauge("frames")
+
+    def test_collect_is_sorted_and_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("z")
+        registry.counter("a", node="b")
+        registry.counter("a", node="a")
+        names = [(m.name, m.labels) for m in registry.collect()]
+        assert names == sorted(names)
+
+    def test_get(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("frames", node="a")
+        assert registry.get("frames", node="a") is counter
+        assert registry.get("missing") is None

@@ -190,3 +190,87 @@ class TestCliErrorPaths:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["not-a-command"])
+
+
+class TestCliMetrics:
+    def _run_campaign(self, tmp_path, snapshots=True):
+        report = str(tmp_path / "report.json")
+        argv = ["campaign", "run", "--scenario", "exp4",
+                "--seeds", "1,2", "--duration", "4000", "--out", report]
+        if snapshots:
+            argv += ["--snapshot-every", "1000",
+                     "--snapshot-dir", str(tmp_path / "snaps")]
+        assert main(argv) == 0
+        return report
+
+    def test_campaign_runs_carry_metrics_by_default(self, capsys, tmp_path):
+        self._run_campaign(tmp_path, snapshots=False)
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "campaign-wide telemetry totals:" in out
+
+    def test_no_metrics_flag(self, capsys, tmp_path):
+        report = str(tmp_path / "report.json")
+        assert main(["campaign", "run", "--scenario", "exp4",
+                     "--seeds", "1", "--duration", "4000",
+                     "--no-metrics", "--out", report]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" not in out
+        assert main(["metrics", "summary", report]) == 1
+
+    def test_snapshot_dir_round_trips(self, capsys, tmp_path):
+        from repro.obs.snapshot import read_snapshots
+
+        self._run_campaign(tmp_path)
+        capsys.readouterr()
+        timeline = tmp_path / "snaps" / "exp4_1.snapshots.jsonl"
+        assert timeline.exists()
+        snapshots = read_snapshots(timeline)
+        assert [snap["time"] for snap in snapshots] == [1000, 2000, 3000]
+
+    def test_metrics_summary(self, capsys, tmp_path):
+        report = self._run_campaign(tmp_path, snapshots=False)
+        capsys.readouterr()
+        assert main(["metrics", "summary", report]) == 0
+        out = capsys.readouterr().out
+        assert "[exp4#1]" in out and "[exp4#2]" in out
+        assert "campaign-wide telemetry totals:" in out
+
+    def test_metrics_export_prometheus(self, capsys, tmp_path):
+        report = self._run_campaign(tmp_path, snapshots=False)
+        capsys.readouterr()
+        assert main(["metrics", "export", report]) == 0
+        out = capsys.readouterr().out
+        assert 'repro_busoffs_total{node="attacker",spec="exp4#1"}' in out
+
+    def test_metrics_export_jsonl_to_file(self, capsys, tmp_path):
+        import json
+
+        report = self._run_campaign(tmp_path, snapshots=False)
+        out_file = tmp_path / "metrics.jsonl"
+        assert main(["metrics", "export", report, "--format", "jsonl",
+                     "--output", str(out_file)]) == 0
+        lines = out_file.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["spec"] == "exp4#1"
+
+    def test_metrics_tail(self, capsys, tmp_path):
+        self._run_campaign(tmp_path)
+        capsys.readouterr()
+        timeline = str(tmp_path / "snaps" / "exp4_1.snapshots.jsonl")
+        assert main(["metrics", "tail", timeline, "-n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "attacker" in out and "3000" in out
+
+    def test_metrics_profile(self, capsys):
+        assert main(["metrics", "profile", "--scenario", "exp4",
+                     "--duration", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "profiled 2000 bits" in out and "observe" in out
+
+    def test_metrics_profile_unknown_scenario(self, capsys):
+        assert main(["metrics", "profile", "--scenario", "bogus"]) == 2
+
+    def test_metrics_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["metrics"])
