@@ -1,0 +1,49 @@
+"""Domain-aware static analyzer: AST lint rules + ``repro lint``.
+
+See :mod:`repro.analysis.lint.rules` for the rule catalogue (RC1xx codes)
+and ``docs/static-analysis.md`` for the user-facing guide.
+"""
+
+from repro.analysis.lint.engine import (
+    collect_python_files,
+    lint_paths,
+    lint_source,
+    resolve_rules,
+)
+from repro.analysis.lint.findings import (
+    LINT_REPORT_SCHEMA_VERSION,
+    Finding,
+    LintReport,
+    Severity,
+)
+from repro.analysis.lint.registry import (
+    ENGINE_PATH_SEGMENTS,
+    LintRule,
+    ModuleContext,
+    SharedContext,
+    get_rule,
+    rule,
+    rule_catalogue,
+    rule_codes,
+)
+from repro.analysis.lint.suppressions import SuppressionIndex
+
+__all__ = [
+    "ENGINE_PATH_SEGMENTS",
+    "Finding",
+    "LINT_REPORT_SCHEMA_VERSION",
+    "LintReport",
+    "LintRule",
+    "ModuleContext",
+    "Severity",
+    "SharedContext",
+    "SuppressionIndex",
+    "collect_python_files",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "resolve_rules",
+    "rule",
+    "rule_catalogue",
+    "rule_codes",
+]

@@ -1,0 +1,163 @@
+"""The analyzer driver: collect files, parse once, run rules, report.
+
+The engine walks the given paths, parses each ``*.py`` file exactly once,
+builds the per-file :class:`~repro.analysis.lint.suppressions.SuppressionIndex`
+and hands the shared :class:`~repro.analysis.lint.registry.ModuleContext` to
+every selected rule.  Findings silenced by ``# repro: noqa`` comments are
+counted, not dropped silently.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+# Importing the rules module populates the registry as a side effect.
+import repro.analysis.lint.rules as _rules
+from repro.analysis.lint.findings import Finding, LintReport, Severity
+from repro.analysis.lint.registry import (
+    LintRule,
+    ModuleContext,
+    SharedContext,
+    get_rule,
+    rule_codes,
+)
+from repro.analysis.lint.rules import event_vocabulary_from_source
+from repro.analysis.lint.suppressions import SuppressionIndex
+
+_ = _rules.ALL_RULE_MODULE_LOADED  # keep the side-effect import explicit
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".mypy_cache", ".ruff_cache", ".pytest_cache",
+    "build", "dist",
+})
+
+
+def collect_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted, de-duplicated ``*.py`` list."""
+    collected: List[str] = []
+    seen = set()
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d not in _SKIP_DIRS)
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        full = os.path.join(root, name)
+                        if full not in seen:
+                            seen.add(full)
+                            collected.append(full)
+        elif path.endswith(".py") or os.path.isfile(path):
+            if path not in seen:
+                seen.add(path)
+                collected.append(path)
+    return sorted(collected)
+
+
+def resolve_rules(select: Optional[Sequence[str]] = None,
+                  ignore: Optional[Sequence[str]] = None) -> List[LintRule]:
+    """The rules to run: ``--select`` wins over the full catalogue, then
+    ``--ignore`` removes codes.  Unknown codes raise ConfigurationError."""
+    codes = [code.upper() for code in (select or rule_codes())]
+    ignored = {code.upper() for code in (ignore or ())}
+    for code in list(codes) + sorted(ignored):
+        get_rule(code)  # validate; raises on unknown codes
+    return [get_rule(code) for code in codes if code not in ignored]
+
+
+def _resolve_event_vocabulary(
+        files: Sequence[str]) -> Optional[FrozenSet[str]]:
+    """Event class names from the scanned tree's ``bus/events.py``; falls
+    back to the installed :mod:`repro.bus.events` when none is in scope."""
+    for path in files:
+        normalized = path.replace("\\", "/")
+        if normalized.endswith("bus/events.py"):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    return event_vocabulary_from_source(handle.read())
+            except (OSError, SyntaxError):
+                return None
+    try:
+        import repro.bus.events as events_module
+    except ImportError:  # pragma: no cover - repro is always importable here
+        return None
+    return frozenset(
+        name for name in dir(events_module)
+        if isinstance(getattr(events_module, name), type)
+        and not name.startswith("_")
+    )
+
+
+def lint_source(source: str, path: str,
+                rules: Optional[Sequence[LintRule]] = None,
+                shared: Optional[SharedContext] = None,
+                ) -> Tuple[List[Finding], int]:
+    """Lint one in-memory source blob.
+
+    Returns ``(findings, suppressed_count)``.  A syntax error becomes a
+    single ``RC100`` parse finding instead of an exception, so one broken
+    file cannot take down a whole run.
+    """
+    if shared is None:
+        shared = SharedContext()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return ([Finding(
+            code="RC100", rule="parse-error",
+            message=f"file does not parse: {exc.msg}",
+            path=path, line=exc.lineno or 0,
+            severity=Severity.ERROR,
+        )], 0)
+    source_lines = source.splitlines()
+    ctx = ModuleContext(path=path, tree=tree, source_lines=source_lines,
+                        shared=shared)
+    suppressions = SuppressionIndex(source_lines)
+    findings: List[Finding] = []
+    suppressed = 0
+    for lint_rule in (rules if rules is not None else resolve_rules()):
+        for finding in lint_rule.check(ctx):
+            if suppressions.is_suppressed(finding.line, finding.code):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, suppressed
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Sequence[str]] = None,
+               ignore: Optional[Sequence[str]] = None) -> LintReport:
+    """Run the analyzer over files/directories and return the report."""
+    files = collect_python_files(paths)
+    rules = resolve_rules(select=select, ignore=ignore)
+    shared = SharedContext(
+        event_vocabulary=_resolve_event_vocabulary(files))
+    findings: List[Finding] = []
+    suppressed = 0
+    for path in files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            findings.append(Finding(
+                code="RC100", rule="parse-error",
+                message=f"file is unreadable: {exc}",
+                path=path))
+            continue
+        file_findings, file_suppressed = lint_source(
+            source, path, rules=rules, shared=shared)
+        findings.extend(file_findings)
+        suppressed += file_suppressed
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
+    return LintReport(findings=findings, files_checked=len(files),
+                      suppressed=suppressed)
+
+
+def iter_rule_lines() -> Iterable[str]:
+    """``CODE name — summary`` lines for ``repro lint --list-rules``."""
+    from repro.analysis.lint.registry import rule_catalogue
+
+    for lint_rule in rule_catalogue():
+        yield f"{lint_rule.code} {lint_rule.name} — {lint_rule.summary}"

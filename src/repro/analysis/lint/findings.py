@@ -1,0 +1,132 @@
+"""Finding and report types for the domain-aware static analyzer.
+
+A :class:`Finding` is one rule violation anchored to a file and line; a
+:class:`LintReport` is the outcome of one analyzer run over a set of files.
+Reports are JSON-safe and schema-versioned like every other persisted
+artifact in this repository (see :mod:`repro.experiments.store`).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping
+
+#: Bump when the report dict layout changes incompatibly.
+LINT_REPORT_SCHEMA_VERSION = 1
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.  Errors fail the gate; warnings do not."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    Attributes:
+        code: The rule code (e.g. ``RC101``).
+        rule: The rule's short kebab-case name (e.g. ``no-wallclock``).
+        message: Human-readable description of the violation.
+        path: Repo-relative (or as-given) path of the offending file.
+        line: 1-based line number; 0 for whole-file / semantic findings.
+        column: 0-based column offset.
+        severity: :class:`Severity` of the finding.
+    """
+
+    code: str
+    rule: str
+    message: str
+    path: str
+    line: int = 0
+    column: int = 0
+    severity: Severity = Severity.ERROR
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "severity": self.severity.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Finding":
+        return cls(
+            code=data["code"],
+            rule=data.get("rule", ""),
+            message=data.get("message", ""),
+            path=data.get("path", ""),
+            line=data.get("line", 0),
+            column=data.get("column", 0),
+            severity=Severity(data.get("severity", "error")),
+        )
+
+    def render(self) -> str:
+        """One-line ``path:line:col: CODE message`` form."""
+        return (f"{self.path}:{self.line}:{self.column}: "
+                f"{self.code} {self.message}")
+
+
+@dataclass
+class LintReport:
+    """The outcome of one analyzer run.
+
+    Attributes:
+        findings: Surviving findings, sorted by (path, line, code).
+        files_checked: Number of Python files parsed.
+        suppressed: Findings silenced by ``# repro: noqa`` comments.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    schema_version: int = LINT_REPORT_SCHEMA_VERSION
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding survived."""
+        return not any(f.severity is Severity.ERROR for f in self.findings)
+
+    def counts_by_code(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LintReport":
+        return cls(
+            findings=[Finding.from_dict(f) for f in data.get("findings", [])],
+            files_checked=data.get("files_checked", 0),
+            suppressed=data.get("suppressed", 0),
+            schema_version=data.get(
+                "schema_version", LINT_REPORT_SCHEMA_VERSION),
+        )
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        summary = (f"{len(self.findings)} finding(s) in "
+                   f"{self.files_checked} file(s)")
+        if self.suppressed:
+            summary += f", {self.suppressed} suppressed"
+        lines.append(summary)
+        return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Rule registry: per-rule codes, metadata, and the module context.
+
+A rule is a callable ``check(module) -> Iterable[Finding]`` registered under
+a stable code with :func:`rule`.  The engine (:mod:`repro.analysis.lint.
+engine`) parses each file once into a :class:`ModuleContext` and hands it to
+every selected rule; rules never re-read or re-parse.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional
+
+from repro.analysis.lint.findings import Finding
+from repro.errors import ConfigurationError
+
+#: Path segments (directory names) that mark the engine's hot paths — the
+#: per-bit code where wall-clock reads and unseeded randomness would break
+#: the serial==parallel determinism guarantee of the campaign engine.
+ENGINE_PATH_SEGMENTS = frozenset({"bus", "node", "can"})
+
+
+@dataclass
+class SharedContext:
+    """Run-wide state shared by all module contexts of one lint run.
+
+    Attributes:
+        event_vocabulary: Class names defined by the scanned tree's
+            ``bus/events.py`` (or the built-in :mod:`repro.bus.events`
+            fallback).  None when no vocabulary could be resolved — rules
+            that need it must then skip.
+    """
+
+    event_vocabulary: Optional[FrozenSet[str]] = None
+
+
+@dataclass
+class ModuleContext:
+    """One parsed Python file, as seen by the rules.
+
+    Attributes:
+        path: The path findings should report (as given to the engine).
+        tree: The parsed AST of the whole module.
+        source_lines: The raw source split into lines (1-based access via
+            ``source_lines[line - 1]``).
+        shared: Run-wide :class:`SharedContext`.
+    """
+
+    path: str
+    tree: ast.Module
+    source_lines: List[str]
+    shared: SharedContext = field(default_factory=SharedContext)
+
+    @property
+    def path_segments(self) -> FrozenSet[str]:
+        """Directory names on the module's path (file name excluded)."""
+        normalized = self.path.replace("\\", "/")
+        return frozenset(normalized.split("/")[:-1])
+
+    @property
+    def file_name(self) -> str:
+        return self.path.replace("\\", "/").rsplit("/", 1)[-1]
+
+    @property
+    def in_engine_paths(self) -> bool:
+        """True for modules under ``bus/``, ``node/`` or ``can/``."""
+        return bool(self.path_segments & ENGINE_PATH_SEGMENTS)
+
+    @property
+    def in_persisted_paths(self) -> bool:
+        """True for modules holding persisted, schema-versioned dataclasses
+        (``store.py`` anywhere, or anything under ``obs/``)."""
+        return self.file_name == "store.py" or "obs" in self.path_segments
+
+    @property
+    def is_package_init(self) -> bool:
+        return self.file_name == "__init__.py"
+
+
+#: A rule inspects one module and yields findings.
+RuleCheck = Callable[[ModuleContext], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """A registered rule: stable code + name + the check callable."""
+
+    code: str
+    name: str
+    summary: str
+    check: RuleCheck
+
+
+_RULES: Dict[str, LintRule] = {}
+
+
+def rule(code: str, name: str,
+         summary: str) -> Callable[[RuleCheck], RuleCheck]:
+    """Register the decorated callable as rule ``code``.
+
+    Codes are stable identifiers (``RC###``) used by ``--select`` /
+    ``--ignore`` and by ``# repro: noqa[CODE]`` suppressions; names are the
+    human-friendly aliases shown in the catalogue.
+    """
+
+    def decorate(check: RuleCheck) -> RuleCheck:
+        if code in _RULES:
+            raise ConfigurationError(f"lint rule {code!r} already registered")
+        _RULES[code] = LintRule(code=code, name=name, summary=summary,
+                                check=check)
+        return check
+
+    return decorate
+
+
+def rule_codes() -> List[str]:
+    """All registered rule codes, sorted."""
+    return sorted(_RULES)
+
+
+def get_rule(code: str) -> LintRule:
+    try:
+        return _RULES[code]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown lint rule {code!r}; choose from {rule_codes()}"
+        ) from None
+
+
+def rule_catalogue() -> List[LintRule]:
+    """All registered rules, sorted by code (for ``--list-rules`` and docs)."""
+    return [_RULES[code] for code in rule_codes()]

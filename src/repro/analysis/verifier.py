@@ -1,0 +1,536 @@
+"""Semantic config verifier: statically prove a MichiCAN deployment sound.
+
+Where the lint framework (:mod:`repro.analysis.lint`) checks *code*, this
+module checks *configuration*: it loads a deployment plan — the ordered ECU
+list 𝔼, declared attack IDs, the counterattack window, optional per-ECU
+prefix tables — and proves the properties the runtime otherwise only
+samples:
+
+* every declared attack ID falls inside some deployed ECU's detection
+  range 𝔻 (Definition IV.4), and the union of ranges covers the whole
+  DoS-relevant ID space at or below max(𝔼) (VC210/VC211);
+* compiled detection FSMs are well-formed binary prefix trees — complete
+  transition tables, no unreachable states, decisions within the ID width,
+  and exact agreement with set membership (VC201–VC204);
+* declared prefix tables are overlap-free and cover exactly 𝔻
+  (VC205/VC206);
+* the counterattack window is consistent with the standard frame layout:
+  it opens at un-stuffed position 1 SOF + 11 ID + 1 RTR = 13 and closes by
+  the processing deadline at position 20 (VC212/VC213);
+* every registered :class:`~repro.experiments.campaign.ScenarioSpec`
+  factory is pickle-safe by reference, so the multiprocessing fan-out can
+  rebuild it in a worker process (VC220/VC221).
+
+Issue codes are stable (``VC2xx``) so they can be suppressed/filtered the
+same way lint codes are, and the report shape mirrors
+:class:`~repro.analysis.lint.findings.LintReport`.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import pickle
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.can.constants import (
+    COUNTERATTACK_END_POS,
+    COUNTERATTACK_START_POS,
+    ID_BITS,
+    MAX_STD_ID,
+    NUM_STD_IDS,
+)
+from repro.can.intervals import IdIntervalSet
+from repro.core.config import IvnConfig, Scenario
+from repro.core.detection import ATTACK_DURATION_BITS
+from repro.core.fsm import DetectionFsm, Verdict
+from repro.errors import ConfigurationError
+
+#: Bump when the verifier report dict layout changes incompatibly.
+VERIFIER_REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class VerifierIssue:
+    """One soundness violation found in a deployment plan.
+
+    Attributes:
+        code: Stable issue code (``VC2xx``).
+        subject: What the issue is about (an ECU name, scenario name,
+            ``"window"``, ``"fsm"``, ...).
+        message: Human-readable description.
+    """
+
+    code: str
+    subject: str
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"code": self.code, "subject": self.subject,
+                "message": self.message}
+
+    def render(self) -> str:
+        return f"{self.code} [{self.subject}] {self.message}"
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying one plan: issues plus the checks that ran."""
+
+    issues: List[VerifierIssue] = field(default_factory=list)
+    checks_run: List[str] = field(default_factory=list)
+    schema_version: int = VERIFIER_REPORT_SCHEMA_VERSION
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def codes(self) -> List[str]:
+        return sorted({issue.code for issue in self.issues})
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "checks_run": list(self.checks_run),
+            "issues": [issue.to_dict() for issue in self.issues],
+        }
+
+    def render_text(self) -> str:
+        lines = [issue.render() for issue in self.issues]
+        lines.append(
+            f"{len(self.issues)} issue(s), "
+            f"{len(self.checks_run)} check(s) run")
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+# ------------------------------------------------------------------- plan
+
+
+@dataclass(frozen=True)
+class VerificationPlan:
+    """A deployment plan: everything the verifier proves properties about.
+
+    Attributes:
+        ecu_ids: The CAN IDs of the deployed ECUs (𝔼).
+        scenario: ``full`` or ``light`` deployment split.
+        attack_ids: IDs the OEM declares attackers may use; each must be
+            covered by some ECU's detection range.
+        detection_ids: Optional per-ECU overrides (``name -> IDs``) of the
+            Definition IV.4 ranges — the hand-patched firmware tables the
+            verifier exists to audit.  ECUs without an entry keep their
+            derived 𝔻.
+        trigger_position: Un-stuffed frame position at which the
+            counterattack fires.
+        attack_duration: Dominant bits injected by the counterattack.
+        prefixes: Optional per-ECU prefix tables (``name -> bit strings``)
+            to check for overlap and completeness against that ECU's 𝔻.
+        check_registry: Also verify the scenario registry's pickle-safety.
+    """
+
+    ecu_ids: Tuple[int, ...]
+    scenario: Scenario = Scenario.FULL
+    attack_ids: Tuple[int, ...] = ()
+    trigger_position: int = COUNTERATTACK_START_POS
+    attack_duration: int = ATTACK_DURATION_BITS
+    detection_ids: Mapping[str, Tuple[int, ...]] = field(
+        default_factory=dict)
+    prefixes: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+    check_registry: bool = True
+
+    def ivn(self) -> IvnConfig:
+        return IvnConfig(ecu_ids=tuple(self.ecu_ids),
+                         scenario=self.scenario)
+
+    def effective_detection_sets(self) -> Dict[str, FrozenSet[int]]:
+        """Per-ECU detection sets after overrides: what the deployed
+        firmware would actually flag."""
+        sets: Dict[str, FrozenSet[int]] = {}
+        for config in self.ivn().ecu_configs():
+            override = self.detection_ids.get(config.name)
+            sets[config.name] = (frozenset(override) if override is not None
+                                 else config.detection_ids)
+        return sets
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "VerificationPlan":
+        try:
+            ecu_ids = tuple(int(x) for x in data["ecu_ids"])
+        except KeyError:
+            raise ConfigurationError(
+                "verification plan needs an 'ecu_ids' list") from None
+        prefixes = {
+            str(name): tuple(str(bits) for bits in table)
+            for name, table in dict(data.get("prefixes", {})).items()
+        }
+        detection_ids = {
+            str(name): tuple(int(x) for x in ids)
+            for name, ids in dict(data.get("detection_ids", {})).items()
+        }
+        return cls(
+            ecu_ids=ecu_ids,
+            scenario=Scenario(data.get("scenario", "full")),
+            attack_ids=tuple(int(x) for x in data.get("attack_ids", ())),
+            trigger_position=int(
+                data.get("trigger_position", COUNTERATTACK_START_POS)),
+            attack_duration=int(
+                data.get("attack_duration", ATTACK_DURATION_BITS)),
+            detection_ids=detection_ids,
+            prefixes=prefixes,
+            check_registry=bool(data.get("check_registry", True)),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "VerificationPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"verification plan {path!r} is not valid JSON: {exc}"
+                ) from None
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"verification plan {path!r} must be a JSON object")
+        return cls.from_dict(data)
+
+
+# ------------------------------------------------------- FSM table checks
+
+
+def verify_fsm(fsm: DetectionFsm,
+               subject: str = "fsm") -> List[VerifierIssue]:
+    """Prove a compiled FSM is a sound binary prefix tree for its 𝔻.
+
+    Checks VC201 (table completeness), VC202 (reachability), VC203
+    (decision depth within the ID width) and VC204 (exact agreement of
+    ``classify`` with detection-set membership; exhaustive for 11-bit
+    identifiers, boundary-sampled for 29-bit).
+    """
+    issues: List[VerifierIssue] = []
+    table = fsm._table  # noqa: SLF001 - the verifier audits internals
+    num_states = len(table)
+
+    reachable = {0}
+    frontier = [0]
+    while frontier:
+        state = frontier.pop()
+        successors = table[state]
+        if len(successors) != 2:
+            issues.append(VerifierIssue(
+                "VC201", subject,
+                f"state {state} has {len(successors)} successors, "
+                "expected exactly 2 (bit 0 / bit 1)"))
+            continue
+        for bit, nxt in enumerate(successors):
+            if isinstance(nxt, Verdict):
+                continue
+            if not isinstance(nxt, int) or not 0 <= nxt < num_states:
+                issues.append(VerifierIssue(
+                    "VC201", subject,
+                    f"state {state} transition on bit {bit} is {nxt!r}, "
+                    "expected a state index or a terminal Verdict"))
+            elif nxt not in reachable:
+                reachable.add(nxt)
+                frontier.append(nxt)
+
+    for state in range(num_states):
+        if state not in reachable:
+            issues.append(VerifierIssue(
+                "VC202", subject,
+                f"state {state} is unreachable from the root"))
+
+    if issues:
+        return issues  # depth/agreement runs need a well-formed table
+
+    for can_id in _agreement_sample(fsm):
+        try:
+            verdict = fsm.classify(can_id)
+        except AssertionError:
+            issues.append(VerifierIssue(
+                "VC203", subject,
+                f"FSM fails to decide ID {can_id:#x} within "
+                f"{fsm.id_bits} ID bits"))
+            continue
+        expected = (Verdict.MALICIOUS if can_id in fsm.detection_ids
+                    else Verdict.BENIGN)
+        if verdict is not expected:
+            issues.append(VerifierIssue(
+                "VC204", subject,
+                f"FSM classifies ID {can_id:#x} as {verdict.value} but the "
+                f"detection set says {expected.value}"))
+    return issues
+
+
+def _agreement_sample(fsm: DetectionFsm) -> Iterable[int]:
+    """IDs to check classify-agreement on: every 11-bit ID, or interval
+    boundaries (plus neighbours) for 29-bit identifier spaces."""
+    if fsm.id_bits == ID_BITS:
+        return range(NUM_STD_IDS)
+    ceiling = (1 << fsm.id_bits) - 1
+    sample = {0, ceiling}
+    for lo, hi in fsm.detection_ids.intervals():
+        for value in (lo - 1, lo, hi, hi + 1):
+            if 0 <= value <= ceiling:
+                sample.add(value)
+    return sorted(sample)
+
+
+# ------------------------------------------------------ prefix-table checks
+
+
+def _prefix_interval(bits: str, id_bits: int) -> Tuple[int, int]:
+    value = int(bits, 2)
+    shift = id_bits - len(bits)
+    return (value << shift, ((value + 1) << shift) - 1)
+
+
+def verify_prefix_table(
+    prefixes: Sequence[str],
+    detection_ids: Iterable[int],
+    subject: str,
+    id_bits: int = ID_BITS,
+) -> List[VerifierIssue]:
+    """Prove a declared prefix table is overlap-free (VC205) and covers
+    exactly the detection set 𝔻 (VC206)."""
+    issues: List[VerifierIssue] = []
+    cleaned: List[str] = []
+    for bits in prefixes:
+        if not bits or any(ch not in "01" for ch in bits) \
+                or len(bits) > id_bits:
+            issues.append(VerifierIssue(
+                "VC205", subject,
+                f"prefix {bits!r} is not a non-empty bit string of at "
+                f"most {id_bits} bits"))
+        else:
+            cleaned.append(bits)
+
+    for i, a in enumerate(cleaned):
+        for b in cleaned[i + 1:]:
+            shorter, longer = (a, b) if len(a) <= len(b) else (b, a)
+            if longer.startswith(shorter):
+                issues.append(VerifierIssue(
+                    "VC205", subject,
+                    f"prefixes {a!r} and {b!r} overlap: one is a prefix "
+                    "of the other, so an ID would match twice"))
+
+    covered = IdIntervalSet(
+        _prefix_interval(bits, id_bits) for bits in cleaned)
+    declared = IdIntervalSet((i, i) for i in detection_ids)
+    for lo, hi in declared.intervals():
+        if not covered.covers_range(lo, hi):
+            missing = hi - lo + 1 - covered.count_in_range(lo, hi)
+            issues.append(VerifierIssue(
+                "VC206", subject,
+                f"prefix table misses {missing} ID(s) of 𝔻 in "
+                f"[{lo:#x}, {hi:#x}]"))
+    for lo, hi in covered.intervals():
+        extra = hi - lo + 1 - declared.count_in_range(lo, hi)
+        if extra:
+            issues.append(VerifierIssue(
+                "VC206", subject,
+                f"prefix table covers {extra} ID(s) outside 𝔻 in "
+                f"[{lo:#x}, {hi:#x}]"))
+    return issues
+
+
+# ------------------------------------------------------- coverage checks
+
+
+def verify_coverage(plan: VerificationPlan) -> List[VerifierIssue]:
+    """Prove 𝔻-coverage: every declared attack ID is detected by some ECU
+    (VC210) and the union of deployed ranges covers the whole DoS-relevant
+    ID space at or below max(𝔼) (VC211)."""
+    issues: List[VerifierIssue] = []
+    ivn = plan.ivn()
+    covered: FrozenSet[int] = frozenset().union(
+        *plan.effective_detection_sets().values())
+
+    for attack_id in sorted(set(plan.attack_ids)):
+        if not 0 <= attack_id <= MAX_STD_ID:
+            issues.append(VerifierIssue(
+                "VC210", f"attack {attack_id:#x}",
+                "declared attack ID is outside the 11-bit identifier "
+                "space"))
+        elif attack_id > ivn.highest_id:
+            continue  # miscellaneous range: defended by design, not by 𝔻
+        elif attack_id not in covered:
+            issues.append(VerifierIssue(
+                "VC210", f"attack {attack_id:#x}",
+                "declared attack ID is in no deployed ECU's detection "
+                "range 𝔻 — a frame with this ID wins arbitration "
+                "undetected"))
+
+    gap = [i for i in range(ivn.highest_id + 1) if i not in covered]
+    if gap:
+        issues.append(VerifierIssue(
+            "VC211", "coverage",
+            f"{len(gap)} ID(s) at or below max(𝔼)={ivn.highest_id:#x} "
+            f"are in no detection range (first gap: {gap[0]:#x})"))
+    return issues
+
+
+# --------------------------------------------------------- window checks
+
+
+def verify_window(plan: VerificationPlan) -> List[VerifierIssue]:
+    """Prove the counterattack window matches the standard frame layout.
+
+    The window must open exactly at un-stuffed position
+    ``1 SOF + 11 ID + 1 RTR`` = :data:`COUNTERATTACK_START_POS` (firing
+    earlier would stomp arbitration bits the FSM still needs; firing later
+    lets the malicious frame's control field begin), and the injected
+    dominant run must end by :data:`COUNTERATTACK_END_POS`, the position at
+    which frame processing stops (VC212/VC213).
+    """
+    issues: List[VerifierIssue] = []
+    expected_start = 1 + ID_BITS + 1  # SOF + identifier + RTR
+    assert expected_start == COUNTERATTACK_START_POS
+    if plan.trigger_position != expected_start:
+        issues.append(VerifierIssue(
+            "VC212", "window",
+            f"counterattack trigger position {plan.trigger_position} is "
+            f"inconsistent with the frame layout: 1 SOF + {ID_BITS} ID "
+            f"+ 1 RTR puts the window start at {expected_start}"))
+    if plan.attack_duration < 1:
+        issues.append(VerifierIssue(
+            "VC213", "window",
+            f"counterattack duration {plan.attack_duration} injects no "
+            "dominant bits"))
+    elif plan.trigger_position + plan.attack_duration \
+            > COUNTERATTACK_END_POS:
+        issues.append(VerifierIssue(
+            "VC213", "window",
+            f"counterattack window [{plan.trigger_position}, "
+            f"{plan.trigger_position + plan.attack_duration - 1}] runs "
+            f"past the processing deadline at position "
+            f"{COUNTERATTACK_END_POS}"))
+    return issues
+
+
+# -------------------------------------------------------- registry checks
+
+
+def verify_registry(
+        names: Optional[Sequence[str]] = None) -> List[VerifierIssue]:
+    """Prove registered scenario factories survive the multiprocessing
+    fan-out: resolvable by module+qualname in a fresh interpreter (VC220)
+    and actually picklable (VC221)."""
+    from repro.experiments.campaign import scenario_factory, scenario_names
+
+    issues: List[VerifierIssue] = []
+    for name in (names if names is not None else scenario_names()):
+        factory = scenario_factory(name)
+        qualname = getattr(factory, "__qualname__", "")
+        module_name = getattr(factory, "__module__", "")
+        if "<" in qualname or not module_name:
+            issues.append(VerifierIssue(
+                "VC220", name,
+                f"factory {qualname or factory!r} is a lambda or local "
+                "function; a spawned worker cannot import it by "
+                "reference"))
+            continue
+        module = importlib.import_module(module_name)
+        resolved = module
+        for part in qualname.split("."):
+            resolved = getattr(resolved, part, None)
+            if resolved is None:
+                break
+        if resolved is not factory:
+            issues.append(VerifierIssue(
+                "VC220", name,
+                f"factory {module_name}.{qualname} does not resolve back "
+                "to the registered object; pickling by reference would "
+                "rebuild something else"))
+            continue
+        try:
+            pickle.dumps(factory)
+        except Exception as exc:  # pickle raises a zoo of types
+            issues.append(VerifierIssue(
+                "VC221", name,
+                f"factory is not picklable: {exc}"))
+    return issues
+
+
+# ------------------------------------------------------------- top level
+
+
+def verify_plan(plan: VerificationPlan) -> VerificationReport:
+    """Run every applicable check on ``plan`` and return the report."""
+    report = VerificationReport()
+
+    try:
+        ivn = plan.ivn()
+        detection_sets = plan.effective_detection_sets()
+    except ConfigurationError as exc:
+        report.checks_run.append("plan")
+        report.issues.append(VerifierIssue("VC200", "plan", str(exc)))
+        return report
+
+    for name in sorted(set(plan.detection_ids) - set(detection_sets)):
+        report.issues.append(VerifierIssue(
+            "VC200", name,
+            f"detection_ids names unknown ECU {name!r}; deployed ECUs "
+            f"are {sorted(detection_sets)}"))
+
+    report.checks_run.append("coverage")
+    report.issues.extend(verify_coverage(plan))
+
+    report.checks_run.append("window")
+    report.issues.extend(verify_window(plan))
+
+    report.checks_run.append("fsm")
+    for name in sorted(detection_sets):
+        detection_ids = detection_sets[name]
+        if not all(0 <= i <= MAX_STD_ID for i in detection_ids):
+            report.issues.append(VerifierIssue(
+                "VC200", name,
+                "detection set contains IDs outside the 11-bit space"))
+            continue
+        fsm = DetectionFsm(detection_ids)
+        report.issues.extend(verify_fsm(fsm, subject=name))
+
+    if plan.prefixes:
+        report.checks_run.append("prefixes")
+        for name, table in sorted(plan.prefixes.items()):
+            declared = detection_sets.get(name)
+            if declared is None:
+                report.issues.append(VerifierIssue(
+                    "VC205", name,
+                    f"prefix table names unknown ECU {name!r}; deployed "
+                    f"ECUs are {sorted(detection_sets)}"))
+                continue
+            report.issues.extend(verify_prefix_table(
+                table, declared, subject=name))
+
+    if plan.check_registry:
+        report.checks_run.append("registry")
+        report.issues.extend(verify_registry())
+
+    return report
+
+
+def verify_plan_file(path: str) -> VerificationReport:
+    """Load a JSON plan from ``path`` and verify it."""
+    return verify_plan(VerificationPlan.load(path))
+
+
+def detection_set_for(plan: VerificationPlan,
+                      can_id: int) -> FrozenSet[int]:
+    """The detection set 𝔻 the plan assigns to the ECU owning ``can_id``
+    (override-aware)."""
+    config = plan.ivn().ecu_config(can_id)
+    return plan.effective_detection_sets()[config.name]

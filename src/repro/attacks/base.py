@@ -36,9 +36,9 @@ class ContinuousSource:
         self.limit = limit
         self.start_bits = start_bits
         self.emitted = 0
-        self.messages: List = []  # scheduler API compatibility
+        self.messages: List[object] = []  # scheduler API compatibility
 
-    def add(self, message) -> None:
+    def add(self, message: object) -> None:
         raise NotImplementedError("ContinuousSource emits a single ID")
 
     def tick(self, time: int, queue: TransmitQueue) -> int:

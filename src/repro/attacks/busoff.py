@@ -17,6 +17,8 @@ exactly that boundary.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.attacks.base import AttackerNode
 from repro.can.frame import CanFrame
 from repro.node.scheduler import TransmitQueue
@@ -60,7 +62,7 @@ class BusOffAttacker(AttackerNode):
         victim_id: int,
         start_bits: int = 0,
         tec_reset_threshold: int = 96,
-        **kwargs,
+        **kwargs: Any,
     ) -> None:
         super().__init__(
             name, scheduler=_CollisionSource(victim_id, start_bits), **kwargs

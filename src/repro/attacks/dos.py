@@ -10,9 +10,10 @@
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.attacks.base import AttackerNode, ContinuousSource, _zero_payload
+from repro.node.scheduler import TransmitQueue
 
 
 class DosAttacker(AttackerNode):
@@ -27,7 +28,7 @@ class DosAttacker(AttackerNode):
         payload_fn: Callable[[int], bytes] = _zero_payload,
         limit: Optional[int] = None,
         start_bits: int = 0,
-        **kwargs,
+        **kwargs: Any,
     ) -> None:
         super().__init__(
             name,
@@ -47,7 +48,7 @@ class TraditionalDosAttacker(DosAttacker):
 
     attack_name = "traditional-dos"
 
-    def __init__(self, name: str, **kwargs) -> None:
+    def __init__(self, name: str, **kwargs: Any) -> None:
         super().__init__(name, can_id=0x000, **kwargs)
 
 
@@ -56,7 +57,7 @@ class TargetedDosAttacker(DosAttacker):
 
     attack_name = "targeted-dos"
 
-    def __init__(self, name: str, victim_id: int, **kwargs) -> None:
+    def __init__(self, name: str, victim_id: int, **kwargs: Any) -> None:
         if victim_id <= 0:
             raise ValueError("victim ID 0x000 cannot be targeted from below")
         super().__init__(name, can_id=victim_id - 1, **kwargs)
@@ -76,10 +77,10 @@ class RandomDosAttacker(AttackerNode):
     def __init__(
         self,
         name: str,
-        legitimate_ids,
+        legitimate_ids: Iterable[int],
         ceiling: int = 0x100,
         seed: int = 0,
-        **kwargs,
+        **kwargs: Any,
     ) -> None:
         import random as _random
 
@@ -95,7 +96,7 @@ class RandomDosAttacker(AttackerNode):
         source = ContinuousSource(pool[0], _next_id)
         original_tick = source.tick
 
-        def tick(time, queue):
+        def tick(time: int, queue: TransmitQueue) -> int:
             source.can_id = pool[rng.randrange(len(pool))]
             return original_tick(time, queue)
 

@@ -8,6 +8,8 @@ them.  The attacker exists so the benchmarks can demonstrate that bound.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.attacks.base import AttackerNode, ContinuousSource
 from repro.node.scheduler import PeriodicMessage, PeriodicScheduler
 
@@ -23,7 +25,7 @@ class MiscellaneousAttacker(AttackerNode):
         can_id: int,
         highest_legitimate_id: int,
         period_bits: int = 0,
-        **kwargs,
+        **kwargs: Any,
     ) -> None:
         if can_id <= highest_legitimate_id:
             raise ValueError(

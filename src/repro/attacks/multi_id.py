@@ -14,7 +14,7 @@ the buffer alternately.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.attacks.base import AttackerNode
 from repro.can.frame import CanFrame
@@ -45,7 +45,7 @@ class ToggleAttacker(AttackerNode):
 
     attack_name = "toggle-dos"
 
-    def __init__(self, name: str, can_ids: Sequence[int], **kwargs) -> None:
+    def __init__(self, name: str, can_ids: Sequence[int], **kwargs: Any) -> None:
         kwargs.setdefault("flush_queue_on_bus_off", True)
         super().__init__(name, scheduler=_AlternatingSource(can_ids), **kwargs)
         self.attack_ids = tuple(can_ids)

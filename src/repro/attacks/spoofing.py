@@ -8,7 +8,7 @@ with fabrication of the victim's ID.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.attacks.base import AttackerNode, ContinuousSource
 from repro.can.frame import CanFrame
@@ -35,7 +35,7 @@ class SpoofingAttacker(AttackerNode):
         target_id: int,
         period_bits: Optional[int] = None,
         payload_fn: Callable[[int], bytes] = _forged_payload,
-        **kwargs,
+        **kwargs: Any,
     ) -> None:
         if period_bits is None:
             scheduler = ContinuousSource(target_id, payload_fn)
@@ -66,7 +66,7 @@ class MasqueradeAttacker(AttackerNode):
         suppress_bits: int,
         fabricate_period_bits: int,
         payload_fn: Callable[[int], bytes] = _forged_payload,
-        **kwargs,
+        **kwargs: Any,
     ) -> None:
         super().__init__(name, **kwargs)
         if victim_id <= 0:

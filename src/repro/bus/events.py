@@ -9,7 +9,7 @@ frozen dataclasses so they can be compared and asserted on in tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.can.errors import CanError
 from repro.can.frame import CanFrame
@@ -115,4 +115,4 @@ class AttackDetected(Event):
     attack_kind: str = ""
     target_id: Optional[int] = None
     detection_bit: int = 0
-    meta: dict = field(default_factory=dict, compare=False)
+    meta: Dict[str, Any] = field(default_factory=dict, compare=False)

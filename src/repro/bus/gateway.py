@@ -143,7 +143,8 @@ class GatewayNode:
             self.ports[bus_name] = port
             port.on_frame_received(self._make_handler(bus_name))
 
-    def _make_handler(self, source_bus: str):
+    def _make_handler(
+            self, source_bus: str) -> "Callable[[int, CanFrame], None]":
         def handler(time: int, frame: CanFrame) -> None:
             destinations = self.routes.destinations_for(source_bus, frame)
             if not destinations:

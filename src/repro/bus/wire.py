@@ -12,7 +12,7 @@ Independently of recording, the wire keeps exact occupancy counters
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, List, Optional
+from typing import Iterable, List, MutableSequence, Optional
 
 from repro.can.constants import DOMINANT, RECESSIVE
 
@@ -54,10 +54,11 @@ class Wire:
                 f"max_history must be positive, got {max_history}")
         self.record = record
         self.max_history = max_history
+        self.history: MutableSequence[int]
         if record and max_history is not None:
             self.history = deque(maxlen=max_history)
         else:
-            self.history: List[int] = []
+            self.history = []
         self.total_bits = 0
         self.dominant_bits = 0
         self._level = RECESSIVE

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.analysis.busoff_theory import busoff_ms, undisturbed_busoff_bits
 from repro.analysis.cpu import PROFILES, analytic_utilization
@@ -32,7 +32,7 @@ def _parse_id_list(text: str) -> List[int]:
     return [_parse_id(part) for part in text.split(",") if part.strip()]
 
 
-def _parse_param_value(text: str):
+def _parse_param_value(text: str) -> Any:
     """Best-effort typing for ``--param key=value`` values."""
     if "," in text:
         return [_parse_param_value(part) for part in text.split(",")
@@ -48,8 +48,8 @@ def _parse_param_value(text: str):
     return text
 
 
-def _parse_params(pairs: Optional[List[str]]) -> dict:
-    params = {}
+def _parse_params(pairs: Optional[List[str]]) -> Dict[str, Any]:
+    params: Dict[str, Any] = {}
     for pair in pairs or []:
         if "=" not in pair:
             raise SystemExit(f"error: --param expects key=value, got {pair!r}")
@@ -480,6 +480,45 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import lint_paths, rule_catalogue
+    from repro.analysis.verifier import verify_plan_file
+    from repro.errors import ConfigurationError
+
+    if args.list_rules:
+        width = max(len(r.code) for r in rule_catalogue())
+        for lint_rule in rule_catalogue():
+            print(f"{lint_rule.code:<{width}}  {lint_rule.name:<24} "
+                  f"{lint_rule.summary}")
+        return 0
+
+    if not args.paths and not args.plan:
+        print("error: give paths to lint and/or --plan PLAN.json",
+              file=sys.stderr)
+        return 2
+
+    failed = False
+    try:
+        if args.paths:
+            report = lint_paths(args.paths, select=args.select,
+                                ignore=args.ignore)
+            print(report.render_json() if args.format == "json"
+                  else report.render_text())
+            failed |= not report.ok
+        if args.plan:
+            verification = verify_plan_file(args.plan)
+            print(verification.render_json() if args.format == "json"
+                  else verification.render_text())
+            failed |= not verification.ok
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 1 if failed else 0
+
+
 # --------------------------------------------------------------------- main
 
 def build_parser() -> argparse.ArgumentParser:
@@ -611,6 +650,23 @@ def build_parser() -> argparse.ArgumentParser:
     mp.add_argument("--seed", type=int, default=0)
     mp.add_argument("--param", action="append", metavar="KEY=VALUE")
 
+    p = sub.add_parser("lint",
+                       help="domain-aware static analysis + config verifier")
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (e.g. src/)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--select", type=lambda t: t.split(","), default=None,
+                   metavar="CODES",
+                   help="comma-separated rule codes to run (default: all)")
+    p.add_argument("--ignore", type=lambda t: t.split(","), default=None,
+                   metavar="CODES",
+                   help="comma-separated rule codes to skip")
+    p.add_argument("--plan", default=None, metavar="PLAN.json",
+                   help="also verify a deployment plan "
+                        "(detection ranges, window, registry)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+
     p = sub.add_parser("codegen", help="emit the C firmware patch for an FSM")
     p.add_argument("--ecus", type=_parse_id_list, required=True)
     p.add_argument("--own", type=_parse_id, default=None)
@@ -637,6 +693,7 @@ COMMANDS = {
     "codegen": cmd_codegen,
     "campaign": cmd_campaign,
     "metrics": cmd_metrics,
+    "lint": cmd_lint,
 }
 
 

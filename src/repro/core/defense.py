@@ -10,7 +10,7 @@ CAN_TX and the firmware's multiplexed GPIO.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+from typing import Iterable, List, Optional, Union
 
 from repro.bus.events import (
     AttackDetected,
@@ -19,7 +19,7 @@ from repro.bus.events import (
 )
 from repro.can.constants import DOMINANT
 from repro.core.config import EcuConfig
-from repro.core.detection import MichiCanFirmware
+from repro.core.detection import Detection, MichiCanFirmware
 from repro.core.fsm import DetectionFsm
 from repro.core.pinmux import PinMux
 from repro.node.controller import CanNode
@@ -130,7 +130,7 @@ class MichiCanNode(CanNode):
     # ------------------------------------------------------------- queries
 
     @property
-    def detections(self):
+    def detections(self) -> "List[Detection]":
         """All detections made by the firmware so far."""
         return list(self.firmware.detections)
 

@@ -33,14 +33,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.can.constants import (
     BUS_IDLE_RECESSIVE_BITS,
     DOMINANT,
     RECESSIVE,
 )
-from repro.core.fsm import DetectionFsm, Verdict
+from repro.core.fsm import DetectionFsm, FsmRunner, Verdict
 from repro.core.pinmux import PinMux
 
 #: Un-stuffed frame position of the RTR bit with SOF counted as position 1
@@ -74,7 +74,7 @@ class Detection:
 
     time: int
     #: ID bits observed up to the decision (MSB first).
-    id_prefix: tuple
+    id_prefix: Tuple[int, ...]
     #: 1-based bit position within the 11-bit ID at which the FSM decided.
     decision_bit: int
     #: True if the counterattack was actually launched (False when the frame
@@ -296,8 +296,8 @@ class MichiCanFirmware:
             self._cnt = 0
             self._cnt_sof = 0
 
-    def _launch(self, time: int, own_transmission: bool, runner,
-                extended: bool) -> None:
+    def _launch(self, time: int, own_transmission: bool,
+                runner: "FsmRunner", extended: bool) -> None:
         """Record the detection and start the dominant pulse if allowed."""
         launch = self.prevention_enabled and not own_transmission
         self.detections.append(

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.can.frame import CanFrame
 from repro.errors import ConfigurationError
@@ -103,7 +103,10 @@ class E2eProfile:
         return E2eStatus.OK
 
 
-def protected_payload_fn(profile: E2eProfile, data_fn=None):
+def protected_payload_fn(
+    profile: E2eProfile,
+    data_fn: Optional[Callable[[int], bytes]] = None,
+) -> Callable[[int], bytes]:
     """A :class:`~repro.node.scheduler.PeriodicMessage` payload function
     emitting protected payloads with an auto-advancing counter."""
     def payload(instance: int) -> bytes:

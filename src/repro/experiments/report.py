@@ -34,7 +34,7 @@ class ReportSection:
     title: str
     lines: List[str] = field(default_factory=list)
 
-    def row(self, metric: str, paper, measured) -> None:
+    def row(self, metric: str, paper: object, measured: object) -> None:
         self.lines.append(f"| {metric} | {paper} | {measured} |")
 
     def render(self) -> str:

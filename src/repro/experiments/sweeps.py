@@ -14,7 +14,7 @@ These sweeps are reusable drivers behind the extension benchmarks:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
 
 from repro.attacks.dos import DosAttacker
 from repro.bus.events import AttackDetected, BusOffEntered, FrameStarted
@@ -26,6 +26,9 @@ from repro.trace.framelog import FINAL_PASSIVE_FRAME_BITS
 from repro.workloads.matrix import theoretical_bus_load
 from repro.workloads.restbus import RestbusNode
 from repro.workloads.vehicles import vehicle_buses
+
+if TYPE_CHECKING:
+    from repro.experiments.scenarios import ExperimentSetup
 
 
 @dataclass(frozen=True)
@@ -49,7 +52,7 @@ def dos_fight_setup(
     bus_speed: int = 50_000,
     extra_nodes: Optional[Sequence[CanNode]] = None,
     name: str = "dos_fight",
-):
+) -> "ExperimentSetup":
     """A defender-vs-flooding-attacker bus, ready to run.
 
     The one-fight topology behind :func:`sweep_attack_ids` /
@@ -71,7 +74,7 @@ def single_frame_fight_setup(
     attack_id: int = 0x064,
     bus_speed: int = 50_000,
     name: str = "single_frame_fight",
-):
+) -> "ExperimentSetup":
     """A defender against one queued malicious frame (the speed-sweep fight).
 
     The attacker is a plain controller with a single pending frame; the
@@ -96,7 +99,7 @@ def restbus_fight_setup(
     defender_id: int = 0x173,
     bus_speed: int = 50_000,
     name: Optional[str] = None,
-):
+) -> "ExperimentSetup":
     """Exp. 3's topology on any of the eight vehicle buses at any load.
 
     Replays the chosen vehicle bus thinned to ``target_load`` (0 disables
@@ -127,9 +130,9 @@ def restbus_fight_setup(
 def _run_fight(
     attack_id: int,
     dlc: int = 8,
-    detection_ids=range(0x100),
+    detection_ids: Iterable[int] = range(0x100),
     limit: int = 6_000,
-    extra_nodes=None,
+    extra_nodes: Optional[Sequence[CanNode]] = None,
 ) -> FightSample:
     setup = dos_fight_setup(attack_id, dlc=dlc, detection_ids=detection_ids,
                             extra_nodes=extra_nodes)
@@ -148,7 +151,7 @@ def _run_fight(
 
 def sweep_attack_ids(
     attack_ids: Sequence[int],
-    detection_ids=range(0x100),
+    detection_ids: Iterable[int] = range(0x100),
 ) -> List[FightSample]:
     """Fight every attacker ID once on a clean bus."""
     return [_run_fight(attack_id, detection_ids=detection_ids)

@@ -20,7 +20,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.core.pinmux import PinMux
 
 from repro.can.frame import CanFrame
 from repro.dbc.codec import encode_message
@@ -103,7 +106,7 @@ class CanService:
         if self._transmit is not None:
             self._transmit(frame)
 
-    def acquire_pinmux(self, caller: Domain):
+    def acquire_pinmux(self, caller: Domain) -> "PinMux":
         """Bit-level pin access (the MichiCAN weapon) — owner domain only."""
         if caller is not self.owner:
             raise IsolationViolation(

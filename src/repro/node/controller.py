@@ -27,7 +27,7 @@ Modelling notes (see DESIGN.md):
 from __future__ import annotations
 
 import enum
-from typing import Callable, List, Optional
+from typing import Callable, FrozenSet, List, Optional
 
 from repro.bus.events import (
     ArbitrationLost,
@@ -60,7 +60,7 @@ from repro.can.constants import (
 )
 from repro.can.errors import CanError, CanErrorType
 from repro.can.frame import CanFrame
-from repro.node.faults import ErrorState, FaultConfinement
+from repro.node.faults import ErrorState, FaultConfinement, StateTransition
 from repro.node.filters import FilterBank
 from repro.node.rxparser import RxEventKind, RxParser
 from repro.node.scheduler import PeriodicScheduler, TransmitQueue
@@ -127,7 +127,7 @@ class CanNode:
         self._tx_stream: List[WireBit] = []
         self._tx_index = 0
         self._tx_started_at = 0
-        self._tx_pre_rtr_fields: frozenset = frozenset({Field.ID})
+        self._tx_pre_rtr_fields: FrozenSet[Field] = frozenset({Field.ID})
         self._start_tx_next = False
         self._drive_dominant_once = False
         self._sent_this_bit = RECESSIVE
@@ -168,7 +168,7 @@ class CanNode:
         if self._event_sink is not None:
             self._event_sink(event)
 
-    def _on_fault_transition(self, transition) -> None:
+    def _on_fault_transition(self, transition: StateTransition) -> None:
         self.emit(
             ErrorStateChanged(
                 time=max(self._time, 0),

@@ -14,6 +14,9 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
+#: Bump when the serialized metric dict layout changes incompatibly.
+METRICS_SCHEMA_VERSION = 1
+
 #: Label sets are stored canonically: a tuple of (key, value) pairs sorted
 #: by key, so ``{"node": "a"}`` and equal dicts map to the same metric.
 LabelsKey = Tuple[Tuple[str, str], ...]
@@ -144,8 +147,9 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: Dict[Tuple[str, LabelsKey], Metric] = {}
 
-    def _get_or_create(self, factory, name: str, labels: Mapping[str, Any],
-                       **kwargs) -> Metric:
+    def _get_or_create(self, factory: type, name: str,
+                       labels: Mapping[str, Any],
+                       **kwargs: Any) -> Metric:
         key = (name, _labels_key(labels))
         metric = self._metrics.get(key)
         if metric is None:

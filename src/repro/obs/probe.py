@@ -379,7 +379,7 @@ class BusProbe:
             data["max_rec"] = max(data["max_rec"], live.rec)
         return data
 
-    def _live_node(self, name: str):
+    def _live_node(self, name: str) -> Optional[Any]:
         for node in self.sim.nodes:
             if getattr(node, "name", None) == name and hasattr(node, "tec"):
                 return node

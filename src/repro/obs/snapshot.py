@@ -59,7 +59,7 @@ class SnapshotRecorder:
 
     # ------------------------------------------------- pseudo-node duties
 
-    def attach(self, event_sink) -> None:
+    def attach(self, event_sink: object) -> None:
         """Node-protocol hook; the recorder emits no events."""
         del event_sink
 

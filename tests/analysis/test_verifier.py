@@ -1,0 +1,239 @@
+"""FSM-verifier soundness cases: broken tables, 𝔻 gaps, bad windows,
+overlapping prefixes, pickle-unsafe scenario factories."""
+
+import json
+
+import pytest
+
+from repro.analysis.verifier import (
+    VERIFIER_REPORT_SCHEMA_VERSION,
+    VerificationPlan,
+    verify_fsm,
+    verify_plan,
+    verify_plan_file,
+    verify_prefix_table,
+    verify_registry,
+    verify_window,
+)
+from repro.core.config import Scenario
+from repro.core.fsm import DetectionFsm, Verdict
+from repro.errors import ConfigurationError
+from repro.experiments import campaign
+
+ECUS = (0x010, 0x030, 0x060)
+
+
+def plan(**kwargs):
+    kwargs.setdefault("ecu_ids", ECUS)
+    kwargs.setdefault("check_registry", False)
+    return VerificationPlan(**kwargs)
+
+
+# ----------------------------------------------------------- happy paths
+
+def test_derived_deployment_verifies_clean():
+    report = verify_plan(plan(attack_ids=(0x000, 0x005, 0x02F)))
+    assert report.ok, report.render_text()
+    assert set(report.checks_run) == {"coverage", "window", "fsm"}
+
+
+def test_light_scenario_still_covers_dos_range():
+    report = verify_plan(plan(scenario=Scenario.LIGHT,
+                              attack_ids=(0x000, 0x02F)))
+    assert report.ok, report.render_text()
+
+
+def test_report_json_is_schema_versioned():
+    data = json.loads(verify_plan(plan()).render_json())
+    assert data["schema_version"] == VERIFIER_REPORT_SCHEMA_VERSION
+    assert data["issues"] == []
+
+
+# ------------------------------------------------------- broken FSM tables
+
+def test_verify_fsm_accepts_generated_fsm():
+    fsm = DetectionFsm(range(0x060 + 1))
+    assert verify_fsm(fsm) == []
+
+
+def test_verify_fsm_rejects_corrupted_transition():
+    fsm = DetectionFsm([0x010, 0x011])
+    fsm._table[0] = (fsm._table[0][0], 10_000)  # dangling state index
+    codes = {issue.code for issue in verify_fsm(fsm)}
+    assert "VC201" in codes
+
+
+def test_verify_fsm_rejects_unreachable_state():
+    fsm = DetectionFsm([0x010, 0x011])
+    # Orphan a state by short-circuiting the root to terminal verdicts.
+    fsm._table[0] = (Verdict.BENIGN, Verdict.BENIGN)
+    codes = {issue.code for issue in verify_fsm(fsm)}
+    assert "VC202" in codes
+
+
+def test_verify_fsm_rejects_wrong_verdicts():
+    fsm = DetectionFsm([0x010])
+    # Flip every terminal verdict: table stays well-formed but lies.
+    flip = {Verdict.BENIGN: Verdict.MALICIOUS,
+            Verdict.MALICIOUS: Verdict.BENIGN}
+    fsm._table = [
+        tuple(flip.get(nxt, nxt) for nxt in successors)
+        for successors in fsm._table
+    ]
+    codes = {issue.code for issue in verify_fsm(fsm)}
+    assert codes == {"VC204"}
+
+
+# ----------------------------------------------------------------- 𝔻 gaps
+
+def test_detection_gap_is_rejected():
+    """The deliberately broken detection-range fixture: ecu_060's table
+    was hand-patched to skip IDs 0x020-0x02F, leaving declared attack
+    0x025 undetectable."""
+    broken = plan(
+        attack_ids=(0x025,),
+        detection_ids={
+            "ecu_030": (0x030,),  # demoted to spoof-only
+            "ecu_060": tuple(
+                i for i in range(0x061)
+                if not 0x020 <= i <= 0x02F and i not in (0x010, 0x030)),
+        },
+    )
+    report = verify_plan(broken)
+    assert not report.ok
+    assert "VC210" in report.codes()  # 0x025 caught by nobody
+    assert "VC211" in report.codes()  # the whole range has a hole
+
+
+def test_out_of_range_attack_id_is_rejected():
+    report = verify_plan(plan(attack_ids=(0x1000,)))
+    assert "VC210" in report.codes()
+
+
+def test_miscellaneous_range_attack_is_not_a_gap():
+    # IDs above max(E) are the miscellaneous class: defended by design.
+    report = verify_plan(plan(attack_ids=(0x7FF,)))
+    assert report.ok
+
+
+def test_unknown_ecu_override_is_rejected():
+    report = verify_plan(plan(detection_ids={"ecu_999": (1, 2)}))
+    assert "VC200" in report.codes()
+
+
+# ---------------------------------------------------------------- windows
+
+def test_window_start_must_match_frame_layout():
+    issues = verify_window(plan(trigger_position=10))
+    assert [i.code for i in issues] == ["VC212"]
+    assert "1 SOF + 11 ID + 1 RTR" in issues[0].message
+
+
+def test_window_must_close_by_processing_deadline():
+    issues = verify_window(plan(trigger_position=16, attack_duration=8))
+    assert [i.code for i in issues] == ["VC212", "VC213"]
+
+
+def test_window_duration_must_inject_bits():
+    issues = verify_window(plan(attack_duration=0))
+    assert [i.code for i in issues] == ["VC213"]
+
+
+def test_paper_window_is_accepted():
+    assert verify_window(plan(trigger_position=13, attack_duration=6)) == []
+
+
+# ---------------------------------------------------------------- prefixes
+
+DETECTION = frozenset(range(0x20))  # 𝔻 = prefix 00000 0... of 11 bits
+
+
+def test_complete_prefix_table_is_accepted():
+    assert verify_prefix_table(["000000"], DETECTION, subject="x") == []
+
+
+def test_overlapping_prefixes_are_rejected():
+    issues = verify_prefix_table(["000000", "0000001"], DETECTION,
+                                 subject="x")
+    assert "VC205" in {i.code for i in issues}
+
+
+def test_prefix_gap_and_overshoot_are_rejected():
+    gap = verify_prefix_table(["0000000"], DETECTION, subject="x")
+    assert [i.code for i in gap] == ["VC206"]
+    overshoot = verify_prefix_table(["00000"], DETECTION, subject="x")
+    assert [i.code for i in overshoot] == ["VC206"]
+
+
+def test_malformed_prefix_is_rejected():
+    issues = verify_prefix_table(["00a", ""], frozenset(), subject="x")
+    assert [i.code for i in issues] == ["VC205", "VC205"]
+
+
+# ---------------------------------------------------------------- registry
+
+def test_builtin_registry_is_pickle_safe():
+    assert verify_registry() == []
+
+
+def test_lambda_factory_is_rejected():
+    campaign.register_scenario("_verifier_lambda", lambda: None)
+    try:
+        issues = verify_registry(["_verifier_lambda"])
+        assert [i.code for i in issues] == ["VC220"]
+    finally:
+        campaign._REGISTRY.pop("_verifier_lambda", None)
+
+
+def test_local_function_factory_is_rejected():
+    def local_factory():
+        return None
+
+    campaign.register_scenario("_verifier_local", local_factory)
+    try:
+        issues = verify_registry(["_verifier_local"])
+        assert [i.code for i in issues] == ["VC220"]
+    finally:
+        campaign._REGISTRY.pop("_verifier_local", None)
+
+
+# ------------------------------------------------------------- plan loading
+
+def test_plan_file_roundtrip_and_cli(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps({
+        "ecu_ids": list(ECUS), "attack_ids": [5],
+        "trigger_position": 13, "attack_duration": 6,
+        "check_registry": False,
+    }))
+    assert verify_plan_file(str(path)).ok
+    assert main(["lint", "--plan", str(path)]) == 0
+    capsys.readouterr()  # drain the text report
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({
+        "ecu_ids": list(ECUS), "trigger_position": 9,
+        "check_registry": False,
+    }))
+    assert main(["lint", "--plan", str(bad), "--format", "json"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["issues"][0]["code"] == "VC212"
+
+
+def test_invalid_plan_files_are_usage_errors(tmp_path):
+    not_json = tmp_path / "nope.json"
+    not_json.write_text("{")
+    with pytest.raises(ConfigurationError):
+        verify_plan_file(str(not_json))
+    no_ecus = tmp_path / "empty.json"
+    no_ecus.write_text("{}")
+    with pytest.raises(ConfigurationError):
+        verify_plan_file(str(no_ecus))
+
+
+def test_empty_ivn_is_reported_not_raised():
+    report = verify_plan(VerificationPlan(ecu_ids=(),
+                                          check_registry=False))
+    assert report.codes() == ["VC200"]
