@@ -17,6 +17,9 @@ to prove statically at PR time:
 * **RC107** — bare ``except:`` swallows ``SystemExit`` and typos alike.
 * **RC108** — package ``__init__`` files must export a complete, resolvable
   ``__all__`` so the typed public API is what mypy re-exports.
+* **RC109** — fault injectors (``faults/``) must draw randomness only from
+  RNGs seeded with the fault spec's explicit seed, so chaos campaigns
+  replay bit-identically serial or parallel.
 """
 
 from __future__ import annotations
@@ -474,6 +477,73 @@ def check_init_exports(ctx: ModuleContext) -> Iterator[Finding]:
                 code="RC108", rule="init-exports",
                 message=f"public import {name!r} is missing from __all__",
                 path=ctx.path, line=import_line)
+
+
+# ----------------------------------------- RC109: seeded fault injection
+
+def _mentions_seed(node: ast.AST) -> bool:
+    """Does this expression reference any name/attribute containing
+    'seed'?  (``spec.seed``, ``seed + 1``, ``self._seed`` all count.)"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "seed" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "seed" in sub.attr.lower():
+            return True
+    return False
+
+
+@rule("RC109", "seeded-fault-injection",
+      "fault injectors (faults/) use only explicitly seeded RNGs")
+def check_seeded_fault_injection(ctx: ModuleContext) -> Iterator[Finding]:
+    """Fault injectors must derive every random draw from the fault spec's
+    explicit ``seed`` — the module-level RNG (or a ``random.Random()``
+    seeded from entropy) would make chaos campaigns irreproducible and
+    break the serial==parallel replay guarantee."""
+    if "faults" not in ctx.path_segments:
+        return
+    random_aliases = _module_aliases(ctx.tree, "random")
+    from_random = _from_imports(ctx.tree, "random")
+
+    for name, line in from_random.items():
+        if name in _GLOBAL_RNG_FUNCS:
+            yield Finding(
+                code="RC109", rule="seeded-fault-injection",
+                message=(f"global RNG function random.{name} imported into "
+                         "a fault injector; draw from random.Random(seed) "
+                         "built from the fault spec's explicit seed"),
+                path=ctx.path, line=line,
+            )
+
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        parts = _dotted_parts(node.func)
+        if not parts or len(parts) != 2 or parts[0] not in random_aliases:
+            continue
+        if parts[1] in _GLOBAL_RNG_FUNCS:
+            yield _finding(
+                ctx, "RC109", "seeded-fault-injection",
+                f"{'.'.join(parts)}() draws from the global RNG in a fault "
+                "injector; use a random.Random seeded from the fault "
+                "spec's explicit seed", node)
+        elif parts[1] == "SystemRandom":
+            yield _finding(
+                ctx, "RC109", "seeded-fault-injection",
+                "random.SystemRandom is inherently unseedable; fault "
+                "injection must replay bit-identically", node)
+        elif parts[1] == "Random":
+            arguments = list(node.args) + [k.value for k in node.keywords]
+            if not arguments:
+                yield _finding(
+                    ctx, "RC109", "seeded-fault-injection",
+                    "random.Random() without a seed in a fault injector; "
+                    "pass the fault spec's explicit seed", node)
+            elif not any(_mentions_seed(a) for a in arguments):
+                yield _finding(
+                    ctx, "RC109", "seeded-fault-injection",
+                    "random.Random(...) seeded from something that is not "
+                    "an explicit seed value; thread the fault spec's seed "
+                    "through instead", node)
 
 
 #: Imported for side effects by the engine; handy for tests.

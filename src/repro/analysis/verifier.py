@@ -19,7 +19,10 @@ samples:
   the processing deadline at position 20 (VC212/VC213);
 * every registered :class:`~repro.experiments.campaign.ScenarioSpec`
   factory is pickle-safe by reference, so the multiprocessing fan-out can
-  rebuild it in a worker process (VC220/VC221).
+  rebuild it in a worker process (VC220/VC221);
+* fault-injection plans are well-formed: schema-versioned, windows
+  non-negative and ordered, kinds known, targets present where the layer
+  needs them (VC230–VC233, :func:`verify_fault_plan`).
 
 Issue codes are stable (``VC2xx``) so they can be suppressed/filtered the
 same way lint codes are, and the report shape mirrors
@@ -463,6 +466,117 @@ def verify_registry(
                 "VC221", name,
                 f"factory is not picklable: {exc}"))
     return issues
+
+
+# ----------------------------------------------------- fault-plan checks
+
+
+def verify_fault_plan(data: Mapping[str, Any]) -> VerificationReport:
+    """Statically verify a fault-injection plan document (``VC23x``).
+
+    Works on the raw JSON dict (not a parsed
+    :class:`~repro.faults.plan.FaultPlan`) so a malformed document yields a
+    readable issue list instead of the first parse error: VC230 schema
+    version present and supported, VC231 activation windows start at a
+    non-negative bit, VC232 windows are ordered (``end > start``), VC233
+    fault entries are well-formed (unique names, known kinds, targets
+    where the layer needs them).
+    """
+    from repro.faults.plan import FAULT_KINDS, FAULT_PLAN_SCHEMA_VERSION
+
+    report = VerificationReport()
+    report.checks_run.append("fault-schema")
+    version = data.get("schema_version")
+    if version is None:
+        report.issues.append(VerifierIssue(
+            "VC230", "plan",
+            "fault plan has no 'schema_version' field; a future layout "
+            "change would be misread silently"))
+    elif version != FAULT_PLAN_SCHEMA_VERSION:
+        report.issues.append(VerifierIssue(
+            "VC230", "plan",
+            f"fault plan has schema version {version!r}; this build "
+            f"reads version {FAULT_PLAN_SCHEMA_VERSION}"))
+
+    report.checks_run.append("fault-entries")
+    faults = data.get("faults", [])
+    if not isinstance(faults, (list, tuple)):
+        report.issues.append(VerifierIssue(
+            "VC233", "plan", "'faults' must be a list of fault specs"))
+        return report
+
+    seen: Dict[str, int] = {}
+    for index, entry in enumerate(faults):
+        if not isinstance(entry, Mapping):
+            report.issues.append(VerifierIssue(
+                "VC233", f"faults[{index}]",
+                "fault entry must be a JSON object"))
+            continue
+        name = entry.get("name") or f"faults[{index}]"
+        subject = str(name)
+        if not entry.get("name"):
+            report.issues.append(VerifierIssue(
+                "VC233", subject, "fault has no name"))
+        elif name in seen:
+            report.issues.append(VerifierIssue(
+                "VC233", subject,
+                f"duplicate fault name (first used at faults[{seen[name]}]);"
+                " checkpoint keys and event streams need unique names"))
+        else:
+            seen[name] = index
+
+        kind = entry.get("kind")
+        known = kind in FAULT_KINDS
+        if not known:
+            available = ", ".join(sorted(FAULT_KINDS))
+            report.issues.append(VerifierIssue(
+                "VC233", subject,
+                f"unknown fault kind {kind!r} (known: {available})"))
+        elif FAULT_KINDS[kind][1] and not entry.get("target"):
+            report.issues.append(VerifierIssue(
+                "VC233", subject,
+                f"fault kind {kind!r} needs a 'target' node name"))
+
+        window = entry.get("window", {})
+        if not isinstance(window, Mapping):
+            report.issues.append(VerifierIssue(
+                "VC231", subject, "'window' must be a JSON object"))
+            continue
+        start = window.get("start_bit", 0)
+        end = window.get("end_bit")
+        if not isinstance(start, int) or isinstance(start, bool) \
+                or start < 0:
+            report.issues.append(VerifierIssue(
+                "VC231", subject,
+                f"window start_bit {start!r} must be a non-negative "
+                "bit time"))
+        if end is not None:
+            if not isinstance(end, int) or isinstance(end, bool) or end < 0:
+                report.issues.append(VerifierIssue(
+                    "VC231", subject,
+                    f"window end_bit {end!r} must be a non-negative bit "
+                    "time (or null for open-ended)"))
+            elif isinstance(start, int) and not isinstance(start, bool) \
+                    and start >= 0 and end <= start:
+                report.issues.append(VerifierIssue(
+                    "VC232", subject,
+                    f"window [{start}, {end}) is empty or reversed; the "
+                    "end bit must come after the start bit"))
+    return report
+
+
+def verify_fault_plan_file(path: str) -> VerificationReport:
+    """Load a JSON fault plan from ``path`` and verify it (``VC23x``)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"fault plan {path!r} is not valid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"fault plan {path!r} must be a JSON object")
+    return verify_fault_plan(data)
 
 
 # ------------------------------------------------------------- top level

@@ -10,6 +10,8 @@ from repro.bus.events import (
     ErrorDetected,
     ErrorStateChanged,
     Event,
+    FaultActivated,
+    FaultDeactivated,
     FrameReceived,
     FrameStarted,
     FrameTransmitted,
@@ -42,6 +44,8 @@ __all__ = [
     "ErrorDetected",
     "ErrorStateChanged",
     "Event",
+    "FaultActivated",
+    "FaultDeactivated",
     "FrameReceived",
     "FrameStarted",
     "FrameTransmitted",

@@ -116,3 +116,19 @@ class AttackDetected(Event):
     target_id: Optional[int] = None
     detection_bit: int = 0
     meta: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+
+@dataclass(frozen=True)
+class FaultActivated(Event):
+    """A fault injector entered its activation window."""
+
+    fault: str = ""
+    kind: str = ""
+
+
+@dataclass(frozen=True)
+class FaultDeactivated(Event):
+    """A fault injector left its activation window."""
+
+    fault: str = ""
+    kind: str = ""

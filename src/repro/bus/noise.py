@@ -1,30 +1,32 @@
-"""Channel-fault injection: sporadic bit flips on the medium.
+"""Deprecated channel-noise wires, kept as shims over :mod:`repro.faults`.
 
 Sec. IV-E's false-positive argument: "although MichiCAN could potentially
 flag a legitimate node as an attacker due to a bit flip, a node needs to
 encounter 32 consecutive errors for the TEC to reach a level that would
 trigger a bus-off condition.  In case of sporadic errors, the likelihood of
-hitting this threshold is near zero."  :class:`NoisyWire` makes that claim
-testable: it flips resolved bus levels at a configurable rate, modelling EMI
-on the differential pair.
-
-Physical realism note: a real disturbance can flip in either direction
-(coupled energy can push the differential voltage across either threshold),
-so both polarities are supported; ``dominant_flips_only`` restricts noise to
-recessive->dominant, the common coupling failure mode.
+hitting this threshold is near zero."  :class:`NoisyWire` made that claim
+testable before the fault-injection subsystem existed; both classes now
+compile down to :class:`~repro.faults.wire.FaultInjectingWire` fault specs
+and exist only for backwards compatibility.  New code should build a
+:class:`~repro.faults.plan.FaultPlan` with ``wire.flip`` / ``wire.burst``
+specs instead.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Iterable, List, Optional, Tuple
+import warnings
+from typing import List, Tuple, cast
 
-from repro.bus.wire import Wire
 from repro.can.constants import DOMINANT, RECESSIVE
+from repro.faults.plan import FaultSpec, FaultWindow
+from repro.faults.wire import FaultInjectingWire, FlipFault
 
 
-class NoisyWire(Wire):
-    """A wire that corrupts a random subset of resolved bit levels.
+class NoisyWire(FaultInjectingWire):
+    """Deprecated: a wire that corrupts a random subset of bit levels.
+
+    Equivalent to a :class:`FaultInjectingWire` running one always-active
+    ``wire.flip`` fault.
 
     Args:
         flip_probability: Per-bit probability of corruption.
@@ -45,61 +47,58 @@ class NoisyWire(Wire):
             raise ValueError(
                 f"flip probability must be in [0, 1], got {flip_probability}"
             )
-        super().__init__(record=record)
+        warnings.warn(
+            "NoisyWire is deprecated; use FaultInjectingWire with a "
+            "'wire.flip' FaultSpec (repro.faults)",
+            DeprecationWarning, stacklevel=2)
+        spec = FaultSpec(
+            name="noise", kind="wire.flip", window=FaultWindow(),
+            params={"flip_probability": flip_probability,
+                    "dominant_flips_only": dominant_flips_only},
+            seed=seed)
+        super().__init__([spec], record=record)
         self.flip_probability = flip_probability
         self.dominant_flips_only = dominant_flips_only
-        self._rng = random.Random(seed)
-        #: Times at which a flip was injected.
-        self.flips: List[int] = []
-        self._time = 0
+        self._flip_fault = cast(FlipFault, self.injectors[0])
 
-    def drive(self, levels: Iterable[int]) -> int:
-        level = super().drive(levels)
-        corrupted = level
-        if self._rng.random() < self.flip_probability:
-            if level == RECESSIVE:
-                corrupted = DOMINANT
-            elif not self.dominant_flips_only:
-                corrupted = RECESSIVE
-        if corrupted != level:
-            self.flips.append(self._time)
-            self._level = corrupted
-            if self.record:
-                self.history[-1] = corrupted
-        self._time += 1
-        return self._level
+    @property
+    def flips(self) -> List[int]:
+        """Times at which a flip was injected."""
+        return self._flip_fault.flips
 
 
-class BurstNoiseWire(Wire):
-    """A wire with scheduled noise bursts (EMI events of known extent).
+class BurstNoiseWire(FaultInjectingWire):
+    """Deprecated: a wire with scheduled noise bursts (EMI events).
+
+    Equivalent to a :class:`FaultInjectingWire` running one windowed
+    ``wire.burst`` fault per burst.
 
     Args:
         bursts: (start, length, level) triples; during [start, start+length)
-            the bus is forced to ``level`` regardless of drivers.
+            the bus is forced to ``level`` regardless of drivers.  When
+            bursts overlap the earliest-starting one wins.
     """
 
     def __init__(
         self, bursts: List[Tuple[int, int, int]], record: bool = True
     ) -> None:
-        super().__init__(record=record)
         for start, length, level in bursts:
             if start < 0 or length <= 0 or level not in (DOMINANT, RECESSIVE):
                 raise ValueError(f"invalid burst ({start}, {length}, {level})")
+        warnings.warn(
+            "BurstNoiseWire is deprecated; use FaultInjectingWire with "
+            "'wire.burst' FaultSpecs (repro.faults)",
+            DeprecationWarning, stacklevel=2)
         self.bursts = sorted(bursts)
-        self._time = 0
-
-    def _forced_level(self) -> Optional[int]:
-        for start, length, level in self.bursts:
-            if start <= self._time < start + length:
-                return level
-        return None
-
-    def drive(self, levels: Iterable[int]) -> int:
-        level = super().drive(levels)
-        forced = self._forced_level()
-        if forced is not None and forced != level:
-            self._level = forced
-            if self.record:
-                self.history[-1] = forced
-        self._time += 1
-        return self._level
+        # Later injectors override earlier ones, so compiling in reverse
+        # sorted order preserves the historical first-match-wins rule for
+        # overlapping bursts.
+        specs = [
+            FaultSpec(
+                name=f"burst_{index}", kind="wire.burst",
+                window=FaultWindow(start, start + length),
+                params={"level": level})
+            for index, (start, length, level)
+            in enumerate(reversed(self.bursts))
+        ]
+        super().__init__(specs, record=record)

@@ -94,6 +94,28 @@ class Wire:
             self.history.append(level)
         return level
 
+    def _override_level(self, level: int) -> int:
+        """Replace the most recently resolved level (fault injection).
+
+        Keeps the O(1) occupancy counters and the recorded history
+        consistent with the corrupted level, so ``dominant_fraction()``
+        and :mod:`repro.trace` see what the nodes see.
+        """
+        if level not in (DOMINANT, RECESSIVE):
+            raise ValueError(f"invalid override level {level!r}")
+        if not self.total_bits:
+            raise ValueError("no resolved bit to override yet")
+        if level == self._level:
+            return level
+        if self._level == DOMINANT:
+            self.dominant_bits -= 1
+        else:
+            self.dominant_bits += 1
+        self._level = level
+        if self.record:
+            self.history[-1] = level
+        return level
+
     def recessive_run_ending_at(self, time: Optional[int] = None) -> int:
         """Length of the recessive run ending at ``time`` (default: now).
 

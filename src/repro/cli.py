@@ -32,6 +32,10 @@ def _parse_id_list(text: str) -> List[int]:
     return [_parse_id(part) for part in text.split(",") if part.strip()]
 
 
+def _parse_float_list(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part.strip()]
+
+
 def _parse_param_value(text: str) -> Any:
     """Best-effort typing for ``--param key=value`` values."""
     if "," in text:
@@ -352,6 +356,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         return 0
 
     # campaign run
+    faults = None
+    if args.faults:
+        from repro.faults.plan import load_fault_plan
+
+        faults = load_fault_plan(args.faults)
     specs = []
     if args.spec_file:
         import json
@@ -369,14 +378,22 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             ScenarioSpec(args.scenario, params=params, seed=seed,
                          duration_bits=args.duration,
                          metrics=not args.no_metrics,
-                         snapshot_every_bits=args.snapshot_every)
+                         snapshot_every_bits=args.snapshot_every,
+                         faults=faults)
             for seed in args.seeds
         )
     if not specs:
         print("error: nothing to run — give --scenario and/or --spec-file",
               file=sys.stderr)
         return 2
-    report = Campaign(specs, n_workers=args.workers).run()
+    if args.resume and not args.checkpoint:
+        print("error: --resume needs --checkpoint FILE", file=sys.stderr)
+        return 2
+    report = Campaign(
+        specs, n_workers=args.workers, timeout_seconds=args.timeout,
+        max_retries=args.retries, retry_backoff_seconds=args.backoff,
+        checkpoint=args.checkpoint,
+    ).run(resume=args.resume)
     print(report.render())
     if args.out:
         save_report(report, args.out)
@@ -397,7 +414,34 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                 meta={"spec": record.spec.name},
             )
             print(f"wrote {path}")
-    return 0
+    return 1 if report.failures else 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos import run_degradation_sweep
+
+    if args.resume and not args.checkpoint:
+        print("error: --resume needs --checkpoint FILE", file=sys.stderr)
+        return 2
+    curve = run_degradation_sweep(
+        intensities=args.intensities,
+        seeds=args.seeds,
+        duration_bits=args.duration,
+        n_workers=args.workers,
+        timeout_seconds=args.timeout,
+        max_retries=args.retries,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
+    print(curve.render())
+    if args.out:
+        import json
+
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(curve.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {args.out}")
+    return 1 if any(point.failed_runs for point in curve.points) else 0
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
@@ -482,7 +526,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lint import lint_paths, rule_catalogue
-    from repro.analysis.verifier import verify_plan_file
+    from repro.analysis.verifier import verify_fault_plan_file, verify_plan_file
     from repro.errors import ConfigurationError
 
     if args.list_rules:
@@ -492,9 +536,9 @@ def cmd_lint(args: argparse.Namespace) -> int:
                   f"{lint_rule.summary}")
         return 0
 
-    if not args.paths and not args.plan:
-        print("error: give paths to lint and/or --plan PLAN.json",
-              file=sys.stderr)
+    if not args.paths and not args.plan and not args.faults:
+        print("error: give paths to lint, --plan PLAN.json, "
+              "and/or --faults FAULTS.json", file=sys.stderr)
         return 2
 
     failed = False
@@ -507,6 +551,11 @@ def cmd_lint(args: argparse.Namespace) -> int:
             failed |= not report.ok
         if args.plan:
             verification = verify_plan_file(args.plan)
+            print(verification.render_json() if args.format == "json"
+                  else verification.render_text())
+            failed |= not verification.ok
+        if args.faults:
+            verification = verify_fault_plan_file(args.faults)
             print(verification.render_json() if args.format == "json"
                   else verification.render_text())
             failed |= not verification.ok
@@ -624,8 +673,44 @@ def build_parser() -> argparse.ArgumentParser:
                     help="sample a telemetry snapshot every N simulated bits")
     cp.add_argument("--snapshot-dir", default=None, metavar="DIR",
                     help="write per-spec snapshot JSONL timelines here")
+    cp.add_argument("--faults", default=None, metavar="FAULTS.json",
+                    help="apply this FaultPlan to every --scenario spec")
+    cp.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                    help="per-spec wall-clock timeout (forces worker "
+                         "processes)")
+    cp.add_argument("--retries", type=int, default=0,
+                    help="retry a failed/crashed/timed-out spec up to N times")
+    cp.add_argument("--backoff", type=float, default=0.1, metavar="SECONDS",
+                    help="base delay before a retry (doubles per attempt)")
+    cp.add_argument("--checkpoint", default=None, metavar="FILE",
+                    help="append finished results to this JSONL file as "
+                         "they land")
+    cp.add_argument("--resume", action="store_true",
+                    help="skip specs already completed in --checkpoint")
     cp = campaign_sub.add_parser("show", help="render a stored report")
     cp.add_argument("report")
+
+    p = sub.add_parser("chaos",
+                       help="fault-intensity degradation sweep (Sec. IV-E)")
+    p.add_argument("--intensities", type=_parse_float_list,
+                   default=[0.0, 0.0005, 0.001, 0.005],
+                   help="comma-separated per-bit flip probabilities")
+    p.add_argument("--seeds", type=_parse_id_list, default=[0],
+                   help="comma-separated seeds (default: 0)")
+    p.add_argument("--duration", type=int, default=20_000,
+                   help="simulated window per run, in bit times")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = serial)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-run wall-clock timeout")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry a failed run up to N times")
+    p.add_argument("--checkpoint", default=None, metavar="FILE",
+                   help="incremental JSONL checkpoint for --resume")
+    p.add_argument("--resume", action="store_true",
+                   help="skip runs already completed in --checkpoint")
+    p.add_argument("--out", default=None,
+                   help="write the DegradationCurve JSON here")
 
     p = sub.add_parser("metrics",
                        help="inspect / export campaign telemetry")
@@ -664,6 +749,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--plan", default=None, metavar="PLAN.json",
                    help="also verify a deployment plan "
                         "(detection ranges, window, registry)")
+    p.add_argument("--faults", default=None, metavar="FAULTS.json",
+                   help="also verify a fault-injection plan "
+                        "(windows, kinds, targets)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
 
@@ -692,6 +780,7 @@ COMMANDS = {
     "replay": cmd_replay,
     "codegen": cmd_codegen,
     "campaign": cmd_campaign,
+    "chaos": cmd_chaos,
     "metrics": cmd_metrics,
     "lint": cmd_lint,
 }

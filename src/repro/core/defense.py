@@ -94,6 +94,15 @@ class MichiCanNode(CanNode):
         self._emit_firmware_events(time)
         super().observe(time, level)
 
+    def power_cycle(self, time: int) -> None:
+        """A power glitch reboots both the controller and the firmware."""
+        was_attacking = self.firmware.is_attacking
+        super().power_cycle(time)
+        self.firmware.reboot(time)
+        if was_attacking:
+            self.emit(CounterattackEnded(time=time, node=self.name))
+        self._was_attacking = False
+
     # -------------------------------------------------------------- events
 
     def _emit_firmware_events(self, time: int) -> None:

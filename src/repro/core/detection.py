@@ -171,6 +171,32 @@ class MichiCanFirmware:
     def is_attacking(self) -> bool:
         return self.phase is FirmwarePhase.ATTACKING
 
+    def reboot(self, time: int) -> None:
+        """Re-initialise transient firmware state after a power glitch.
+
+        The measurement-side records (``detections``, ``counters``) survive
+        — they are the experiment's log, not firmware RAM — but the
+        in-flight classification, counterattack and bit bookkeeping reset.
+        An in-progress counterattack releases the pins first, and the
+        11-recessive idle credit must be re-earned from live traffic.
+        """
+        if self.pinmux.tx_mux_enabled:
+            self.pinmux.release(time)
+            self.pinmux.disable_tx(time)
+        self.phase = FirmwarePhase.WAIT_SOF
+        self._runner.reset()
+        if self._ext_runner is not None:
+            self._ext_runner.reset()
+        self._extended_frame = False
+        self._cnt = 0
+        self._cnt_sof = 0
+        self._id_bits = []
+        self._start_counterattack = False
+        self._last_value = RECESSIVE
+        self._run_length = 0
+        self._attack_remaining = 0
+        self._flag_suppressed = False
+
     def handler(self, time: int, value: int, own_transmission: bool = False) -> None:
         """The main timer-interrupt handler: process one sampled CAN_RX bit.
 

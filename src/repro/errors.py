@@ -30,3 +30,7 @@ class DbcError(ReproError):
 
 class SchedulingError(ReproError):
     """A message could not be scheduled for transmission."""
+
+
+class InjectedFaultError(ReproError):
+    """Raised deliberately by a fault injector (chaos testing)."""

@@ -9,33 +9,46 @@ that shape first-class:
   :class:`~repro.experiments.scenarios.ExperimentSetup` from keyword
   parameters;
 * a :class:`ScenarioSpec` is the declarative, pickle-safe description of one
-  run (factory name + params + seed + duration) that any worker process can
+  run (factory name + params + seed + duration + optional
+  :class:`~repro.faults.plan.FaultPlan`) that any worker process can
   rebuild into a fresh simulator;
-* a :class:`Campaign` fans a list of specs out over ``multiprocessing``
-  workers (serial fallback for ``n_workers=1``) and collects a
-  JSON-serializable :class:`CampaignReport`.
+* a :class:`Campaign` fans a list of specs out over worker processes
+  (serial fallback for ``n_workers=1``) and collects a JSON-serializable
+  :class:`CampaignReport`.
 
 Determinism guarantee: workers re-seed the ``random`` module from
 ``spec.seed`` before building, and factories that take a ``seed`` parameter
 receive it explicitly — so a campaign run serially and a campaign run with
 any worker count produce bit-identical :class:`ExperimentResult` payloads.
 Only the timing fields (wall seconds, steps/s, worker name) differ.
+
+Robustness guarantee: a worker that raises, crashes hard, or exceeds the
+per-spec wall-clock timeout does not abort the fan-out.  The spec is
+retried with exponential backoff up to ``max_retries`` times; a spec that
+never completes becomes a structured :class:`RunFailure` in the report.
+With a ``checkpoint`` path every completed record is persisted
+incrementally (JSONL), and ``run(resume=True)`` skips the specs the
+checkpoint already holds.
 """
 
 from __future__ import annotations
 
 import inspect
+import json
+import os
 import random
 import time as _time
 from dataclasses import dataclass, field
 from multiprocessing import current_process, get_context
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.runner import ExperimentResult
+from repro.faults.plan import FaultPlan
 
 #: Bump when the report dict layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: v2: reports carry a ``failures`` list; specs carry a ``faults`` plan.
+SCHEMA_VERSION = 2
 
 #: A factory takes keyword params and returns an object with
 #: ``run(duration_bits) -> ExperimentResult`` (an ``ExperimentSetup``).
@@ -77,7 +90,7 @@ def scenario_summary(name: str) -> str:
 
 
 def _register_builtin_scenarios() -> None:
-    from repro.experiments import scenarios, sweeps
+    from repro.experiments import chaos, scenarios, sweeps
 
     for number, factory in scenarios.EXPERIMENTS.items():
         register_scenario(f"exp{number}", factory)
@@ -86,9 +99,8 @@ def _register_builtin_scenarios() -> None:
     register_scenario("dos_fight", sweeps.dos_fight_setup)
     register_scenario("single_frame_fight", sweeps.single_frame_fight_setup)
     register_scenario("restbus_fight", sweeps.restbus_fight_setup)
-
-
-_register_builtin_scenarios()
+    register_scenario("chaos_fight", chaos.chaos_fight_setup)
+    register_scenario("chaos_benign", chaos.chaos_benign_setup)
 
 
 # ------------------------------------------------------------------ specs
@@ -114,6 +126,8 @@ class ScenarioSpec:
         snapshot_every_bits: With ``metrics``, additionally sample a
             telemetry snapshot every N simulated bits into the record's
             JSONL-ready timeline.
+        faults: Optional :class:`~repro.faults.plan.FaultPlan` applied to
+            the freshly built simulator before the run (chaos wiring).
     """
 
     scenario: str
@@ -123,6 +137,7 @@ class ScenarioSpec:
     label: Optional[str] = None
     metrics: bool = False
     snapshot_every_bits: Optional[int] = None
+    faults: Optional[FaultPlan] = None
 
     @property
     def name(self) -> str:
@@ -140,7 +155,14 @@ class ScenarioSpec:
                 accepts_seed = False
             if accepts_seed:
                 kwargs["seed"] = self.seed
-        return factory(**kwargs)
+        setup = factory(**kwargs)
+        if self.faults is not None:
+            sim = getattr(setup, "sim", None)
+            if sim is not None:
+                from repro.faults.apply import apply_fault_plan
+
+                apply_fault_plan(sim, self.faults)
+        return setup
 
     def run(self) -> ExperimentResult:
         """Build and run the scenario; convenience for one-off use."""
@@ -155,10 +177,12 @@ class ScenarioSpec:
             "label": self.label,
             "metrics": self.metrics,
             "snapshot_every_bits": self.snapshot_every_bits,
+            "faults": None if self.faults is None else self.faults.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        faults_data = data.get("faults")
         return cls(
             scenario=data["scenario"],
             params=dict(data.get("params", {})),
@@ -167,7 +191,13 @@ class ScenarioSpec:
             label=data.get("label"),
             metrics=data.get("metrics", False),
             snapshot_every_bits=data.get("snapshot_every_bits"),
+            faults=None if not faults_data else FaultPlan.from_dict(faults_data),
         )
+
+
+def spec_key(spec: ScenarioSpec) -> str:
+    """Canonical identity of a spec (checkpoint/resume bookkeeping)."""
+    return json.dumps(spec.to_dict(), sort_keys=True)
 
 
 # ---------------------------------------------------------------- records
@@ -210,6 +240,48 @@ class RunRecord:
         )
 
 
+#: Failure kinds a spec can end with after exhausting its retries.
+FAILURE_KINDS = ("error", "crash", "timeout")
+
+
+@dataclass
+class RunFailure:
+    """One spec that never completed: what happened, after how many tries.
+
+    ``kind`` is ``"error"`` (the worker raised), ``"crash"`` (the worker
+    process died without reporting) or ``"timeout"`` (the per-spec
+    wall-clock budget ran out and the worker was terminated).
+    """
+
+    spec: ScenarioSpec
+    kind: str
+    error: str
+    attempts: int
+    wall_seconds: float = 0.0
+    worker: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "kind": self.kind,
+            "error": self.error,
+            "attempts": self.attempts,
+            "wall_seconds": self.wall_seconds,
+            "worker": self.worker,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunFailure":
+        return cls(
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            kind=data.get("kind", "error"),
+            error=data.get("error", ""),
+            attempts=data.get("attempts", 1),
+            wall_seconds=data.get("wall_seconds", 0.0),
+            worker=data.get("worker", ""),
+        )
+
+
 @dataclass
 class CampaignReport:
     """The JSON-serializable outcome of one campaign."""
@@ -218,6 +290,7 @@ class CampaignReport:
     n_workers: int
     wall_seconds: float
     schema_version: int = SCHEMA_VERSION
+    failures: List[RunFailure] = field(default_factory=list)
 
     @property
     def results(self) -> List[ExperimentResult]:
@@ -259,6 +332,7 @@ class CampaignReport:
             "n_workers": self.n_workers,
             "wall_seconds": self.wall_seconds,
             "records": [record.to_dict() for record in self.records],
+            "failures": [failure.to_dict() for failure in self.failures],
         }
 
     @classmethod
@@ -268,6 +342,8 @@ class CampaignReport:
             n_workers=data.get("n_workers", 1),
             wall_seconds=data.get("wall_seconds", 0.0),
             schema_version=data.get("schema_version", SCHEMA_VERSION),
+            failures=[RunFailure.from_dict(f)
+                      for f in data.get("failures", [])],
         )
 
     def render(self) -> str:
@@ -277,6 +353,8 @@ class CampaignReport:
             f"{self.n_workers} worker(s), "
             f"{self.total_steps()} bits in {self.wall_seconds:.2f} s"
         ]
+        if self.failures:
+            lines[0] += f", {len(self.failures)} failed"
         for record in self.records:
             lines.append("")
             lines.append(f"[{record.spec.name}] "
@@ -286,6 +364,11 @@ class CampaignReport:
             if record.snapshots:
                 lines.append(f"  snapshots: {len(record.snapshots)} "
                              f"(every {record.spec.snapshot_every_bits} bits)")
+        for failure in self.failures:
+            lines.append("")
+            lines.append(f"[{failure.spec.name}] FAILED ({failure.kind} "
+                         f"after {failure.attempts} attempt(s)): "
+                         f"{failure.error}")
         totals = self.metrics_totals()
         if totals is not None:
             from repro.obs.probe import render_totals
@@ -328,6 +411,65 @@ def execute_spec(spec: ScenarioSpec) -> RunRecord:
     )
 
 
+def _subprocess_worker(conn: Any, spec: ScenarioSpec) -> None:
+    """Child-process entry: run one spec, report through the pipe."""
+    try:
+        record = execute_spec(spec)
+        conn.send(("ok", record.to_dict()))
+    except Exception as exc:  # deliberate: any worker failure is reported
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+class _Checkpoint:
+    """Incremental JSONL persistence of finished specs (single writer).
+
+    One line per finished spec: ``{"type": "record"|"failure", "key":
+    <spec_key>, ...payload...}``.  A truncated trailing line (parent died
+    mid-write) is skipped on load, so resume survives its own crashes.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+
+    def reset(self) -> None:
+        with open(self.path, "w", encoding="utf-8"):
+            pass
+
+    def _append(self, entry: Dict[str, Any]) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+
+    def append_record(self, record: RunRecord) -> None:
+        self._append({"type": "record", "key": spec_key(record.spec),
+                      "record": record.to_dict()})
+
+    def append_failure(self, failure: RunFailure) -> None:
+        self._append({"type": "failure", "key": spec_key(failure.spec),
+                      "failure": failure.to_dict()})
+
+    def load_records(self) -> Dict[str, RunRecord]:
+        """Completed records by spec key (failures are always re-run)."""
+        if not os.path.exists(self.path):
+            return {}
+        records: Dict[str, RunRecord] = {}
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from a previous crash
+                if entry.get("type") == "record" and "key" in entry:
+                    records[entry["key"]] = RunRecord.from_dict(
+                        entry["record"])
+        return records
+
+
 class Campaign:
     """Execute a list of :class:`ScenarioSpec` over worker processes.
 
@@ -335,7 +477,19 @@ class Campaign:
         specs: The runs, in order.  Report records keep this order
             regardless of which worker finishes first.
         n_workers: Process count; ``1`` runs everything in-process (no
-            multiprocessing import-side effects, easier debugging).
+            multiprocessing import-side effects, easier debugging) unless
+            a timeout forces worker isolation.
+        timeout_seconds: Per-spec wall-clock budget.  Exceeding it kills
+            the worker and counts as one failed attempt.  Any timeout
+            (even with ``n_workers=1``) runs specs in subprocesses so
+            they can be terminated.
+        max_retries: How many times a failed spec is retried before it is
+            recorded as a :class:`RunFailure` (0 = no retries).
+        retry_backoff_seconds: Base of the exponential backoff between
+            attempts (``base * 2**(attempt-1)`` seconds).
+        checkpoint: Optional JSONL path; every finished spec is persisted
+            immediately, and :meth:`run` with ``resume=True`` skips specs
+            the checkpoint already completed.
 
     Example:
         >>> from repro.experiments.campaign import Campaign, ScenarioSpec
@@ -346,25 +500,214 @@ class Campaign:
         4
     """
 
-    def __init__(self, specs: Sequence[ScenarioSpec], n_workers: int = 1) -> None:
+    def __init__(
+        self,
+        specs: Sequence[ScenarioSpec],
+        n_workers: int = 1,
+        timeout_seconds: Optional[float] = None,
+        max_retries: int = 0,
+        retry_backoff_seconds: float = 0.1,
+        checkpoint: Optional[str] = None,
+    ) -> None:
         if n_workers < 1:
             raise ConfigurationError(
                 f"worker count must be positive, got {n_workers}")
+        if timeout_seconds is not None and timeout_seconds <= 0:
+            raise ConfigurationError(
+                f"timeout must be positive, got {timeout_seconds}")
+        if max_retries < 0:
+            raise ConfigurationError(
+                f"retry count must be non-negative, got {max_retries}")
+        if retry_backoff_seconds < 0:
+            raise ConfigurationError(
+                f"retry backoff must be non-negative, "
+                f"got {retry_backoff_seconds}")
         for spec in specs:
             scenario_factory(spec.scenario)  # fail fast on unknown names
+            if spec.faults is not None:
+                spec.faults.validate()
         self.specs = list(specs)
         self.n_workers = n_workers
+        self.timeout_seconds = timeout_seconds
+        self.max_retries = max_retries
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.checkpoint = checkpoint
 
-    def run(self) -> CampaignReport:
+    def _backoff(self, attempt: int) -> float:
+        return self.retry_backoff_seconds * (2 ** (attempt - 1))
+
+    def run(self, resume: bool = False) -> CampaignReport:
         started = _time.perf_counter()
-        if self.n_workers == 1 or len(self.specs) <= 1:
-            records = [execute_spec(spec) for spec in self.specs]
-        else:
-            workers = min(self.n_workers, len(self.specs))
-            with get_context().Pool(processes=workers) as pool:
-                records = pool.map(execute_spec, self.specs)
+        checkpoint = (_Checkpoint(self.checkpoint)
+                      if self.checkpoint is not None else None)
+        if resume and checkpoint is None:
+            raise ConfigurationError(
+                "resume requires a checkpoint path")
+        records: Dict[int, RunRecord] = {}
+        failures: Dict[int, RunFailure] = {}
+        if checkpoint is not None and resume:
+            done = checkpoint.load_records()
+            for index, spec in enumerate(self.specs):
+                key = spec_key(spec)
+                if key in done:
+                    records[index] = done[key]
+        elif checkpoint is not None:
+            checkpoint.reset()
+        pending = [index for index in range(len(self.specs))
+                   if index not in records]
+        if pending:
+            serial_ok = self.timeout_seconds is None
+            if serial_ok and (self.n_workers == 1 or len(pending) <= 1):
+                self._run_serial(pending, records, failures, checkpoint)
+            else:
+                self._run_processes(pending, records, failures, checkpoint)
         return CampaignReport(
-            records=records,
+            records=[records[index] for index in sorted(records)],
+            failures=[failures[index] for index in sorted(failures)],
             n_workers=self.n_workers,
             wall_seconds=_time.perf_counter() - started,
         )
+
+    # ------------------------------------------------------- serial path
+
+    def _run_serial(
+        self,
+        pending: Sequence[int],
+        records: Dict[int, RunRecord],
+        failures: Dict[int, RunFailure],
+        checkpoint: Optional[_Checkpoint],
+    ) -> None:
+        for index in pending:
+            spec = self.specs[index]
+            attempt = 0
+            while True:
+                attempt += 1
+                spec_started = _time.perf_counter()
+                try:
+                    record = execute_spec(spec)
+                except Exception as exc:  # deliberate: retry, then report
+                    wall = _time.perf_counter() - spec_started
+                    if attempt <= self.max_retries:
+                        _time.sleep(self._backoff(attempt))
+                        continue
+                    failure = RunFailure(
+                        spec=spec, kind="error",
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=attempt, wall_seconds=wall,
+                        worker=current_process().name)
+                    failures[index] = failure
+                    if checkpoint is not None:
+                        checkpoint.append_failure(failure)
+                    break
+                records[index] = record
+                if checkpoint is not None:
+                    checkpoint.append_record(record)
+                break
+
+    # ---------------------------------------------------- process path
+
+    def _run_processes(
+        self,
+        pending: Sequence[int],
+        records: Dict[int, RunRecord],
+        failures: Dict[int, RunFailure],
+        checkpoint: Optional[_Checkpoint],
+    ) -> None:
+        """Process-per-spec scheduler with crash/timeout detection.
+
+        Unlike ``Pool.map`` this can terminate a hung worker and notice a
+        dead one: each spec runs in its own process reporting through a
+        pipe, and the parent polls for results, deaths and deadline
+        overruns, requeuing failed specs with exponential backoff.
+        """
+        ctx = get_context()
+        workers = min(self.n_workers, len(pending))
+        #: (spec index, attempt number, earliest start monotonic time)
+        ready: List[Tuple[int, int, float]] = [
+            (index, 1, 0.0) for index in pending]
+        running: Dict[int, Tuple[Any, Any, int, float]] = {}
+
+        def finish(index: int, kind: str, message: str,
+                   attempt: int, wall: float, worker: str) -> None:
+            if attempt <= self.max_retries:
+                ready.append((index, attempt + 1,
+                              _time.monotonic() + self._backoff(attempt)))
+                return
+            failure = RunFailure(
+                spec=self.specs[index], kind=kind, error=message,
+                attempts=attempt, wall_seconds=wall, worker=worker)
+            failures[index] = failure
+            if checkpoint is not None:
+                checkpoint.append_failure(failure)
+
+        while ready or running:
+            now = _time.monotonic()
+            progressed = False
+            while len(running) < workers:
+                eligible = [item for item in ready if item[2] <= now]
+                if not eligible:
+                    break
+                item = min(eligible)
+                ready.remove(item)
+                index, attempt, _ = item
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_subprocess_worker,
+                    args=(child_conn, self.specs[index]),
+                    name=f"campaign-{index}-try{attempt}")
+                proc.start()
+                child_conn.close()
+                running[index] = (proc, parent_conn, attempt,
+                                  _time.monotonic())
+                progressed = True
+
+            for index in list(running):
+                proc, conn, attempt, launch_time = running[index]
+                worker_died = not proc.is_alive()
+                payload: Optional[Tuple[str, Any]] = None
+                if conn.poll():
+                    try:
+                        payload = conn.recv()
+                    except (EOFError, OSError):
+                        payload = None
+                wall = _time.monotonic() - launch_time
+                if payload is not None:
+                    proc.join()
+                    conn.close()
+                    del running[index]
+                    progressed = True
+                    status, body = payload
+                    if status == "ok":
+                        record = RunRecord.from_dict(body)
+                        records[index] = record
+                        if checkpoint is not None:
+                            checkpoint.append_record(record)
+                    else:
+                        finish(index, "error", str(body), attempt, wall,
+                               proc.name)
+                elif worker_died:
+                    proc.join()
+                    conn.close()
+                    del running[index]
+                    progressed = True
+                    finish(index, "crash",
+                           f"worker exited with code {proc.exitcode} "
+                           f"without reporting a result",
+                           attempt, wall, proc.name)
+                elif (self.timeout_seconds is not None
+                      and wall > self.timeout_seconds):
+                    proc.terminate()
+                    proc.join()
+                    conn.close()
+                    del running[index]
+                    progressed = True
+                    finish(index, "timeout",
+                           f"exceeded the {self.timeout_seconds} s "
+                           f"per-spec timeout and was terminated",
+                           attempt, wall, proc.name)
+
+            if not progressed:
+                _time.sleep(0.01)
+
+
+_register_builtin_scenarios()

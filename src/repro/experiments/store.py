@@ -50,6 +50,7 @@ def merge_reports(*reports: CampaignReport) -> CampaignReport:
     merged = CampaignReport(records=[], n_workers=1, wall_seconds=0.0)
     for report in reports:
         merged.records.extend(report.records)
+        merged.failures.extend(report.failures)
         merged.n_workers = max(merged.n_workers, report.n_workers)
         merged.wall_seconds += report.wall_seconds
     return merged

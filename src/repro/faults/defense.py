@@ -1,0 +1,165 @@
+"""Defense-layer fault injectors: degrading MichiCAN itself.
+
+These faults target a :class:`~repro.core.defense.MichiCanNode` and model
+the defense's own failure modes — a counterattack window that fires late
+or too briefly, a corrupted detection-FSM table (bit rot / bad flash), and
+a detection callback that raises.  They quantify how gracefully the
+Sec. IV-E guarantees degrade when the defender is the faulty component.
+
+Each fault mutates firmware state at window entry and restores the saved
+original at window exit, so a plan can degrade the defense for a bounded
+interval and hand back a healthy node.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.core.defense import MichiCanNode
+from repro.core.fsm import Verdict
+from repro.errors import ConfigurationError, InjectedFaultError
+from repro.faults.node import NodeFault
+from repro.faults.plan import FaultSpec
+from repro.node.controller import CanNode
+
+
+class DefenseFault(NodeFault):
+    """A node fault whose target must run MichiCAN firmware."""
+
+    def __init__(self, spec: FaultSpec, node: CanNode, bus_speed: int) -> None:
+        super().__init__(spec, node, bus_speed)
+        if not isinstance(node, MichiCanNode):
+            raise ConfigurationError(
+                f"fault {spec.name!r}: target {node.name!r} is not a "
+                f"MichiCAN defender")
+        self.defender: MichiCanNode = node
+
+
+class DelayedWindowFault(DefenseFault):
+    """``defense.delayed_window``: the counterattack trigger fires late."""
+
+    def __init__(self, spec: FaultSpec, node: CanNode, bus_speed: int) -> None:
+        super().__init__(spec, node, bus_speed)
+        self.delay_bits = int(spec.params.get("delay_bits", 1))  # type: ignore[arg-type]
+        if self.delay_bits < 0:
+            raise ConfigurationError(
+                f"fault {spec.name!r}: delay must be non-negative, "
+                f"got {self.delay_bits}")
+        self._saved: Optional[int] = None
+
+    def on_activate(self, time: int) -> None:
+        self._saved = self.defender.firmware.trigger_position
+        self.defender.firmware.trigger_position = self._saved + self.delay_bits
+
+    def on_deactivate(self, time: int) -> None:
+        if self._saved is not None:
+            self.defender.firmware.trigger_position = self._saved
+            self._saved = None
+
+
+class TruncatedWindowFault(DefenseFault):
+    """``defense.truncated_window``: the counterattack injects fewer bits."""
+
+    def __init__(self, spec: FaultSpec, node: CanNode, bus_speed: int) -> None:
+        super().__init__(spec, node, bus_speed)
+        self.duration_bits = int(spec.params.get("duration_bits", 1))  # type: ignore[arg-type]
+        if self.duration_bits < 1:
+            raise ConfigurationError(
+                f"fault {spec.name!r}: counterattack duration must be at "
+                f"least one bit, got {self.duration_bits}")
+        self._saved: Optional[int] = None
+
+    def on_activate(self, time: int) -> None:
+        self._saved = self.defender.firmware.attack_duration
+        self.defender.firmware.attack_duration = self.duration_bits
+
+    def on_deactivate(self, time: int) -> None:
+        if self._saved is not None:
+            self.defender.firmware.attack_duration = self._saved
+            self._saved = None
+
+
+class CorruptFsmFault(DefenseFault):
+    """``defense.corrupt_fsm``: seeded verdict corruption in the FSM table.
+
+    Flips up to ``entries`` terminal verdicts (MALICIOUS <-> BENIGN) at
+    seeded positions of the detection table — modelling flash bit rot in
+    the compiled 𝔻 structure — and restores the saved table at window
+    exit.
+    """
+
+    def __init__(self, spec: FaultSpec, node: CanNode, bus_speed: int) -> None:
+        super().__init__(spec, node, bus_speed)
+        self.entries = int(spec.params.get("entries", 1))  # type: ignore[arg-type]
+        if self.entries < 1:
+            raise ConfigurationError(
+                f"fault {spec.name!r}: must corrupt at least one entry, "
+                f"got {self.entries}")
+        self._saved: Optional[List[Tuple[object, object]]] = None
+
+    def on_activate(self, time: int) -> None:
+        table = self.defender.firmware.fsm._table
+        self._saved = list(table)
+        verdict_slots = [
+            (row, col)
+            for row, entry in enumerate(table)
+            for col in (0, 1)
+            if entry[col] in (Verdict.MALICIOUS, Verdict.BENIGN)
+        ]
+        rng = random.Random(self.spec.seed)
+        rng.shuffle(verdict_slots)
+        for row, col in verdict_slots[:self.entries]:
+            entry = list(table[row])
+            entry[col] = (Verdict.BENIGN if entry[col] is Verdict.MALICIOUS
+                          else Verdict.MALICIOUS)
+            table[row] = (entry[0], entry[1])
+
+    def on_deactivate(self, time: int) -> None:
+        if self._saved is not None:
+            self.defender.firmware.fsm._table[:] = self._saved
+            self._saved = None
+
+
+class DetectionRaisesFault(DefenseFault):
+    """``defense.detection_raises``: the detection callback raises.
+
+    The first detection the firmware records inside the window raises
+    :class:`~repro.errors.InjectedFaultError` out of the node's observe
+    path — the buggy-callback scenario the campaign engine must survive
+    as a structured ``RunFailure``.
+    """
+
+    def __init__(self, spec: FaultSpec, node: CanNode, bus_speed: int) -> None:
+        super().__init__(spec, node, bus_speed)
+        self._baseline = 0
+
+    def on_activate(self, time: int) -> None:
+        self._baseline = len(self.defender.firmware.detections)
+
+    def after_observe(self, time: int) -> None:
+        if len(self.defender.firmware.detections) > self._baseline:
+            raise InjectedFaultError(
+                f"fault {self.spec.name!r}: injected detection callback "
+                f"failure on {self.defender.name!r} at t={time}")
+
+
+DEFENSE_FAULTS: Dict[str, Type[DefenseFault]] = {
+    "defense.delayed_window": DelayedWindowFault,
+    "defense.truncated_window": TruncatedWindowFault,
+    "defense.corrupt_fsm": CorruptFsmFault,
+    "defense.detection_raises": DetectionRaisesFault,
+}
+
+
+def compile_defense_fault(
+    spec: FaultSpec, node: CanNode, bus_speed: int
+) -> DefenseFault:
+    """Compile one defense-layer fault spec against its defender node."""
+    try:
+        factory = DEFENSE_FAULTS[spec.kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"fault {spec.name!r}: {spec.kind!r} is not a defense "
+            f"fault") from None
+    return factory(spec, node, bus_speed)

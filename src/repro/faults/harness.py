@@ -1,0 +1,102 @@
+"""Harness-layer faults: making the *worker process* misbehave.
+
+These are pseudo-nodes (the :class:`~repro.obs.snapshot.SnapshotRecorder`
+protocol: they never drive the bus) that crash or hang the simulation at
+a chosen bit time.  They exist to test the campaign engine's own
+robustness — worker-crash detection, per-spec timeouts, bounded retry and
+``RunFailure`` reporting — with deterministic, declarative triggers
+instead of ad-hoc monkeypatching.
+"""
+
+from __future__ import annotations
+
+import os
+import time as _time
+from typing import Callable, Optional
+
+from repro.bus.events import Event, FaultActivated
+from repro.can.constants import RECESSIVE
+from repro.errors import ConfigurationError, InjectedFaultError
+from repro.faults.plan import FaultSpec
+
+EventSink = Callable[[Event], None]
+
+
+class HarnessFaultNode:
+    """A silent bus tap that triggers a harness fault at window start."""
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self.name = f"harness:{spec.name}"
+        self._sink: Optional[EventSink] = None
+        self._triggered = False
+
+    def attach(self, sink: EventSink) -> None:
+        self._sink = sink
+
+    def output(self, time: int) -> int:
+        return RECESSIVE
+
+    def observe(self, time: int, level: int) -> None:
+        if self._triggered or not self.spec.window.active(time):
+            return
+        self._triggered = True
+        if self._sink is not None:
+            self._sink(FaultActivated(
+                time=time, node=self.name,
+                fault=self.spec.name, kind=self.spec.kind))
+        self.trigger(time)
+
+    def trigger(self, time: int) -> None:
+        raise NotImplementedError
+
+
+class CrashFaultNode(HarnessFaultNode):
+    """``harness.crash``: the worker dies at window start.
+
+    ``hard=False`` (default) raises :class:`InjectedFaultError` — an
+    in-process failure a worker can catch and report.  ``hard=True`` kills
+    the process outright with ``os._exit``, modelling a segfault-style
+    death only the parent can detect.
+    """
+
+    def __init__(self, spec: FaultSpec) -> None:
+        super().__init__(spec)
+        self.hard = bool(spec.params.get("hard", False))
+        self.exit_code = int(spec.params.get("exit_code", 13))  # type: ignore[arg-type]
+
+    def trigger(self, time: int) -> None:
+        if self.hard:
+            os._exit(self.exit_code)
+        raise InjectedFaultError(
+            f"fault {self.spec.name!r}: injected worker crash at t={time}")
+
+
+class HangFaultNode(HarnessFaultNode):
+    """``harness.hang``: the worker stalls at window start.
+
+    Sleeps ``seconds`` of wall-clock time once, modelling a hung worker;
+    a campaign timeout shorter than the sleep terminates the worker, a
+    longer one lets the run finish late.
+    """
+
+    def __init__(self, spec: FaultSpec) -> None:
+        super().__init__(spec)
+        self.seconds = float(spec.params.get("seconds", 60.0))  # type: ignore[arg-type]
+        if self.seconds < 0:
+            raise ConfigurationError(
+                f"fault {spec.name!r}: hang duration must be non-negative, "
+                f"got {self.seconds}")
+
+    def trigger(self, time: int) -> None:
+        _time.sleep(self.seconds)
+
+
+def compile_harness_fault(spec: FaultSpec) -> HarnessFaultNode:
+    """Compile one harness-layer fault spec into its pseudo-node."""
+    if spec.kind == "harness.crash":
+        return CrashFaultNode(spec)
+    if spec.kind == "harness.hang":
+        return HangFaultNode(spec)
+    raise ConfigurationError(
+        f"fault {spec.name!r}: {spec.kind!r} is not a harness fault")

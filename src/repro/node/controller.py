@@ -194,6 +194,44 @@ class CanNode:
     def is_bus_off(self) -> bool:
         return self.state is ControllerState.BUS_OFF
 
+    def power_cycle(self, time: int) -> None:
+        """Model a power glitch: re-initialise all transient controller state.
+
+        The application-side configuration survives (TX queue, scheduler,
+        filters, callbacks, event sink, listen-only flag); everything the
+        silicon would lose — parser state, error counters, the in-flight
+        transmission, flag/delimiter bookkeeping — resets as if the node
+        had just come out of reset at bit time ``time``.
+        """
+        self.state = ControllerState.IDLE
+        self.parser.reset()
+        self.faults = FaultConfinement()
+        self.faults.on_transition = self._on_fault_transition
+        self._tx_stream = []
+        self._tx_index = 0
+        self._tx_started_at = 0
+        self._tx_pre_rtr_fields = frozenset({Field.ID})
+        self._start_tx_next = False
+        self._drive_dominant_once = False
+        self._sent_this_bit = RECESSIVE
+        self._flag_remaining = 0
+        self._passive_run_level = -1
+        self._passive_run_length = 0
+        self._passive_flag_saw_dominant = False
+        self._pending_tec_ack = False
+        self._delim_count = 0
+        self._delim_first_bit = False
+        self._delim_dominant_run = 0
+        self._delim_overload = False
+        self._err_role_transmitter = False
+        self._overload_count = 0
+        self._intermission_count = 0
+        self._suspend_count = 0
+        self._was_transmitter = False
+        self._busoff_recessive_run = 0
+        self._busoff_sequences = 0
+        self._time = time
+
     @property
     def tec(self) -> int:
         return self.faults.tec

@@ -27,6 +27,8 @@ from repro.bus.events import (
     ErrorDetected,
     ErrorStateChanged,
     Event,
+    FaultActivated,
+    FaultDeactivated,
     FrameReceived,
     FrameStarted,
     FrameTransmitted,
@@ -42,13 +44,15 @@ if TYPE_CHECKING:
     from repro.bus.simulator import CanBusSimulator
 
 #: Bump when the MetricsSummary dict layout changes incompatibly.
-SUMMARY_SCHEMA_VERSION = 1
+#: v2: per-node ``fault_activations`` counter (fault-injection windows).
+SUMMARY_SCHEMA_VERSION = 2
 
 #: The per-node counter fields of a summary, in render order.
 NODE_COUNTER_FIELDS = (
     "frames_tx", "frames_rx", "frame_attempts", "retransmissions",
     "arbitration_losses", "error_frames", "overloads", "busoffs",
     "recoveries", "detections", "counterattacks", "counterattack_bits",
+    "fault_activations",
 )
 
 
@@ -272,6 +276,8 @@ class BusProbe:
             AttackDetected: self._on_attack_detected,
             CounterattackStarted: self._on_counterattack_started,
             CounterattackEnded: self._on_counterattack_ended,
+            FaultActivated: self._on_fault_activated,
+            FaultDeactivated: self._on_fault_deactivated,
         }
         self._unsubscribe = sim.on_event(self._on_event)
         self.closed = False
@@ -351,6 +357,12 @@ class BusProbe:
         if bits > node.counterattack_max_bits:
             node.counterattack_max_bits = bits
         node.counterattack_started_at = None
+
+    def _on_fault_activated(self, event: FaultActivated) -> None:
+        self._node(event.node).fault_activations.inc()
+
+    def _on_fault_deactivated(self, event: FaultDeactivated) -> None:
+        self._node(event.node)  # window close: node appears in the summary
 
     # ------------------------------------------------------------ outputs
 

@@ -354,3 +354,67 @@ def test_unknown_rule_code_raises():
 def test_parse_error_becomes_rc100_finding():
     findings = findings_for("def broken(:\n")
     assert [f.code for f in findings] == ["RC100"]
+
+
+# ----------------------------------------------------------------- RC109
+
+FAULTS_PATH = "src/repro/faults/wire.py"
+
+
+def test_rc109_flags_global_rng_in_faults():
+    source = """
+        import random
+
+        def apply(level):
+            if random.random() < 0.5:
+                return 1 - level
+            return level
+    """
+    assert codes_for(source, path=FAULTS_PATH) == ["RC109"]
+
+
+def test_rc109_flags_unseeded_and_entropy_seeded_random():
+    source = """
+        import random
+
+        def build(spec):
+            a = random.Random()
+            b = random.Random(id(spec))
+            c = random.SystemRandom()
+            return a, b, c
+    """
+    assert codes_for(source, path=FAULTS_PATH) == [
+        "RC109", "RC109", "RC109"]
+
+
+def test_rc109_flags_from_import_of_global_rng():
+    source = """
+        from random import shuffle
+
+        def corrupt(entries):
+            shuffle(entries)
+    """
+    assert codes_for(source, path=FAULTS_PATH) == ["RC109"]
+
+
+def test_rc109_accepts_spec_seeded_random():
+    source = """
+        import random
+
+        def build(spec):
+            return random.Random(spec.seed)
+
+        def derive(seed, index):
+            return random.Random(seed + index)
+    """
+    assert codes_for(source, path=FAULTS_PATH) == []
+
+
+def test_rc109_only_applies_under_faults():
+    source = """
+        import random
+
+        def roll():
+            return random.random()
+    """
+    assert codes_for(source, path=APP_PATH) == []

@@ -237,3 +237,87 @@ def test_empty_ivn_is_reported_not_raised():
     report = verify_plan(VerificationPlan(ecu_ids=(),
                                           check_registry=False))
     assert report.codes() == ["VC200"]
+
+
+# ------------------------------------------------- fault plans (VC230-233)
+
+def fault_plan_doc(**overrides):
+    doc = {
+        "schema_version": 1,
+        "faults": [
+            {"name": "flips", "kind": "wire.flip",
+             "window": {"start_bit": 0, "end_bit": 1000},
+             "params": {"flip_probability": 0.01}, "seed": 7},
+        ],
+    }
+    doc.update(overrides)
+    return doc
+
+
+def test_valid_fault_plan_verifies_clean():
+    from repro.analysis.verifier import verify_fault_plan
+
+    report = verify_fault_plan(fault_plan_doc())
+    assert report.ok, report.render_text()
+    assert set(report.checks_run) == {"fault-schema", "fault-entries"}
+
+
+def test_vc230_missing_and_wrong_schema_version():
+    from repro.analysis.verifier import verify_fault_plan
+
+    doc = fault_plan_doc()
+    del doc["schema_version"]
+    assert verify_fault_plan(doc).codes() == ["VC230"]
+    assert verify_fault_plan(
+        fault_plan_doc(schema_version=99)).codes() == ["VC230"]
+
+
+def test_vc231_negative_window_start():
+    from repro.analysis.verifier import verify_fault_plan
+
+    doc = fault_plan_doc()
+    doc["faults"][0]["window"] = {"start_bit": -1, "end_bit": 10}
+    assert verify_fault_plan(doc).codes() == ["VC231"]
+
+
+def test_vc232_reversed_window():
+    from repro.analysis.verifier import verify_fault_plan
+
+    doc = fault_plan_doc()
+    doc["faults"][0]["window"] = {"start_bit": 50, "end_bit": 50}
+    assert verify_fault_plan(doc).codes() == ["VC232"]
+
+
+def test_vc233_unknown_kind_duplicate_name_missing_target():
+    from repro.analysis.verifier import verify_fault_plan
+
+    doc = fault_plan_doc()
+    doc["faults"].append(dict(doc["faults"][0]))           # duplicate name
+    doc["faults"].append({"name": "weird", "kind": "wire.melt",
+                          "window": {"start_bit": 0}})     # unknown kind
+    doc["faults"].append({"name": "stuck", "kind": "node.tx_stuck",
+                          "window": {"start_bit": 0}})     # missing target
+    report = verify_fault_plan(doc)
+    assert report.codes() == ["VC233"]
+    assert len(report.issues) == 3
+
+
+def test_fault_plan_file_round_trip_and_cli(tmp_path, capsys):
+    from repro.analysis.verifier import verify_fault_plan_file
+    from repro.cli import main
+
+    good = tmp_path / "faults.json"
+    good.write_text(json.dumps(fault_plan_doc()))
+    assert verify_fault_plan_file(str(good)).ok
+    assert main(["lint", "--faults", str(good)]) == 0
+    capsys.readouterr()
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(fault_plan_doc(schema_version=99)))
+    assert main(["lint", "--faults", str(bad)]) == 1
+    assert "VC230" in capsys.readouterr().out
+
+    not_json = tmp_path / "broken.json"
+    not_json.write_text("{")
+    with pytest.raises(ConfigurationError):
+        verify_fault_plan_file(str(not_json))

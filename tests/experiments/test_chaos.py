@@ -1,0 +1,112 @@
+"""Chaos scenarios and the Sec. IV-E degradation sweep."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.experiments.campaign import Campaign, ScenarioSpec
+from repro.experiments.chaos import (
+    DegradationCurve,
+    DegradationPoint,
+    chaos_benign_setup,
+    chaos_fault_plan,
+    chaos_fight_setup,
+    run_degradation_sweep,
+)
+from repro.faults.plan import (
+    FaultPlan,
+    FaultWindow,
+    example_fault_spec,
+    fault_kinds,
+    layer_of,
+)
+
+
+# ------------------------------------------------------------- scenarios
+
+def test_chaos_fight_setup_builds_a_defended_noisy_bus():
+    setup = chaos_fight_setup(flip_probability=0.001, seed=1)
+    names = {node.name for node in setup.sim.nodes}
+    assert {"defender", "sender", "attacker"} <= names
+    assert type(setup.sim.wire).__name__ == "FaultInjectingWire"
+
+
+def test_chaos_benign_setup_has_no_attacker():
+    setup = chaos_benign_setup(flip_probability=0.001, seed=1)
+    names = {node.name for node in setup.sim.nodes}
+    assert "attacker" not in names
+    assert "defender" in names
+
+
+def test_chaos_fault_plan_is_a_valid_always_active_flip():
+    plan = chaos_fault_plan(0.01, seed=4)
+    plan.validate()
+    (spec,) = list(plan)
+    assert spec.kind == "wire.flip"
+    assert spec.window.active(0) and spec.window.active(10**9)
+
+
+# ------------------------------------------------ Sec. IV-E reproduction
+
+def test_sporadic_noise_causes_no_legitimate_busoffs():
+    """Sec. IV-E: sporadic bit errors must not bus-off legitimate nodes
+    (32 consecutive errors are needed), and the benign bus must show a
+    near-zero counterattack (false-positive) rate."""
+    curve = run_degradation_sweep(
+        intensities=(0.0, 0.0005), seeds=(0,), duration_bits=12_000)
+    assert [point.intensity for point in curve.points] == [0.0, 0.0005]
+    for point in curve.points:
+        assert point.failed_runs == 0
+        assert point.legit_busoffs == 0
+        assert point.benign_busoffs == 0
+        assert point.false_positive_rate <= 0.01
+    clean = curve.point_at(0.0)
+    assert clean.false_positive_rate == 0.0
+    assert clean.detection_rate > 0.9, "a quiet bus detects the flood"
+
+
+def test_degradation_curve_round_trips_and_renders():
+    point = DegradationPoint(
+        intensity=0.001, detection_rate=0.95, false_positive_rate=0.0,
+        legit_busoffs=0, benign_busoffs=0, attacker_busoff_ms=1.5,
+        runs=2, failed_runs=1)
+    curve = DegradationCurve(points=[point], duration_bits=12_000,
+                             seeds=[0])
+    assert DegradationCurve.from_dict(curve.to_dict()) == curve
+    rendered = curve.render()
+    assert "0.00100" in rendered
+    assert "false+" in rendered
+    with pytest.raises(KeyError):
+        curve.point_at(0.5)
+
+
+# ------------------------------------------------------- fan-out smoke
+
+def test_every_fault_kind_survives_pickle():
+    for kind in fault_kinds():
+        plan = FaultPlan((example_fault_spec(kind, seed=2),))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+def test_fault_plans_cross_the_process_boundary():
+    """Every non-harness kind rides a spec through real multiprocessing
+    fan-out; harness kinds ride along with windows that never open (their
+    effect is crashing the worker, which test_robustness covers)."""
+    specs = []
+    for index, kind in enumerate(fault_kinds()):
+        spec = example_fault_spec(kind, seed=index)
+        if (layer_of(spec.kind) == "harness"
+                or kind == "defense.detection_raises"):
+            # These kinds exist to kill the run (covered by
+            # test_robustness / test_defense_faults); here they only
+            # prove they cross the process boundary intact.
+            spec = dataclasses.replace(spec, window=FaultWindow(10**9))
+        specs.append(ScenarioSpec(
+            "chaos_fight", {"flip_probability": 0.0}, seed=index,
+            duration_bits=3_000, label=f"smoke-{kind}",
+            faults=FaultPlan((spec,))))
+    report = Campaign(specs, n_workers=2, timeout_seconds=60.0).run()
+    assert not report.failures
+    assert [r.spec.label for r in report.records] == \
+        [f"smoke-{kind}" for kind in fault_kinds()]

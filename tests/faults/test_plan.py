@@ -1,0 +1,150 @@
+"""FaultPlan schema: windows, validation, round-trips, pickle safety."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FAULT_PLAN_SCHEMA_VERSION,
+    FaultPlan,
+    FaultSpec,
+    FaultWindow,
+    example_fault_spec,
+    fault_kinds,
+    layer_of,
+    load_fault_plan,
+)
+
+
+# ---------------------------------------------------------------- windows
+
+def test_window_is_half_open():
+    window = FaultWindow(10, 20)
+    assert not window.active(9)
+    assert window.active(10)
+    assert window.active(19)
+    assert not window.active(20)
+
+
+def test_default_window_is_always_active():
+    window = FaultWindow()
+    assert window.active(0)
+    assert window.active(10**9)
+
+
+def test_open_ended_window_never_closes():
+    window = FaultWindow(5)
+    assert not window.active(4)
+    assert window.active(10**9)
+
+
+def test_window_from_dict_rejects_non_ints():
+    with pytest.raises(ConfigurationError):
+        FaultWindow.from_dict({"start_bit": "soon"})
+    with pytest.raises(ConfigurationError):
+        FaultWindow.from_dict({"start_bit": 0, "end_bit": 1.5})
+    with pytest.raises(ConfigurationError):
+        FaultWindow.from_dict({"start_bit": True})
+
+
+# --------------------------------------------------------------- taxonomy
+
+def test_fault_kinds_is_sorted_and_complete():
+    kinds = fault_kinds()
+    assert kinds == tuple(sorted(FAULT_KINDS))
+    layers = {layer_of(kind) for kind in kinds}
+    assert layers == {"wire", "node", "defense", "harness"}
+
+
+def test_layer_of_unknown_kind_raises():
+    with pytest.raises(ConfigurationError):
+        layer_of("wire.melt")
+
+
+def test_example_spec_exists_and_validates_for_every_kind():
+    for kind in fault_kinds():
+        spec = example_fault_spec(kind, seed=3)
+        assert spec.kind == kind
+        assert spec.seed == 3
+        FaultPlan((spec,)).validate()
+    with pytest.raises(ConfigurationError):
+        example_fault_spec("nope.nothing")
+
+
+def test_every_kind_round_trips_through_dict_and_pickle():
+    for kind in fault_kinds():
+        spec = example_fault_spec(kind, seed=11)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+        assert pickle.loads(pickle.dumps(spec)) == spec
+    plan = FaultPlan(tuple(
+        example_fault_spec(kind) for kind in fault_kinds()))
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+    assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+# ------------------------------------------------------------- validation
+
+def good_spec(**overrides):
+    base = dict(name="flips", kind="wire.flip",
+                window=FaultWindow(0, 100), seed=1)
+    base.update(overrides)
+    return FaultSpec(**base)
+
+
+def test_validate_accepts_a_good_plan():
+    FaultPlan((good_spec(),)).validate()
+
+
+@pytest.mark.parametrize("spec, message", [
+    (good_spec(name=""), "empty name"),
+    (good_spec(kind="wire.melt"), "unknown kind"),
+    (good_spec(window=FaultWindow(-1, 5)), "negative"),
+    (good_spec(window=FaultWindow(10, 10)), "does not follow"),
+    (good_spec(kind="node.reset"), "target"),
+])
+def test_validate_rejects_bad_specs(spec, message):
+    with pytest.raises(ConfigurationError, match=message):
+        FaultPlan((spec,)).validate()
+
+
+def test_validate_rejects_duplicates_and_bad_schema():
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        FaultPlan((good_spec(), good_spec())).validate()
+    with pytest.raises(ConfigurationError, match="schema"):
+        FaultPlan((good_spec(),), schema_version=99).validate()
+
+
+def test_from_dict_validates_and_types():
+    with pytest.raises(ConfigurationError):
+        FaultPlan.from_dict({"schema_version": "one", "faults": []})
+    with pytest.raises(ConfigurationError):
+        FaultPlan.from_dict({"faults": "not-a-list"})
+    with pytest.raises(ConfigurationError):
+        FaultPlan.from_dict({"faults": ["not-a-mapping"]})
+    with pytest.raises(ConfigurationError):  # validate() runs on load
+        FaultPlan.from_dict({"faults": [
+            {"name": "x", "kind": "wire.flip",
+             "window": {"start_bit": -2}}]})
+
+
+# ------------------------------------------------------------ file loading
+
+def test_load_fault_plan_from_json_file(tmp_path):
+    path = tmp_path / "plan.json"
+    plan = FaultPlan((good_spec(),))
+    path.write_text(json.dumps(plan.to_dict()))
+    assert load_fault_plan(str(path)) == plan
+    assert plan.schema_version == FAULT_PLAN_SCHEMA_VERSION
+
+    path.write_text("[1, 2]")
+    with pytest.raises(ConfigurationError, match="JSON object"):
+        load_fault_plan(str(path))
+
+
+def test_plan_iterates_in_order():
+    plan = FaultPlan((good_spec(), good_spec(name="other")))
+    assert len(plan) == 2
+    assert [spec.name for spec in plan] == ["flips", "other"]

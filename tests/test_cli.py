@@ -274,3 +274,46 @@ class TestCliMetrics:
     def test_metrics_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main(["metrics"])
+
+
+class TestCliChaos:
+    def test_chaos_sweep_prints_the_curve(self, capsys, tmp_path):
+        out_file = str(tmp_path / "curve.json")
+        assert main(["chaos", "--intensities", "0.0,0.0005",
+                     "--duration", "6000", "--out", out_file]) == 0
+        out = capsys.readouterr().out
+        assert "degradation sweep: 2 intensities" in out
+        assert "false+" in out
+        import json
+        curve = json.load(open(out_file, encoding="utf-8"))
+        assert [p["intensity"] for p in curve["points"]] == [0.0, 0.0005]
+
+    def test_chaos_bad_intensities(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--intensities", "high"])
+
+    def test_campaign_run_with_fault_plan(self, capsys, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"schema_version": 1, "faults": [{"name": "flips",'
+            ' "kind": "wire.flip",'
+            ' "params": {"flip_probability": 0.001}, "seed": 3}]}')
+        assert main(["campaign", "run", "--scenario", "exp4",
+                     "--duration", "4000", "--faults", str(plan)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign: 1 runs" in out
+
+    def test_campaign_resume_requires_checkpoint(self, capsys):
+        assert main(["campaign", "run", "--scenario", "exp4",
+                     "--resume"]) == 2
+
+    def test_campaign_checkpoint_and_resume(self, capsys, tmp_path):
+        checkpoint = str(tmp_path / "campaign.jsonl")
+        argv = ["campaign", "run", "--scenario", "exp4",
+                "--seeds", "1,2", "--duration", "4000",
+                "--checkpoint", checkpoint]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign: 2 runs" in out
