@@ -1,0 +1,1244 @@
+"""Whole-program call graph over a Python source tree (pure stdlib).
+
+The per-file lint rules (:mod:`repro.analysis.lint.rules`) can only see one
+module at a time, so a wall-clock read *two call hops below* the simulator
+step loop passes them.  This module closes that hole: it parses every file
+of the scanned tree exactly once into a compact :class:`FileSummary`
+(imports, classes, per-function call/raise/sink facts), resolves calls
+across module boundaries into a :class:`CallGraph`, and answers the two
+whole-program questions the deep rules need:
+
+* **reachability** — which functions are transitively callable from the
+  engine entry points (the simulator step loop, the firmware ISR), with
+  the call chain that proves it (:meth:`CallGraph.reachable_from`);
+* **exception escape** — which exception types can propagate out of a
+  function uncaught, tracked back to the raise sites that originate them
+  (:meth:`CallGraph.escaping_exceptions`).
+
+Summaries are cached on disk keyed by ``(mtime_ns, size)`` via
+:class:`AnalysisCache`, so repeated ``repro lint`` runs only re-parse the
+files that actually changed.  The cache is advisory: a corrupted, stale or
+unwritable cache degrades to a cold run, never to an error.
+
+Resolution policy (documented over-approximation)
+-------------------------------------------------
+
+Static call resolution in Python is necessarily approximate.  The builder
+resolves, in order: bare names (nested siblings, module functions, local
+classes, ``from``-imports), ``self.m()`` / ``cls.m()`` through the project
+class hierarchy (the defining class, its ancestors *and* its descendants —
+virtual dispatch), ``alias.f()`` through ``import``/``from`` module
+aliases, and ``Cls.m()`` through known class names.  Any other attribute
+call ``obj.m()`` falls back to *every* project method named ``m`` — a safe
+over-approximation — except when ``m`` shadows a builtin container/str
+method (``append``, ``get``, ``items``, ...), which would drown the graph
+in false edges.  Calls through bound-method variables, subscripts and
+lambdas are statically unresolvable and produce no edge; the engine's
+``step()`` uses plain attribute calls precisely so its fan-out to node
+``output``/``observe`` implementations stays visible here.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.lint.rules import (
+    _DATETIME_FACTORIES,
+    _GLOBAL_RNG_FUNCS,
+    _TIME_FUNCS,
+    _dotted_parts,
+)
+from repro.analysis.lint.suppressions import SuppressionIndex
+
+#: Bump when the FileSummary layout changes incompatibly: cached summaries
+#: with another version are re-parsed, never misread.
+SUMMARY_SCHEMA_VERSION = 1
+#: Bump when the on-disk cache file layout changes incompatibly.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default on-disk location of the analysis cache (relative to the CWD).
+DEFAULT_CACHE_PATH = os.path.join(".repro_cache", "lint.json")
+
+#: Guard marker meaning "catches every exception" (a bare ``except:``).
+CATCH_ALL = "*"
+
+#: Method names that shadow builtin container/str methods: excluded from
+#: the name-based fallback so ``results.append(x)`` does not edge into a
+#: project class that happens to define ``append``.
+_BUILTIN_METHOD_NAMES: FrozenSet[str] = frozenset(
+    name
+    for typ in (dict, list, set, frozenset, tuple, str, bytes, bytearray)
+    for name in dir(typ)
+    if not name.startswith("_")
+)
+
+#: Builtin exceptions that ``except Exception`` does NOT cover.
+_NON_EXCEPTION_BUILTINS = frozenset({
+    "BaseException", "KeyboardInterrupt", "SystemExit", "GeneratorExit",
+})
+
+
+# ------------------------------------------------------------- summary model
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body.
+
+    Attributes:
+        parts: The dotted callee chain (``a.b.c()`` -> ``("a","b","c")``).
+        line: 1-based source line of the call.
+        guards: Exception type names caught by ``try`` blocks enclosing
+            this call *within the same function* (:data:`CATCH_ALL` for a
+            bare ``except:``).
+    """
+
+    parts: Tuple[str, ...]
+    line: int
+    guards: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"parts": list(self.parts), "line": self.line,
+                "guards": list(self.guards)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CallSite":
+        return cls(parts=tuple(data["parts"]), line=int(data["line"]),
+                   guards=tuple(data.get("guards", ())))
+
+
+@dataclass(frozen=True)
+class RaiseSite:
+    """One ``raise`` statement inside a function body.
+
+    ``exception`` is the raised type name when statically known; a bare
+    ``raise`` re-raises the enclosing handler's caught types instead
+    (``handler_types``).  ``None`` with empty handler types means the
+    raised object could not be typed (``raise some_variable``) — such
+    sites are conservatively ignored by the escape analysis.
+    """
+
+    exception: Optional[str]
+    line: int
+    guards: Tuple[str, ...] = ()
+    handler_types: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"exception": self.exception, "line": self.line,
+                "guards": list(self.guards),
+                "handler_types": list(self.handler_types)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RaiseSite":
+        return cls(exception=data.get("exception"), line=int(data["line"]),
+                   guards=tuple(data.get("guards", ())),
+                   handler_types=tuple(data.get("handler_types", ())))
+
+
+@dataclass(frozen=True)
+class SinkSite:
+    """A determinism sink (wall-clock read / global-RNG draw) in a body."""
+
+    line: int
+    column: int
+    description: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"line": self.line, "column": self.column,
+                "description": self.description}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SinkSite":
+        return cls(line=int(data["line"]), column=int(data.get("column", 0)),
+                   description=str(data.get("description", "")))
+
+
+@dataclass
+class FunctionSummary:
+    """Call/raise/sink facts for one function or method."""
+
+    qualname: str
+    line: int
+    calls: List[CallSite] = field(default_factory=list)
+    raises: List[RaiseSite] = field(default_factory=list)
+    wallclock_sinks: List[SinkSite] = field(default_factory=list)
+    random_sinks: List[SinkSite] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "line": self.line,
+            "calls": [c.to_dict() for c in self.calls],
+            "raises": [r.to_dict() for r in self.raises],
+            "wallclock_sinks": [s.to_dict() for s in self.wallclock_sinks],
+            "random_sinks": [s.to_dict() for s in self.random_sinks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FunctionSummary":
+        return cls(
+            qualname=str(data["qualname"]),
+            line=int(data.get("line", 0)),
+            calls=[CallSite.from_dict(c) for c in data.get("calls", ())],
+            raises=[RaiseSite.from_dict(r) for r in data.get("raises", ())],
+            wallclock_sinks=[SinkSite.from_dict(s)
+                             for s in data.get("wallclock_sinks", ())],
+            random_sinks=[SinkSite.from_dict(s)
+                          for s in data.get("random_sinks", ())],
+        )
+
+
+@dataclass
+class ClassSummary:
+    """One top-level class: bases (raw dotted strings) and method names."""
+
+    name: str
+    line: int
+    bases: Tuple[str, ...] = ()
+    methods: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "line": self.line,
+                "bases": list(self.bases), "methods": list(self.methods)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ClassSummary":
+        return cls(name=str(data["name"]), line=int(data.get("line", 0)),
+                   bases=tuple(data.get("bases", ())),
+                   methods=tuple(data.get("methods", ())))
+
+
+@dataclass
+class FileSummary:
+    """Everything the whole-program analysis needs from one parsed file."""
+
+    path: str
+    module: Optional[str]
+    import_aliases: Dict[str, str] = field(default_factory=dict)
+    from_imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    classes: Dict[str, ClassSummary] = field(default_factory=dict)
+    suppressions: Dict[int, List[str]] = field(default_factory=dict)
+    #: Top-level class name -> def line (the event vocabulary when this
+    #: file is ``bus/events.py``).
+    class_lines: Dict[str, int] = field(default_factory=dict)
+    #: Capitalised names instantiated via ``Name(...)`` -> first line.
+    instantiated: Dict[str, int] = field(default_factory=dict)
+    #: Capitalised names referenced in a consumption context (isinstance,
+    #: ``events_of``, ``type(x) is``, except handlers, dict keys).
+    consumed: Dict[str, int] = field(default_factory=dict)
+    #: Other capitalised value references (``X if p else Y`` dispatch).
+    referenced: Dict[str, int] = field(default_factory=dict)
+
+    def suppression_index(self) -> SuppressionIndex:
+        return SuppressionIndex.from_mapping(
+            {line: codes for line, codes in self.suppressions.items()})
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "import_aliases": dict(self.import_aliases),
+            "from_imports": {k: list(v) for k, v in self.from_imports.items()},
+            "functions": {k: v.to_dict() for k, v in self.functions.items()},
+            "classes": {k: v.to_dict() for k, v in self.classes.items()},
+            "suppressions": {str(k): v for k, v in self.suppressions.items()},
+            "class_lines": dict(self.class_lines),
+            "instantiated": dict(self.instantiated),
+            "consumed": dict(self.consumed),
+            "referenced": dict(self.referenced),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FileSummary":
+        return cls(
+            path=str(data["path"]),
+            module=data.get("module"),
+            import_aliases=dict(data.get("import_aliases", {})),
+            from_imports={k: (v[0], v[1])
+                          for k, v in data.get("from_imports", {}).items()},
+            functions={k: FunctionSummary.from_dict(v)
+                       for k, v in data.get("functions", {}).items()},
+            classes={k: ClassSummary.from_dict(v)
+                     for k, v in data.get("classes", {}).items()},
+            suppressions={int(k): list(v)
+                          for k, v in data.get("suppressions", {}).items()},
+            class_lines={k: int(v)
+                         for k, v in data.get("class_lines", {}).items()},
+            instantiated={k: int(v)
+                          for k, v in data.get("instantiated", {}).items()},
+            consumed={k: int(v)
+                      for k, v in data.get("consumed", {}).items()},
+            referenced={k: int(v)
+                        for k, v in data.get("referenced", {}).items()},
+        )
+
+
+# -------------------------------------------------------------- module names
+
+
+def module_name_for(path: str) -> Optional[str]:
+    """Dotted module name of ``path``, walking up the ``__init__.py`` chain.
+
+    ``src/repro/bus/simulator.py`` -> ``repro.bus.simulator`` (assuming
+    ``src/`` itself is not a package).  A package ``__init__.py`` maps to
+    the package name.  Files outside any package map to their bare stem.
+    """
+    absolute = os.path.abspath(path)
+    stem = os.path.splitext(os.path.basename(absolute))[0]
+    parts: List[str] = [] if stem == "__init__" else [stem]
+    directory = os.path.dirname(absolute)
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        parts.append(os.path.basename(directory))
+        parent = os.path.dirname(directory)
+        if parent == directory:  # filesystem root
+            break
+        directory = parent
+    if not parts:
+        return None
+    parts.reverse()
+    return ".".join(parts)
+
+
+def _resolve_relative(module: Optional[str], level: int,
+                      own_module: Optional[str],
+                      is_package: bool) -> Optional[str]:
+    """Absolute module named by ``from <dots><module> import ...``."""
+    if level == 0:
+        return module
+    if own_module is None:
+        return module
+    base_parts = own_module.split(".")
+    if not is_package:
+        base_parts = base_parts[:-1]
+    drop = level - 1
+    if drop > len(base_parts):
+        return module
+    base = base_parts[:len(base_parts) - drop]
+    if module:
+        base = base + module.split(".")
+    return ".".join(base) if base else None
+
+
+# ---------------------------------------------------------------- summarizer
+
+
+_FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+_TRY_NODES: Tuple[type, ...] = tuple(
+    t for t in (getattr(ast, "Try", None), getattr(ast, "TryStar", None))
+    if t is not None
+)
+
+
+def _handler_type_names(handler: ast.ExceptHandler) -> Tuple[str, ...]:
+    """Type names an except handler catches; CATCH_ALL for bare except."""
+    node = handler.type
+    if node is None:
+        return (CATCH_ALL,)
+    items = node.elts if isinstance(node, ast.Tuple) else [node]
+    names: List[str] = []
+    for item in items:
+        parts = _dotted_parts(item)
+        if parts:
+            names.append(parts[-1])
+    return tuple(names) if names else (CATCH_ALL,)
+
+
+def _exception_name(node: Optional[ast.expr]) -> Optional[str]:
+    """The raised exception type's name, when statically knowable."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Call):
+        node = node.func
+    parts = _dotted_parts(node)
+    if parts and parts[-1][:1].isupper():
+        return parts[-1]
+    return None
+
+
+class _Summarizer:
+    """One-pass AST -> :class:`FileSummary` extraction."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        module = module_name_for(path)
+        self.summary = FileSummary(
+            path=path,
+            module=module,
+            suppressions=SuppressionIndex(source.splitlines()).to_mapping(),
+        )
+        self._is_package = path.replace("\\", "/").endswith("__init__.py")
+        self._collect_imports(tree)
+        self._time_aliases = {a for a, m in
+                              self.summary.import_aliases.items()
+                              if m == "time"}
+        self._datetime_aliases = {a for a, m in
+                                  self.summary.import_aliases.items()
+                                  if m == "datetime"}
+        self._random_aliases = {a for a, m in
+                                self.summary.import_aliases.items()
+                                if m == "random"}
+        for node in tree.body:
+            if isinstance(node, _FunctionNode):
+                self._summarize_function(node, prefix="")
+            elif isinstance(node, ast.ClassDef):
+                self._summarize_class(node)
+        self._collect_event_evidence(tree)
+
+    # ------------------------------------------------------------ imports
+
+    def _collect_imports(self, tree: ast.Module) -> None:
+        own = self.summary.module
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.summary.import_aliases[
+                        alias.asname or alias.name.split(".")[0]
+                    ] = alias.name if alias.asname else alias.name.split(".")[0]
+                    if alias.asname:
+                        self.summary.import_aliases[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                module = _resolve_relative(node.module, node.level, own,
+                                           self._is_package)
+                if module is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.summary.from_imports[
+                        alias.asname or alias.name] = (module, alias.name)
+
+    # ------------------------------------------------------------ classes
+
+    def _summarize_class(self, node: ast.ClassDef) -> None:
+        bases: List[str] = []
+        for base in node.bases:
+            parts = _dotted_parts(base)
+            if parts:
+                bases.append(".".join(parts))
+        methods = [item.name for item in node.body
+                   if isinstance(item, _FunctionNode)]
+        self.summary.classes[node.name] = ClassSummary(
+            name=node.name, line=node.lineno,
+            bases=tuple(bases), methods=tuple(methods))
+        self.summary.class_lines[node.name] = node.lineno
+        for item in node.body:
+            if isinstance(item, _FunctionNode):
+                self._summarize_function(item, prefix=node.name + ".")
+
+    # ---------------------------------------------------------- functions
+
+    def _summarize_function(self, node: ast.AST, prefix: str) -> None:
+        assert isinstance(node, _FunctionNode)
+        qualname = prefix + node.name
+        fn = FunctionSummary(qualname=qualname, line=node.lineno)
+        self.summary.functions[qualname] = fn
+        self._walk_statements(node.body, fn, guards=(), caught=())
+
+    def _walk_statements(self, stmts: Sequence[ast.stmt],
+                         fn: FunctionSummary,
+                         guards: Tuple[str, ...],
+                         caught: Tuple[str, ...]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, _FunctionNode):
+                self._summarize_function(stmt, prefix=fn.qualname + ".")
+            elif isinstance(stmt, ast.ClassDef):
+                continue  # nested classes: out of scope
+            elif isinstance(stmt, _TRY_NODES):
+                handler_union: List[str] = []
+                for handler in stmt.handlers:
+                    handler_union.extend(_handler_type_names(handler))
+                inner = guards + tuple(handler_union)
+                self._walk_statements(stmt.body, fn, inner, caught)
+                for handler in stmt.handlers:
+                    self._walk_statements(
+                        handler.body, fn, guards,
+                        caught=_handler_type_names(handler))
+                self._walk_statements(stmt.orelse, fn, guards, caught)
+                self._walk_statements(stmt.finalbody, fn, guards, caught)
+            elif isinstance(stmt, ast.Raise):
+                self._record_raise(stmt, fn, guards, caught)
+            elif isinstance(stmt, (ast.If, ast.While)):
+                self._scan_expression(stmt.test, fn, guards)
+                self._walk_statements(stmt.body, fn, guards, caught)
+                self._walk_statements(stmt.orelse, fn, guards, caught)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._scan_expression(stmt.iter, fn, guards)
+                self._walk_statements(stmt.body, fn, guards, caught)
+                self._walk_statements(stmt.orelse, fn, guards, caught)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    self._scan_expression(item.context_expr, fn, guards)
+                self._walk_statements(stmt.body, fn, guards, caught)
+            elif isinstance(stmt, ast.Match):
+                self._scan_expression(stmt.subject, fn, guards)
+                for case in stmt.cases:
+                    if case.guard is not None:
+                        self._scan_expression(case.guard, fn, guards)
+                    self._walk_statements(case.body, fn, guards, caught)
+            else:
+                self._scan_expression(stmt, fn, guards)
+
+    def _record_raise(self, stmt: ast.Raise, fn: FunctionSummary,
+                      guards: Tuple[str, ...],
+                      caught: Tuple[str, ...]) -> None:
+        if stmt.exc is not None:
+            self._scan_expression(stmt.exc, fn, guards)
+        fn.raises.append(RaiseSite(
+            exception=_exception_name(stmt.exc),
+            line=stmt.lineno,
+            guards=guards,
+            handler_types=caught if stmt.exc is None else (),
+        ))
+
+    def _scan_expression(self, node: ast.AST, fn: FunctionSummary,
+                         guards: Tuple[str, ...]) -> None:
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            parts = _dotted_parts(sub.func)
+            if not parts:
+                continue
+            fn.calls.append(CallSite(parts=tuple(parts), line=sub.lineno,
+                                     guards=guards))
+            self._classify_sink(sub, parts, fn)
+
+    def _classify_sink(self, call: ast.Call, parts: List[str],
+                       fn: FunctionSummary) -> None:
+        dotted = ".".join(parts)
+        sink = SinkSite(line=call.lineno, column=call.col_offset,
+                        description=f"{dotted}()")
+        if len(parts) >= 2 and parts[0] in self._time_aliases \
+                and parts[1] in _TIME_FUNCS:
+            fn.wallclock_sinks.append(sink)
+        elif parts[0] in self._datetime_aliases \
+                and parts[-1] in _DATETIME_FACTORIES:
+            fn.wallclock_sinks.append(sink)
+        elif len(parts) == 1:
+            target = self.summary.from_imports.get(parts[0])
+            if target == ("time", parts[0]) or (
+                    target is not None and target[0] == "time"
+                    and target[1] in _TIME_FUNCS):
+                fn.wallclock_sinks.append(sink)
+            elif target is not None and target[0] == "datetime" \
+                    and target[1] in _DATETIME_FACTORIES:
+                fn.wallclock_sinks.append(sink)
+            elif target is not None and target[0] == "random" and (
+                    target[1] in _GLOBAL_RNG_FUNCS
+                    or target[1] == "SystemRandom"):
+                fn.random_sinks.append(sink)
+        elif len(parts) == 2 and parts[0] in self._random_aliases:
+            if parts[1] in _GLOBAL_RNG_FUNCS or parts[1] == "SystemRandom":
+                fn.random_sinks.append(sink)
+            elif parts[1] == "Random" and not call.args and not call.keywords:
+                fn.random_sinks.append(SinkSite(
+                    line=call.lineno, column=call.col_offset,
+                    description=f"{dotted}() without a seed"))
+
+    # ------------------------------------------------------ event evidence
+
+    def _collect_event_evidence(self, tree: ast.Module) -> None:
+        """Classify capitalised name references as instantiation evidence,
+        consumption evidence, or plain value references.
+
+        Annotation subtrees and class base lists are excluded — a type
+        annotation mentioning an event class is neither an emission nor a
+        consumption of it.
+        """
+        claimed: Set[int] = set()  # id() of Name nodes already classified
+
+        def note(mapping: Dict[str, int], name_node: ast.Name) -> None:
+            claimed.add(id(name_node))
+            mapping.setdefault(name_node.id, name_node.lineno)
+
+        def capitalised(node: ast.AST) -> Optional[ast.Name]:
+            if isinstance(node, ast.Name) and node.id[:1].isupper():
+                return node
+            return None
+
+        skip: Set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, _FunctionNode):
+                for arg in (list(node.args.args) + list(node.args.posonlyargs)
+                            + list(node.args.kwonlyargs)
+                            + [a for a in (node.args.vararg, node.args.kwarg)
+                               if a is not None]):
+                    if arg.annotation is not None:
+                        skip.update(id(n) for n in ast.walk(arg.annotation))
+                if node.returns is not None:
+                    skip.update(id(n) for n in ast.walk(node.returns))
+            elif isinstance(node, ast.AnnAssign):
+                skip.update(id(n) for n in ast.walk(node.annotation))
+            elif isinstance(node, ast.ClassDef):
+                for base in node.bases:
+                    skip.update(id(n) for n in ast.walk(base))
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                parts = _dotted_parts(node.func)
+                ctor = capitalised(node.func)
+                if ctor is not None:
+                    note(self.summary.instantiated, ctor)
+                if parts and parts[-1] == "events_of":
+                    for arg in node.args:
+                        name = capitalised(arg)
+                        if name is not None:
+                            note(self.summary.consumed, name)
+                if parts and parts[-1] == "isinstance" and len(node.args) == 2:
+                    spec = node.args[1]
+                    items = (spec.elts if isinstance(spec, ast.Tuple)
+                             else [spec])
+                    for item in items:
+                        name = capitalised(item)
+                        if name is not None:
+                            note(self.summary.consumed, name)
+            elif isinstance(node, ast.Compare):
+                if any(isinstance(op, (ast.Is, ast.IsNot, ast.Eq, ast.NotEq))
+                       for op in node.ops):
+                    for operand in [node.left, *node.comparators]:
+                        name = capitalised(operand)
+                        if name is not None:
+                            note(self.summary.consumed, name)
+            elif isinstance(node, ast.ExceptHandler) and node.type is not None:
+                items = (node.type.elts if isinstance(node.type, ast.Tuple)
+                         else [node.type])
+                for item in items:
+                    name = capitalised(item)
+                    if name is not None:
+                        note(self.summary.consumed, name)
+            elif isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if key is None:
+                        continue
+                    name = capitalised(key)
+                    if name is not None:
+                        note(self.summary.consumed, name)
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name) and node.id[:1].isupper() \
+                    and isinstance(node.ctx, ast.Load) \
+                    and id(node) not in claimed and id(node) not in skip:
+                self.summary.referenced.setdefault(node.id, node.lineno)
+
+
+def summarize_source(source: str, path: str) -> FileSummary:
+    """Parse one source blob into its :class:`FileSummary`.
+
+    Raises ``SyntaxError`` for unparseable input — callers decide whether
+    that is fatal (the lint engine already reports RC100 for it).
+    """
+    tree = ast.parse(source)
+    return _Summarizer(path, source, tree).summary
+
+
+# --------------------------------------------------------------------- cache
+
+
+class AnalysisCache:
+    """Mtime-keyed on-disk cache for file summaries and lint findings.
+
+    One JSON document maps absolute file paths to ``(mtime_ns, size)``
+    validated entries holding the parsed :class:`FileSummary` and, per
+    rule-set key, the per-file lint findings.  The cache is strictly
+    advisory: unreadable, corrupted, stale or version-skewed content is
+    discarded silently (a cold run), and a failed write never raises.
+    """
+
+    def __init__(self, path: str = DEFAULT_CACHE_PATH) -> None:
+        self.path = path
+        self._files: Dict[str, Dict[str, Any]] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    # ----------------------------------------------------------- load/save
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict) \
+                or data.get("schema_version") != CACHE_SCHEMA_VERSION:
+            return
+        files = data.get("files")
+        if isinstance(files, dict):
+            self._files = {
+                str(path): entry for path, entry in files.items()
+                if isinstance(entry, dict)
+            }
+
+    def save(self) -> None:
+        """Atomically persist the cache (tmp file + rename); best-effort."""
+        if not self._dirty:
+            return
+        payload = json.dumps({
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "files": self._files,
+        }, sort_keys=True)
+        directory = os.path.dirname(self.path) or "."
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=directory, prefix=".lint-cache-", suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(payload)
+                os.replace(tmp_path, self.path)
+            finally:
+                if os.path.exists(tmp_path):
+                    try:
+                        os.unlink(tmp_path)
+                    except OSError:
+                        pass
+        except OSError:
+            return
+        self._dirty = False
+
+    # ------------------------------------------------------------- entries
+
+    @staticmethod
+    def _key(path: str) -> str:
+        return os.path.abspath(path)
+
+    def _valid_entry(self, path: str) -> Optional[Dict[str, Any]]:
+        entry = self._files.get(self._key(path))
+        if entry is None:
+            return None
+        try:
+            stat = os.stat(path)
+        except OSError:
+            return None
+        if entry.get("mtime_ns") != stat.st_mtime_ns \
+                or entry.get("size") != stat.st_size:
+            return None
+        return entry
+
+    def _fresh_entry(self, path: str) -> Optional[Dict[str, Any]]:
+        """The (possibly new) entry for the file's *current* stat, dropping
+        any stale content."""
+        try:
+            stat = os.stat(path)
+        except OSError:
+            return None
+        key = self._key(path)
+        entry = self._files.get(key)
+        if entry is None or entry.get("mtime_ns") != stat.st_mtime_ns \
+                or entry.get("size") != stat.st_size:
+            entry = {"mtime_ns": stat.st_mtime_ns, "size": stat.st_size}
+            self._files[key] = entry
+        return entry
+
+    # ------------------------------------------------------------ summaries
+
+    def get_summary(self, path: str) -> Optional[FileSummary]:
+        entry = self._valid_entry(path)
+        if entry is None or entry.get(
+                "summary_version") != SUMMARY_SCHEMA_VERSION:
+            self.misses += 1
+            return None
+        raw = entry.get("summary")
+        if not isinstance(raw, dict):
+            self.misses += 1
+            return None
+        try:
+            summary = FileSummary.from_dict(raw)
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        # Findings must report the path as the caller spelled it.
+        summary.path = path
+        return summary
+
+    def put_summary(self, path: str, summary: FileSummary) -> None:
+        entry = self._fresh_entry(path)
+        if entry is None:
+            return
+        entry["summary_version"] = SUMMARY_SCHEMA_VERSION
+        entry["summary"] = summary.to_dict()
+        self._dirty = True
+
+    # ------------------------------------------------------------- findings
+
+    def get_findings(self, path: str,
+                     rules_key: str) -> Optional[Tuple[List[Dict[str, Any]],
+                                                       int]]:
+        entry = self._valid_entry(path)
+        if entry is None:
+            self.misses += 1
+            return None
+        lint = entry.get("lint")
+        if not isinstance(lint, dict) or rules_key not in lint:
+            self.misses += 1
+            return None
+        cached = lint[rules_key]
+        if not isinstance(cached, dict) \
+                or not isinstance(cached.get("findings"), list):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return cached["findings"], int(cached.get("suppressed", 0))
+
+    def put_findings(self, path: str, rules_key: str,
+                     findings: List[Dict[str, Any]],
+                     suppressed: int) -> None:
+        entry = self._fresh_entry(path)
+        if entry is None:
+            return
+        lint = entry.setdefault("lint", {})
+        lint[rules_key] = {"findings": findings, "suppressed": suppressed}
+        self._dirty = True
+
+
+def rules_cache_key(codes: Sequence[str],
+                    vocabulary: Optional[Iterable[str]]) -> str:
+    """Stable key for one (rule set, event vocabulary) configuration."""
+    vocab = ",".join(sorted(vocabulary)) if vocabulary is not None else "-"
+    blob = ",".join(sorted(codes)) + "|" + vocab
+    return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:16]
+
+
+# ------------------------------------------------------------------- project
+
+
+#: A call-graph node: (file path, function qualname).
+NodeKey = Tuple[str, str]
+
+
+class Project:
+    """All file summaries of one tree, with the cross-file indexes."""
+
+    def __init__(self, summaries: Mapping[str, FileSummary]) -> None:
+        self.summaries: Dict[str, FileSummary] = dict(summaries)
+        self.modules: Dict[str, str] = {}
+        for path, summary in self.summaries.items():
+            if summary.module is not None:
+                self.modules[summary.module] = path
+        #: class name -> [(path, class name)] (cross-file, by simple name).
+        self.class_index: Dict[str, List[Tuple[str, str]]] = {}
+        #: method name -> [(path, qualname)] over all class methods.
+        self.method_index: Dict[str, List[NodeKey]] = {}
+        for path, summary in self.summaries.items():
+            for cls in summary.classes.values():
+                self.class_index.setdefault(cls.name, []).append(
+                    (path, cls.name))
+                for method in cls.methods:
+                    self.method_index.setdefault(method, []).append(
+                        (path, f"{cls.name}.{method}"))
+        self._ancestors: Dict[Tuple[str, str], Set[Tuple[str, str]]] = {}
+        self._descendants: Dict[Tuple[str, str], Set[Tuple[str, str]]] = {}
+        self._build_hierarchy()
+        self._exception_ancestors = self._build_exception_names()
+
+    # ----------------------------------------------------------- hierarchy
+
+    def _resolve_base(self, path: str, summary: FileSummary,
+                      base: str) -> List[Tuple[str, str]]:
+        parts = base.split(".")
+        if len(parts) == 1:
+            if base in summary.classes:
+                return [(path, base)]
+            target = summary.from_imports.get(base)
+            if target is not None:
+                module_path = self.modules.get(target[0])
+                if module_path is not None:
+                    module_summary = self.summaries[module_path]
+                    if target[1] in module_summary.classes:
+                        return [(module_path, target[1])]
+        return self.class_index.get(parts[-1], [])
+
+    def _build_hierarchy(self) -> None:
+        parents: Dict[Tuple[str, str], Set[Tuple[str, str]]] = {}
+        for path, summary in self.summaries.items():
+            for cls in summary.classes.values():
+                key = (path, cls.name)
+                parents[key] = set()
+                for base in cls.bases:
+                    for parent in self._resolve_base(path, summary, base):
+                        if parent != key:
+                            parents[key].add(parent)
+        for key in parents:
+            ancestors: Set[Tuple[str, str]] = set()
+            frontier = list(parents[key])
+            while frontier:
+                parent = frontier.pop()
+                if parent in ancestors:
+                    continue
+                ancestors.add(parent)
+                frontier.extend(parents.get(parent, ()))
+            self._ancestors[key] = ancestors
+            for ancestor in ancestors:
+                self._descendants.setdefault(ancestor, set()).add(key)
+
+    def related_classes(self, path: str,
+                        cls: str) -> Set[Tuple[str, str]]:
+        """The dispatch family of a class: itself, ancestors, descendants."""
+        key = (path, cls)
+        related = {key}
+        related |= self._ancestors.get(key, set())
+        related |= self._descendants.get(key, set())
+        return related
+
+    # ------------------------------------------------- exception hierarchy
+
+    def _build_exception_names(self) -> Dict[str, FrozenSet[str]]:
+        base_names: Dict[str, Set[str]] = {}
+        for summary in self.summaries.values():
+            for cls in summary.classes.values():
+                base_names.setdefault(cls.name, set()).update(
+                    base.split(".")[-1] for base in cls.bases)
+        closure: Dict[str, FrozenSet[str]] = {}
+        for name in base_names:
+            seen: Set[str] = set()
+            frontier = list(base_names.get(name, ()))
+            while frontier:
+                parent = frontier.pop()
+                if parent in seen:
+                    continue
+                seen.add(parent)
+                frontier.extend(base_names.get(parent, ()))
+            closure[name] = frozenset(seen)
+        return closure
+
+    def exception_family(self, root: str) -> FrozenSet[str]:
+        """``root`` plus every project class transitively deriving from it
+        (by name) — e.g. the injected-fault exception taxonomy."""
+        family = {root}
+        for name, ancestors in self._exception_ancestors.items():
+            if root in ancestors:
+                family.add(name)
+        return frozenset(family)
+
+    def guard_covers(self, guard: str, exception: str) -> bool:
+        """Does ``except <guard>`` catch an ``exception`` instance?"""
+        if guard in (CATCH_ALL, "BaseException") or guard == exception:
+            return True
+        ancestors = self._exception_ancestors.get(exception)
+        if ancestors is not None:
+            return guard in ancestors or (
+                guard == "Exception"
+                and not ancestors & _NON_EXCEPTION_BUILTINS)
+        return guard == "Exception" \
+            and exception not in _NON_EXCEPTION_BUILTINS
+
+    def guards_cover(self, guards: Iterable[str], exception: str) -> bool:
+        return any(self.guard_covers(guard, exception) for guard in guards)
+
+    # ----------------------------------------------------------- functions
+
+    def function(self, key: NodeKey) -> Optional[FunctionSummary]:
+        summary = self.summaries.get(key[0])
+        if summary is None:
+            return None
+        return summary.functions.get(key[1])
+
+    def find_functions(self, path_suffix: str,
+                       names: Iterable[str],
+                       match_qualname: bool = False) -> List[NodeKey]:
+        """Functions whose file path ends with ``path_suffix`` and whose
+        (last-segment or full) qualname is in ``names``."""
+        wanted = set(names)
+        found: List[NodeKey] = []
+        suffix = path_suffix.replace("\\", "/")
+        for path, summary in self.summaries.items():
+            if not path.replace("\\", "/").endswith(suffix):
+                continue
+            for qualname in summary.functions:
+                name = qualname if match_qualname \
+                    else qualname.rsplit(".", 1)[-1]
+                if name in wanted:
+                    found.append((path, qualname))
+        return sorted(found)
+
+
+def load_project(files: Sequence[str],
+                 cache: Optional[AnalysisCache] = None) -> Project:
+    """Summarize ``files`` (cache-aware) and build the :class:`Project`.
+
+    Unreadable or unparseable files are skipped — the per-file lint rules
+    already report those as RC100.
+    """
+    summaries: Dict[str, FileSummary] = {}
+    for path in files:
+        summary = cache.get_summary(path) if cache is not None else None
+        if summary is None:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+                summary = summarize_source(source, path)
+            except (OSError, SyntaxError):
+                continue
+            if cache is not None:
+                cache.put_summary(path, summary)
+        summaries[path] = summary
+    return Project(summaries)
+
+
+# ---------------------------------------------------------------- call graph
+
+
+class CallGraph:
+    """The resolved project call graph: edges, reachability, escapes."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        #: caller -> [(callee, the call site that creates the edge)]
+        self.edges: Dict[NodeKey, List[Tuple[NodeKey, CallSite]]] = {}
+        for path, summary in project.summaries.items():
+            for qualname, fn in summary.functions.items():
+                caller = (path, qualname)
+                out: List[Tuple[NodeKey, CallSite]] = []
+                for site in fn.calls:
+                    for callee in self._resolve_call(path, summary,
+                                                     qualname, site):
+                        out.append((callee, site))
+                self.edges[caller] = out
+
+    # ---------------------------------------------------------- resolution
+
+    def _enclosing_class(self, summary: FileSummary,
+                         qualname: str) -> Optional[str]:
+        head = qualname.split(".", 1)[0]
+        return head if head in summary.classes else None
+
+    def _module_member(self, module_path: str,
+                       name: str) -> List[NodeKey]:
+        summary = self.project.summaries[module_path]
+        if name in summary.functions:
+            return [(module_path, name)]
+        if name in summary.classes:
+            return self._class_constructor(module_path, name)
+        return []
+
+    def _class_constructor(self, path: str, cls: str) -> List[NodeKey]:
+        init = f"{cls}.__init__"
+        summary = self.project.summaries[path]
+        if init in summary.functions:
+            return [(path, init)]
+        # Synthesized __init__ (dataclass) — inherit the nearest defined one.
+        for ancestor_path, ancestor in sorted(
+                self.project._ancestors.get((path, cls), ())):
+            candidate = f"{ancestor}.__init__"
+            if candidate in self.project.summaries[
+                    ancestor_path].functions:
+                return [(ancestor_path, candidate)]
+        return []
+
+    def _hierarchy_methods(self, path: str, cls: str, method: str,
+                           include_ancestors: bool = True) -> List[NodeKey]:
+        keys: List[NodeKey] = []
+        family = self.project.related_classes(path, cls) \
+            if include_ancestors else (
+                {(path, cls)} | self.project._descendants.get(
+                    (path, cls), set()))
+        for family_path, family_cls in sorted(family):
+            qualname = f"{family_cls}.{method}"
+            if qualname in self.project.summaries[family_path].functions:
+                keys.append((family_path, qualname))
+        return keys
+
+    def _module_alias_targets(self, summary: FileSummary,
+                              parts: Tuple[str, ...]) -> List[NodeKey]:
+        """Resolve ``alias.x.y()`` where ``alias`` names an imported
+        module (or package); tries the longest module prefix first."""
+        base = summary.import_aliases.get(parts[0])
+        if base is None:
+            target = summary.from_imports.get(parts[0])
+            if target is None:
+                return []
+            dotted = f"{target[0]}.{target[1]}"
+            if dotted not in self.project.modules:
+                return []
+            base = dotted
+        for split in range(len(parts) - 1, 0, -1):
+            module = base if split == 1 else \
+                base + "." + ".".join(parts[1:split])
+            module_path = self.project.modules.get(module)
+            if module_path is None:
+                continue
+            remainder = parts[split:]
+            if len(remainder) == 1:
+                return self._module_member(module_path, remainder[0])
+            if len(remainder) == 2:
+                module_summary = self.project.summaries[module_path]
+                if remainder[0] in module_summary.classes:
+                    return self._hierarchy_methods(
+                        module_path, remainder[0], remainder[1],
+                        include_ancestors=False)
+            return []
+        return []
+
+    def _resolve_call(self, path: str, summary: FileSummary,
+                      qualname: str, site: CallSite) -> List[NodeKey]:
+        parts = site.parts
+        if len(parts) == 1:
+            name = parts[0]
+            # A nested function of this function or an enclosing one.
+            prefix_parts = qualname.split(".")
+            for depth in range(len(prefix_parts), 0, -1):
+                nested = ".".join(prefix_parts[:depth]) + "." + name
+                if nested in summary.functions:
+                    return [(path, nested)]
+            if name in summary.functions:
+                return [(path, name)]
+            if name in summary.classes:
+                return self._class_constructor(path, name)
+            target = summary.from_imports.get(name)
+            if target is not None:
+                module_path = self.project.modules.get(target[0])
+                if module_path is not None:
+                    return self._module_member(module_path, target[1])
+            return []
+
+        if parts[0] in ("self", "cls"):
+            cls = self._enclosing_class(summary, qualname)
+            if cls is not None and len(parts) == 2:
+                resolved = self._hierarchy_methods(path, cls, parts[1])
+                if resolved:
+                    return resolved
+            return self._fallback(parts)
+
+        alias_targets = self._module_alias_targets(summary, parts)
+        if alias_targets:
+            return alias_targets
+
+        if len(parts) == 2:
+            # Cls.method() through a locally known class name.
+            if parts[0] in summary.classes:
+                resolved = self._hierarchy_methods(
+                    path, parts[0], parts[1], include_ancestors=False)
+                if resolved:
+                    return resolved
+            target = summary.from_imports.get(parts[0])
+            if target is not None:
+                module_path = self.project.modules.get(target[0])
+                if module_path is not None and target[1] in \
+                        self.project.summaries[module_path].classes:
+                    resolved = self._hierarchy_methods(
+                        module_path, target[1], parts[1],
+                        include_ancestors=False)
+                    if resolved:
+                        return resolved
+
+        return self._fallback(parts)
+
+    def _fallback(self, parts: Tuple[str, ...]) -> List[NodeKey]:
+        """Name-based over-approximation for unresolvable ``obj.m()``."""
+        method = parts[-1]
+        if method in _BUILTIN_METHOD_NAMES:
+            return []
+        return list(self.project.method_index.get(method, ()))
+
+    # -------------------------------------------------------- reachability
+
+    def reachable_from(
+        self, entries: Sequence[NodeKey],
+    ) -> Dict[NodeKey, Optional[Tuple[NodeKey, CallSite]]]:
+        """BFS closure from ``entries``.
+
+        Returns ``node -> (parent, call site)`` parent pointers (entries
+        map to ``None``); breadth-first order makes every recovered chain
+        a shortest witness.
+        """
+        parents: Dict[NodeKey, Optional[Tuple[NodeKey, CallSite]]] = {}
+        frontier: List[NodeKey] = []
+        for entry in entries:
+            if entry not in parents:
+                parents[entry] = None
+                frontier.append(entry)
+        head = 0
+        while head < len(frontier):
+            node = frontier[head]
+            head += 1
+            for callee, site in self.edges.get(node, ()):
+                if callee not in parents:
+                    parents[callee] = (node, site)
+                    frontier.append(callee)
+        return parents
+
+    @staticmethod
+    def call_chain(
+        parents: Mapping[NodeKey, Optional[Tuple[NodeKey, CallSite]]],
+        node: NodeKey,
+    ) -> List[NodeKey]:
+        """Entry-to-node witness chain recovered from BFS parent pointers."""
+        chain = [node]
+        seen = {node}
+        cursor: Optional[Tuple[NodeKey, CallSite]] = parents.get(node)
+        while cursor is not None:
+            parent = cursor[0]
+            if parent in seen:  # defensive: parent maps cannot cycle
+                break
+            chain.append(parent)
+            seen.add(parent)
+            cursor = parents.get(parent)
+        chain.reverse()
+        return chain
+
+    # ------------------------------------------------------------- escapes
+
+    def escaping_exceptions(
+        self,
+    ) -> Dict[NodeKey, FrozenSet[Tuple[str, str, int]]]:
+        """Fixpoint escape analysis: for every function, the set of
+        ``(exception name, origin path, origin line)`` triples that can
+        propagate out of it uncaught.
+
+        A raise site escapes unless an enclosing handler covers its type;
+        a callee's escaping exceptions flow through each call site unless
+        the site's enclosing handlers cover them.  Monotone over a finite
+        lattice, so iteration terminates.
+        """
+        project = self.project
+        escaping: Dict[NodeKey, Set[Tuple[str, str, int]]] = {}
+        for path, summary in project.summaries.items():
+            for qualname, fn in summary.functions.items():
+                base: Set[Tuple[str, str, int]] = set()
+                for site in fn.raises:
+                    names = ([site.exception] if site.exception is not None
+                             else [name for name in site.handler_types
+                                   if name != CATCH_ALL])
+                    for name in names:
+                        if not project.guards_cover(site.guards, name):
+                            base.add((name, path, site.line))
+                escaping[(path, qualname)] = base
+
+        changed = True
+        while changed:
+            changed = False
+            for caller, out_edges in self.edges.items():
+                current = escaping[caller]
+                for callee, site in out_edges:
+                    for triple in escaping.get(callee, ()):
+                        if triple in current:
+                            continue
+                        if project.guards_cover(site.guards, triple[0]):
+                            continue
+                        current.add(triple)
+                        changed = True
+        return {key: frozenset(value) for key, value in escaping.items()}
+
+
+def build_call_graph(files: Sequence[str],
+                     cache: Optional[AnalysisCache] = None) -> CallGraph:
+    """Summarize ``files`` and resolve them into a :class:`CallGraph`."""
+    return CallGraph(load_project(files, cache=cache))

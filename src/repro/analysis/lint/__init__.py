@@ -1,9 +1,18 @@
 """Domain-aware static analyzer: AST lint rules + ``repro lint``.
 
-See :mod:`repro.analysis.lint.rules` for the rule catalogue (RC1xx codes)
-and ``docs/static-analysis.md`` for the user-facing guide.
+See :mod:`repro.analysis.lint.rules` for the per-file rule catalogue
+(RC1xx codes), :mod:`repro.analysis.lint.deep` for the interprocedural
+rules (RC2xx, ``repro lint --deep``), and ``docs/static-analysis.md`` /
+``docs/whole-program-analysis.md`` for the user-facing guides.
 """
 
+from repro.analysis.lint.deep import (
+    DEEP_RULES,
+    DeepRule,
+    deep_rule_catalogue,
+    deep_rule_codes,
+    run_deep_rules,
+)
 from repro.analysis.lint.engine import (
     collect_python_files,
     lint_paths,
@@ -17,7 +26,9 @@ from repro.analysis.lint.findings import (
     Severity,
 )
 from repro.analysis.lint.registry import (
+    ENGINE_PATH_FILES,
     ENGINE_PATH_SEGMENTS,
+    PERSISTED_PATH_FILES,
     LintRule,
     ModuleContext,
     SharedContext,
@@ -29,16 +40,22 @@ from repro.analysis.lint.registry import (
 from repro.analysis.lint.suppressions import SuppressionIndex
 
 __all__ = [
+    "DEEP_RULES",
+    "DeepRule",
+    "ENGINE_PATH_FILES",
     "ENGINE_PATH_SEGMENTS",
     "Finding",
     "LINT_REPORT_SCHEMA_VERSION",
     "LintReport",
     "LintRule",
     "ModuleContext",
+    "PERSISTED_PATH_FILES",
     "Severity",
     "SharedContext",
     "SuppressionIndex",
     "collect_python_files",
+    "deep_rule_catalogue",
+    "deep_rule_codes",
     "get_rule",
     "lint_paths",
     "lint_source",
@@ -46,4 +63,5 @@ __all__ = [
     "rule",
     "rule_catalogue",
     "rule_codes",
+    "run_deep_rules",
 ]

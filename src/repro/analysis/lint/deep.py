@@ -1,0 +1,336 @@
+"""Interprocedural (whole-program) rules: RC201–RC205.
+
+The per-file rules in :mod:`repro.analysis.lint.rules` only see one module
+at a time, so a wall-clock read hiding two call hops below the simulator
+step loop passes them.  These rules run on the project call graph
+(:mod:`repro.analysis.callgraph`) instead:
+
+========  =======================  ==========================================
+RC201     deep-no-wallclock        a wall-clock read is *transitively*
+                                   reachable from the simulator step loop or
+                                   the firmware ISR
+RC202     deep-no-unseeded-random  unseeded randomness is transitively
+                                   reachable from the same entry points
+RC203     fault-containment        an injected-fault exception can propagate
+                                   uncaught past the campaign run boundary
+RC204     event-never-consumed     a ``bus/events.py`` class is emitted (or
+                                   defined) but nothing ever consumes it
+RC205     event-never-emitted      a ``bus/events.py`` class is consumed but
+                                   nothing ever emits it
+========  =======================  ==========================================
+
+Findings anchor at the *sink* (the offending call, the raise site, the
+class definition), never at the transitive caller — so a
+``# repro: noqa[RC201]`` suppression lives next to the code that needs the
+exemption, and callers stay clean.
+
+On fault containment (RC203): :class:`~repro.bus.simulator.Simulator.run`
+deliberately lets :class:`~repro.errors.InjectedFaultError` propagate —
+that is how a crash fault reaches the harness.  The boundary that must be
+tight is the campaign's: ``Campaign.run`` (serial path) and
+``_subprocess_worker`` (process path) must catch every injected-fault
+exception, or one chaotic spec takes down the whole campaign instead of
+producing a failure record.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint.findings import Finding
+
+if TYPE_CHECKING:  # imported lazily at runtime: callgraph imports this
+    # package's rule helpers, so a module-level import would be circular.
+    from repro.analysis.callgraph import (
+        AnalysisCache,
+        CallGraph,
+        FileSummary,
+        NodeKey,
+        Project,
+    )
+
+#: Entry points of the deterministic hot path, matched by normalized path
+#: suffix + the final segment of the function qualname.  ``step`` is listed
+#: even though ``run`` dispatches to it because ``run``'s fast loop binds
+#: node methods to bare names (statically unresolvable); the fan-out to
+#: node ``output``/``observe`` implementations is only visible via ``step``.
+ENTRY_SPECS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("bus/simulator.py", ("run", "run_until", "step")),
+    ("core/detection.py", ("handler",)),
+)
+
+#: Exception boundaries for RC203, matched by path suffix + *full*
+#: qualname: no injected-fault exception may escape these uncaught.
+FAULT_BOUNDARY_SPECS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("experiments/campaign.py", ("Campaign.run", "_subprocess_worker")),
+)
+
+#: Root of the injected-fault exception taxonomy (plus name-resolved
+#: subclasses found in the project).
+FAULT_EXCEPTION_ROOT = "InjectedFaultError"
+
+
+@dataclass(frozen=True)
+class DeepRule:
+    """Catalogue metadata for one interprocedural rule."""
+
+    code: str
+    name: str
+    summary: str
+
+
+DEEP_RULES: Tuple[DeepRule, ...] = (
+    DeepRule("RC201", "deep-no-wallclock",
+             "no wall-clock read transitively reachable from the simulator "
+             "step loop or firmware ISR"),
+    DeepRule("RC202", "deep-no-unseeded-random",
+             "no unseeded randomness transitively reachable from the "
+             "simulator step loop or firmware ISR"),
+    DeepRule("RC203", "fault-containment",
+             "no injected-fault exception escapes the campaign run "
+             "boundary uncaught"),
+    DeepRule("RC204", "event-never-consumed",
+             "every bus/events.py class is consumed somewhere"),
+    DeepRule("RC205", "event-never-emitted",
+             "every consumed bus/events.py class is emitted somewhere"),
+)
+
+
+def deep_rule_codes() -> List[str]:
+    """All interprocedural rule codes, sorted."""
+    return sorted(rule.code for rule in DEEP_RULES)
+
+
+def deep_rule_catalogue() -> Tuple[DeepRule, ...]:
+    """The interprocedural rules, for ``--list-rules`` and docs."""
+    return DEEP_RULES
+
+
+_GRAPH_CODES = frozenset({"RC201", "RC202", "RC203"})
+
+
+# ----------------------------------------------------------- project scope
+
+
+def expand_project_files(files: Sequence[str]) -> List[str]:
+    """The graph's file set: ``files`` plus the rest of every package they
+    belong to.
+
+    Interprocedural facts need the whole program: linting a single module
+    must still see its callers and callees.  Each requested file's
+    enclosing top-level package (found by walking the ``__init__.py``
+    chain upward) is walked in full; requested spellings win over the
+    expansion's so findings keep the paths the user typed.
+    """
+    from repro.analysis.lint.engine import collect_python_files
+
+    known = {os.path.abspath(path) for path in files}
+    roots: Set[str] = set()
+    for path in files:
+        directory = os.path.dirname(os.path.abspath(path))
+        top: Optional[str] = None
+        while os.path.isfile(os.path.join(directory, "__init__.py")):
+            top = directory
+            parent = os.path.dirname(directory)
+            if parent == directory:
+                break
+            directory = parent
+        if top is not None:
+            roots.add(top)
+    merged = list(files)
+    for path in collect_python_files(sorted(roots)):
+        absolute = os.path.abspath(path)
+        if absolute not in known:
+            known.add(absolute)
+            merged.append(path)
+    return merged
+
+
+# ------------------------------------------------------------- rule bodies
+
+
+def _entry_points(project: Project) -> List[NodeKey]:
+    entries: List[NodeKey] = []
+    for suffix, names in ENTRY_SPECS:
+        entries.extend(project.find_functions(suffix, names))
+    return entries
+
+
+def _chain_text(graph: CallGraph, parents, node: NodeKey) -> str:
+    chain = graph.call_chain(parents, node)
+    return " -> ".join(qualname for _, qualname in chain)
+
+
+def _reachable_sink_findings(graph: CallGraph, codes: Set[str],
+                             ) -> List[Finding]:
+    entries = _entry_points(graph.project)
+    if not entries:
+        return []
+    parents = graph.reachable_from(entries)
+    findings: List[Finding] = []
+    for node in parents:
+        fn = graph.project.function(node)
+        if fn is None:
+            continue
+        path, _ = node
+        chain: Optional[str] = None
+        sink_groups = []
+        if "RC201" in codes:
+            sink_groups.append(("RC201", "deep-no-wallclock",
+                                "wall-clock read",
+                                "thread simulated time through as a "
+                                "parameter instead",
+                                fn.wallclock_sinks))
+        if "RC202" in codes:
+            sink_groups.append(("RC202", "deep-no-unseeded-random",
+                                "unseeded randomness",
+                                "thread a seeded random.Random through "
+                                "instead",
+                                fn.random_sinks))
+        for code, rule_name, what, fix, sinks in sink_groups:
+            for sink in sinks:
+                if chain is None:
+                    chain = _chain_text(graph, parents, node)
+                findings.append(Finding(
+                    code=code, rule=rule_name,
+                    message=(f"{what} {sink.description} is reachable from "
+                             f"the deterministic hot path: {chain}; {fix}"),
+                    path=path, line=sink.line, column=sink.column))
+    return findings
+
+
+def _fault_escape_findings(graph: CallGraph) -> List[Finding]:
+    boundaries: List[NodeKey] = []
+    for suffix, qualnames in FAULT_BOUNDARY_SPECS:
+        boundaries.extend(graph.project.find_functions(
+            suffix, qualnames, match_qualname=True))
+    if not boundaries:
+        return []
+    family = graph.project.exception_family(FAULT_EXCEPTION_ROOT)
+    escaping = graph.escaping_exceptions()
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int, str]] = set()
+    for boundary in boundaries:
+        for exc, path, line in sorted(escaping.get(boundary, ())):
+            if exc not in family:
+                continue
+            key = (path, line, exc)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                code="RC203", rule="fault-containment",
+                message=(f"{exc} raised here can propagate uncaught past "
+                         f"the campaign boundary {boundary[1]}; injected "
+                         "faults must surface as failure records, not "
+                         "crash the campaign"),
+                path=path, line=line))
+    return findings
+
+
+def _event_liveness_findings(project: Project,
+                             codes: Set[str]) -> List[Finding]:
+    events_summary: Optional[FileSummary] = None
+    for summary in project.summaries.values():
+        if summary.path.replace("\\", "/").endswith("bus/events.py"):
+            events_summary = summary
+            break
+    if events_summary is None:
+        return []
+    others = [summary for summary in project.summaries.values()
+              if summary is not events_summary]
+    # Abstract roots (classes other vocabulary classes derive from) are
+    # not events themselves — nothing should instantiate them directly.
+    vocab_bases = {
+        base.split(".")[-1]
+        for cls in events_summary.classes.values()
+        for base in cls.bases
+    }
+    findings: List[Finding] = []
+    for name in sorted(events_summary.class_lines):
+        if name in vocab_bases:
+            continue
+        line = events_summary.class_lines[name]
+        consumed = any(name in summary.consumed for summary in others)
+        emitted = any(name in summary.instantiated
+                      or name in summary.referenced for summary in others)
+        if not consumed and "RC204" in codes:
+            detail = ("emitted but never consumed" if emitted
+                      else "neither emitted nor consumed")
+            findings.append(Finding(
+                code="RC204", rule="event-never-consumed",
+                message=(f"event class {name} is {detail} outside "
+                         "bus/events.py — dead vocabulary; drop it or "
+                         "consume it"),
+                path=events_summary.path, line=line))
+        elif consumed and not emitted and "RC205" in codes:
+            findings.append(Finding(
+                code="RC205", rule="event-never-emitted",
+                message=(f"event class {name} is consumed but never "
+                         "emitted outside bus/events.py — that consumer "
+                         "branch is dead; emit it or drop the handler"),
+                path=events_summary.path, line=line))
+    return findings
+
+
+# --------------------------------------------------------------- top level
+
+
+def run_deep_rules(files: Sequence[str],
+                   codes: Optional[Sequence[str]] = None,
+                   cache: Optional[AnalysisCache] = None,
+                   ) -> Tuple[List[Finding], int]:
+    """Run the interprocedural rules over ``files``.
+
+    ``files`` is the already-collected list of requested ``*.py`` files;
+    the analysis itself runs over the whole enclosing project (see
+    :func:`expand_project_files`) but only findings whose sink falls in a
+    *requested* file are reported.  Returns ``(findings, suppressed)``
+    where suppressed counts findings silenced by a ``# repro: noqa``
+    comment on the sink line.
+    """
+    from repro.analysis.callgraph import CallGraph, load_project
+
+    wanted: Set[str] = set(codes if codes is not None else deep_rule_codes())
+    if not wanted or not files:
+        return [], 0
+
+    project = load_project(expand_project_files(files), cache=cache)
+
+    candidates: List[Finding] = []
+    if wanted & _GRAPH_CODES:
+        graph = CallGraph(project)
+        if wanted & {"RC201", "RC202"}:
+            candidates.extend(_reachable_sink_findings(graph, wanted))
+        if "RC203" in wanted:
+            candidates.extend(_fault_escape_findings(graph))
+    if wanted & {"RC204", "RC205"}:
+        candidates.extend(_event_liveness_findings(project, wanted))
+
+    requested = {os.path.abspath(path) for path in files}
+    suppression_cache: Dict[str, object] = {}
+    findings: List[Finding] = []
+    suppressed = 0
+    emitted: Set[Tuple[str, int, int, str]] = set()
+    for finding in candidates:
+        if os.path.abspath(finding.path) not in requested:
+            continue
+        key = (finding.path, finding.line, finding.column, finding.code)
+        if key in emitted:
+            continue
+        emitted.add(key)
+        index = suppression_cache.get(finding.path)
+        if index is None:
+            summary = project.summaries.get(finding.path)
+            index = (summary.suppression_index() if summary is not None
+                     else None)
+            suppression_cache[finding.path] = index
+        if index is not None and index.is_suppressed(  # type: ignore[union-attr]
+                finding.line, finding.code):
+            suppressed += 1
+        else:
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
+    return findings, suppressed

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import ast
 import os
+from dataclasses import replace
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 # Importing the rules module populates the registry as a side effect.
@@ -25,6 +26,7 @@ from repro.analysis.lint.registry import (
 )
 from repro.analysis.lint.rules import event_vocabulary_from_source
 from repro.analysis.lint.suppressions import SuppressionIndex
+from repro.errors import ConfigurationError
 
 _ = _rules.ALL_RULE_MODULE_LOADED  # keep the side-effect import explicit
 
@@ -65,6 +67,34 @@ def resolve_rules(select: Optional[Sequence[str]] = None,
     for code in list(codes) + sorted(ignored):
         get_rule(code)  # validate; raises on unknown codes
     return [get_rule(code) for code in codes if code not in ignored]
+
+
+def _split_codes(codes: Optional[Sequence[str]],
+                 ) -> Tuple[Optional[List[str]], Optional[List[str]]]:
+    """Partition user-given codes into (per-file, interprocedural) lists.
+
+    ``None`` stays ``None`` (meaning "all of that family"); unknown codes
+    raise ConfigurationError naming both catalogues.
+    """
+    if codes is None:
+        return None, None
+    from repro.analysis.lint.deep import deep_rule_codes
+
+    per_file_known = set(rule_codes())
+    deep_known = set(deep_rule_codes())
+    per_file: List[str] = []
+    deep: List[str] = []
+    for raw in codes:
+        code = raw.upper()
+        if code in per_file_known:
+            per_file.append(code)
+        elif code in deep_known:
+            deep.append(code)
+        else:
+            raise ConfigurationError(
+                f"unknown lint rule {raw!r}; choose from "
+                f"{sorted(per_file_known | deep_known)}")
+    return per_file, deep
 
 
 def _resolve_event_vocabulary(
@@ -128,15 +158,58 @@ def lint_source(source: str, path: str,
 
 def lint_paths(paths: Sequence[str],
                select: Optional[Sequence[str]] = None,
-               ignore: Optional[Sequence[str]] = None) -> LintReport:
-    """Run the analyzer over files/directories and return the report."""
+               ignore: Optional[Sequence[str]] = None,
+               deep: bool = False,
+               cache: Optional["AnalysisCache"] = None) -> LintReport:
+    """Run the analyzer over files/directories and return the report.
+
+    Args:
+        paths: Files/directories to lint.
+        select: Only run these codes (per-file RC1xx and/or deep RC2xx).
+            Selecting an RC2xx code without ``deep=True`` is an error.
+        ignore: Codes to skip (either family).
+        deep: Also run the interprocedural rules
+            (:mod:`repro.analysis.lint.deep`) on the project call graph.
+        cache: Optional :class:`~repro.analysis.callgraph.AnalysisCache`;
+            unchanged files reuse their cached findings and AST summaries
+            (the caller owns ``cache.save()``).
+    """
     files = collect_python_files(paths)
-    rules = resolve_rules(select=select, ignore=ignore)
-    shared = SharedContext(
-        event_vocabulary=_resolve_event_vocabulary(files))
+    per_file_select, deep_select = _split_codes(select)
+    per_file_ignore, deep_ignore = _split_codes(ignore)
+    if deep_select and not deep:
+        raise ConfigurationError(
+            f"rule(s) {sorted(deep_select)} are interprocedural; "
+            "run with --deep")
+
     findings: List[Finding] = []
     suppressed = 0
+
+    run_per_file = per_file_select is None or bool(per_file_select)
+    if run_per_file:
+        rules = resolve_rules(select=per_file_select, ignore=per_file_ignore)
+    else:
+        rules = []
+    shared = SharedContext(
+        event_vocabulary=_resolve_event_vocabulary(files))
+    rules_key: Optional[str] = None
+    if cache is not None and rules:
+        from repro.analysis.callgraph import rules_cache_key
+
+        rules_key = rules_cache_key([r.code for r in rules],
+                                    shared.event_vocabulary)
     for path in files:
+        if not rules:
+            break
+        if cache is not None and rules_key is not None:
+            cached = cache.get_findings(path, rules_key)
+            if cached is not None:
+                raw_findings, file_suppressed = cached
+                findings.extend(
+                    replace(Finding.from_dict(raw), path=path)
+                    for raw in raw_findings)
+                suppressed += file_suppressed
+                continue
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 source = handle.read()
@@ -150,6 +223,26 @@ def lint_paths(paths: Sequence[str],
             source, path, rules=rules, shared=shared)
         findings.extend(file_findings)
         suppressed += file_suppressed
+        if cache is not None and rules_key is not None:
+            cache.put_findings(
+                path, rules_key,
+                [finding.to_dict() for finding in file_findings],
+                file_suppressed)
+
+    if deep:
+        from repro.analysis.lint.deep import deep_rule_codes, run_deep_rules
+
+        if deep_select is not None:
+            deep_codes = [code for code in deep_select
+                          if code not in set(deep_ignore or ())]
+        else:
+            deep_codes = [code for code in deep_rule_codes()
+                          if code not in set(deep_ignore or ())]
+        deep_findings, deep_suppressed = run_deep_rules(
+            files, codes=deep_codes, cache=cache)
+        findings.extend(deep_findings)
+        suppressed += deep_suppressed
+
     findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
     return LintReport(findings=findings, files_checked=len(files),
                       suppressed=suppressed)
@@ -157,7 +250,11 @@ def lint_paths(paths: Sequence[str],
 
 def iter_rule_lines() -> Iterable[str]:
     """``CODE name — summary`` lines for ``repro lint --list-rules``."""
+    from repro.analysis.lint.deep import deep_rule_catalogue
     from repro.analysis.lint.registry import rule_catalogue
 
     for lint_rule in rule_catalogue():
         yield f"{lint_rule.code} {lint_rule.name} — {lint_rule.summary}"
+    for deep_rule in deep_rule_catalogue():
+        yield (f"{deep_rule.code} {deep_rule.name} — {deep_rule.summary} "
+               "(--deep)")

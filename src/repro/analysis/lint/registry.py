@@ -18,7 +18,19 @@ from repro.errors import ConfigurationError
 #: Path segments (directory names) that mark the engine's hot paths — the
 #: per-bit code where wall-clock reads and unseeded randomness would break
 #: the serial==parallel determinism guarantee of the campaign engine.
-ENGINE_PATH_SEGMENTS = frozenset({"bus", "node", "can"})
+#: ``baselines`` is included because baseline defenses (parrot, parity)
+#: run inside the same deterministic fan-out as the MichiCAN nodes.
+ENGINE_PATH_SEGMENTS = frozenset({"bus", "node", "can", "baselines"})
+
+#: Individual hot-path files outside those directories (normalized-path
+#: suffixes): the workload generator feeds frames into the deterministic
+#: fan-out, so it is held to the same rules.
+ENGINE_PATH_FILES = ("workloads/generator.py",)
+
+#: Files holding persisted, schema-versioned dataclasses outside the
+#: ``store.py``/``obs/`` defaults (normalized-path suffixes): fault plans
+#: and chaos degradation curves are both written to disk and re-read.
+PERSISTED_PATH_FILES = ("faults/plan.py", "experiments/chaos.py")
 
 
 @dataclass
@@ -64,14 +76,25 @@ class ModuleContext:
 
     @property
     def in_engine_paths(self) -> bool:
-        """True for modules under ``bus/``, ``node/`` or ``can/``."""
-        return bool(self.path_segments & ENGINE_PATH_SEGMENTS)
+        """True for modules on the deterministic hot path: anything under
+        ``bus/``, ``node/``, ``can/`` or ``baselines/``, plus the workload
+        generator (:data:`ENGINE_PATH_FILES`)."""
+        if self.path_segments & ENGINE_PATH_SEGMENTS:
+            return True
+        normalized = self.path.replace("\\", "/")
+        return any(normalized.endswith(suffix)
+                   for suffix in ENGINE_PATH_FILES)
 
     @property
     def in_persisted_paths(self) -> bool:
         """True for modules holding persisted, schema-versioned dataclasses
-        (``store.py`` anywhere, or anything under ``obs/``)."""
-        return self.file_name == "store.py" or "obs" in self.path_segments
+        (``store.py`` anywhere, anything under ``obs/``, fault plans and
+        chaos curves — :data:`PERSISTED_PATH_FILES`)."""
+        if self.file_name == "store.py" or "obs" in self.path_segments:
+            return True
+        normalized = self.path.replace("\\", "/")
+        return any(normalized.endswith(suffix)
+                   for suffix in PERSISTED_PATH_FILES)
 
     @property
     def is_package_init(self) -> bool:

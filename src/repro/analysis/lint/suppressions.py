@@ -56,3 +56,21 @@ class SuppressionIndex:
 
     def __len__(self) -> int:
         return len(self._by_line)
+
+    def to_mapping(self) -> Dict[int, List[str]]:
+        """JSON-safe ``line -> sorted codes`` view (for the analysis cache)."""
+        return {line: sorted(codes) for line, codes in self._by_line.items()}
+
+    @classmethod
+    def from_mapping(cls, mapping: Dict[int, List[str]]) -> "SuppressionIndex":
+        """Rebuild an index from :meth:`to_mapping` output (cache load).
+
+        JSON round-trips dict keys as strings, so keys are coerced back to
+        integers here.
+        """
+        index = cls([])
+        index._by_line = {
+            int(line): frozenset(str(code) for code in codes)
+            for line, codes in mapping.items()
+        }
+        return index

@@ -1,0 +1,347 @@
+"""Bounded model checker: DetectionFsm × CAN bit-stuffing product automaton.
+
+The verifier's VC204 agreement check proves ``classify`` matches detection-
+set membership on the *un-stuffed* 11-bit ID, and VC212/VC213 check the
+counterattack window by arithmetic.  Neither proves the property the
+firmware actually needs: the FSM is fed the arbitration stream *as sampled
+on the wire* — with stuff bits inserted by the transmitter after every run
+of five equal levels — and the de-stuffing receiver
+(:meth:`~repro.core.detection.MichiCanFirmware._track`) must skip exactly
+those bits so the FSM still flags exactly 𝔻, committed early enough to
+launch the counterattack at un-stuffed position 13.
+
+This module closes that gap by exhaustive exploration: for every ECU of a
+:class:`~repro.analysis.verifier.VerificationPlan`, it drives all 2^11
+identifiers through a CAN transmitter model (SOF + MSB-first ID with
+bit stuffing) into a receiver model mirroring the firmware's de-stuffing
+(:class:`StuffAwareReceiver`), and checks the product of FSM state and
+stuffing state on every step:
+
+* **VC301** — verdict mismatch on the stuffed stream: the FSM flags an ID
+  outside 𝔻 or misses one inside it (e.g. a receiver that mis-steps on a
+  stuff bit — model it with ``feed_stuff_bits=True``), or the receiver
+  hits a stuff error on a legal stream;
+* **VC302** — a flagging path commits after un-stuffed position 13
+  (:data:`~repro.can.constants.COUNTERATTACK_START_POS`), past the
+  counterattack deadline;
+* **VC303** — the FSM is still undecided after all 11 ID bits;
+* **VC300** — the plan could not be elaborated into FSMs at all.
+
+The state space is tiny by construction (a few hundred FSM states × a
+5-valued run length × 2 levels), so exhaustive coverage of all 2,048 IDs
+per ECU runs in milliseconds — the :class:`ModelCheckStats` it returns
+records exactly what was covered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.can.constants import (
+    COUNTERATTACK_START_POS,
+    DOMINANT,
+    ID_BITS,
+    NUM_STD_IDS,
+    STUFF_RUN,
+)
+from repro.core.fsm import DetectionFsm, FsmRunner, Verdict
+from repro.analysis.verifier import (
+    VerificationPlan,
+    VerificationReport,
+    VerifierIssue,
+)
+from repro.errors import ConfigurationError
+
+#: Cap on per-(code, subject) issues before aggregation kicks in.
+MAX_ISSUES_PER_SUBJECT = 5
+
+
+@dataclass
+class ModelCheckStats:
+    """What one model-check run actually covered.
+
+    Attributes:
+        subjects: ECU names whose FSMs were explored.
+        ids_checked: Identifiers driven per subject (2^11 = exhaustive).
+        bits_fed: Total wire bits (stuff bits included) fed to receivers.
+        stuff_bits: Stuff bits the transmitter model inserted.
+        product_states: Distinct (FSM state, receiver stuffing state,
+            transmitter stuffing state) triples visited.
+        stuffing_contexts: Distinct transmitter stuffing contexts
+            ``(last level, run length)`` in effect when an ID bit was sent.
+        max_commit_position: Latest un-stuffed frame position at which any
+            malicious ID's flagging path commits (decision or trigger,
+            whichever is later); 0 when nothing was flagged.
+    """
+
+    subjects: List[str] = field(default_factory=list)
+    ids_checked: int = 0
+    bits_fed: int = 0
+    stuff_bits: int = 0
+    product_states: int = 0
+    stuffing_contexts: int = 0
+    max_commit_position: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "subjects": list(self.subjects),
+            "ids_checked": self.ids_checked,
+            "bits_fed": self.bits_fed,
+            "stuff_bits": self.stuff_bits,
+            "product_states": self.product_states,
+            "stuffing_contexts": self.stuffing_contexts,
+            "max_commit_position": self.max_commit_position,
+        }
+
+    def render(self) -> str:
+        return (f"model check: {len(self.subjects)} FSM(s) x "
+                f"{self.ids_checked} IDs, {self.bits_fed} wire bits "
+                f"({self.stuff_bits} stuffed), "
+                f"{self.product_states} product states, "
+                f"{self.stuffing_contexts} stuffing contexts, "
+                f"latest commit at position {self.max_commit_position}")
+
+
+class StuffAwareReceiver:
+    """The firmware's de-stuffing arbitration tracker, as a checkable model.
+
+    Mirrors :meth:`~repro.core.detection.MichiCanFirmware._track` for the
+    arbitration field: after :data:`~repro.can.constants.STUFF_RUN` equal
+    raw levels the next bit is a stuff bit — skipped, not counted toward
+    the un-stuffed frame position ``cnt`` (SOF = 1, ID bits = 2..12) — and
+    a sixth equal level is a stuff error.  Un-stuffed ID bits step the FSM
+    runner.
+
+    Args:
+        runner: Fresh per-frame FSM cursor.
+        feed_stuff_bits: Fault model for VC301 fixtures — a corrupted
+            receiver that *also* steps the FSM on stuff bits (the classic
+            off-by-one where de-stuffing forgets to skip), while still
+            keeping the frame-position count correct.
+    """
+
+    def __init__(self, runner: FsmRunner,
+                 feed_stuff_bits: bool = False) -> None:
+        self.runner = runner
+        self.feed_stuff_bits = feed_stuff_bits
+        # State immediately after SOF, as _wait_sof leaves it.
+        self.cnt = 1
+        self.last = DOMINANT
+        self.run = 1
+        self.stuff_error = False
+        #: Un-stuffed position at which the verdict was reached, if any.
+        self.decided_cnt: Optional[int] = None
+
+    def state_key(self) -> Tuple[object, int, int]:
+        """The receiver's product-state component (FSM x stuffing run)."""
+        return (self.runner._state if self.runner.verdict is Verdict.PENDING
+                else self.runner.verdict, self.last, self.run)
+
+    def on_bit(self, value: int) -> None:
+        """Consume one raw wire bit (data or stuff)."""
+        if self.stuff_error:
+            return
+        if self.run == STUFF_RUN:
+            if value == self.last:
+                self.stuff_error = True  # six equal: error frame
+                return
+            # A stuff bit: restart the run, do not advance the frame.
+            self.last = value
+            self.run = 1
+            if self.feed_stuff_bits:
+                self._step_fsm(value)
+            return
+        if value == self.last:
+            self.run += 1
+        else:
+            self.last = value
+            self.run = 1
+        self.cnt += 1
+        if 2 <= self.cnt <= 1 + ID_BITS:
+            self._step_fsm(value)
+
+    def _step_fsm(self, value: int) -> None:
+        if self.runner.verdict is not Verdict.PENDING:
+            return
+        if self.runner.step(value) is not Verdict.PENDING \
+                and self.decided_cnt is None:
+            self.decided_cnt = self.cnt
+
+
+@dataclass
+class _Explorer:
+    """Shared accumulators across one plan's per-ECU explorations."""
+
+    product_states: Set[Tuple[object, ...]] = field(default_factory=set)
+    stuffing_contexts: Set[Tuple[int, int]] = field(default_factory=set)
+    bits_fed: int = 0
+    stuff_bits: int = 0
+
+
+def check_detection_stream(
+    fsm: DetectionFsm,
+    trigger_position: int = COUNTERATTACK_START_POS,
+    subject: str = "fsm",
+    feed_stuff_bits: bool = False,
+    _explorer: Optional[_Explorer] = None,
+) -> Tuple[List[VerifierIssue], ModelCheckStats]:
+    """Exhaustively drive all 2^11 IDs through transmitter stuffing into a
+    de-stuffing receiver and check the FSM's verdicts on the wire stream.
+    """
+    explorer = _explorer if _explorer is not None else _Explorer()
+    issues: List[VerifierIssue] = []
+    overflow = 0
+    max_commit = 0
+
+    def report(issue: VerifierIssue) -> None:
+        nonlocal overflow
+        if len(issues) < MAX_ISSUES_PER_SUBJECT:
+            issues.append(issue)
+        else:
+            overflow += 1
+
+    for can_id in range(NUM_STD_IDS):
+        receiver = StuffAwareReceiver(FsmRunner(fsm),
+                                      feed_stuff_bits=feed_stuff_bits)
+        # Transmitter stuffing state just after the dominant SOF.
+        tx_last, tx_run = DOMINANT, 1
+        stuffed: List[int] = [DOMINANT]
+        for bit_index in range(ID_BITS):
+            bit = (can_id >> (ID_BITS - 1 - bit_index)) & 1
+            if tx_run == STUFF_RUN:
+                stuff = 1 - tx_last
+                stuffed.append(stuff)
+                explorer.bits_fed += 1
+                explorer.stuff_bits += 1
+                receiver.on_bit(stuff)
+                explorer.product_states.add(
+                    receiver.state_key() + (stuff, 1))
+                tx_last, tx_run = stuff, 1
+            explorer.stuffing_contexts.add((tx_last, tx_run))
+            stuffed.append(bit)
+            explorer.bits_fed += 1
+            receiver.on_bit(bit)
+            if bit == tx_last:
+                tx_run += 1
+            else:
+                tx_last, tx_run = bit, 1
+            explorer.product_states.add(
+                receiver.state_key() + (tx_last, tx_run))
+
+        expected_malicious = can_id in fsm.detection_ids
+        wire = "".join(str(b) for b in stuffed)
+        if receiver.stuff_error:
+            report(VerifierIssue(
+                "VC301", subject,
+                f"receiver hits a stuff error on the legal stream for ID "
+                f"{can_id:#x} (wire bits {wire}); the de-stuffer must "
+                "never see six equal levels from a stuffing transmitter"))
+            continue
+        verdict = receiver.runner.verdict
+        if verdict is Verdict.PENDING:
+            report(VerifierIssue(
+                "VC303", subject,
+                f"FSM is still undecided after all {ID_BITS} ID bits of "
+                f"ID {can_id:#x} on the stuffed stream (wire bits {wire})"))
+            continue
+        actual_malicious = verdict is Verdict.MALICIOUS
+        if actual_malicious != expected_malicious:
+            expected = "malicious" if expected_malicious else "benign"
+            report(VerifierIssue(
+                "VC301", subject,
+                f"FSM classifies ID {can_id:#x} as {verdict.value} on the "
+                f"stuffed stream (wire bits {wire}) but 𝔻 membership says "
+                f"{expected}"))
+            continue
+        if actual_malicious:
+            commit = max(receiver.decided_cnt or 0, trigger_position)
+            max_commit = max(max_commit, commit)
+
+    if max_commit > COUNTERATTACK_START_POS:
+        report(VerifierIssue(
+            "VC302", subject,
+            f"a flagging path commits at un-stuffed position {max_commit}, "
+            f"after the counterattack deadline at position "
+            f"{COUNTERATTACK_START_POS}: the malicious frame's control "
+            "field would already have begun"))
+    if overflow:
+        issues.append(VerifierIssue(
+            issues[-1].code, subject,
+            f"... and {overflow} more issue(s) of this run elided"))
+
+    stats = ModelCheckStats(
+        subjects=[subject],
+        ids_checked=NUM_STD_IDS,
+        bits_fed=explorer.bits_fed,
+        stuff_bits=explorer.stuff_bits,
+        product_states=len(explorer.product_states),
+        stuffing_contexts=len(explorer.stuffing_contexts),
+        max_commit_position=max_commit,
+    )
+    return issues, stats
+
+
+def model_check_plan(
+    plan: VerificationPlan,
+    feed_stuff_bits: bool = False,
+) -> Tuple[List[VerifierIssue], ModelCheckStats]:
+    """Model-check every deployed ECU's FSM of ``plan`` against the
+    stuffed arbitration stream (``VC30x``).
+
+    Returns the issue list plus aggregate :class:`ModelCheckStats`;
+    ``feed_stuff_bits`` exposes the corrupted-receiver fault model for
+    fixtures and docs.
+    """
+    issues: List[VerifierIssue] = []
+    explorer = _Explorer()
+    stats = ModelCheckStats()
+    try:
+        detection_sets = plan.effective_detection_sets()
+    except ConfigurationError as exc:
+        issues.append(VerifierIssue("VC300", "plan", str(exc)))
+        return issues, stats
+    for name in sorted(detection_sets):
+        try:
+            fsm = DetectionFsm(detection_sets[name])
+        except ConfigurationError as exc:
+            issues.append(VerifierIssue(
+                "VC300", name,
+                f"detection set cannot be compiled into an FSM: {exc}"))
+            continue
+        subject_issues, subject_stats = check_detection_stream(
+            fsm, trigger_position=plan.trigger_position, subject=name,
+            feed_stuff_bits=feed_stuff_bits, _explorer=explorer)
+        issues.extend(subject_issues)
+        stats.subjects.append(name)
+        stats.ids_checked = subject_stats.ids_checked
+        stats.max_commit_position = max(stats.max_commit_position,
+                                        subject_stats.max_commit_position)
+    stats.bits_fed = explorer.bits_fed
+    stats.stuff_bits = explorer.stuff_bits
+    stats.product_states = len(explorer.product_states)
+    stats.stuffing_contexts = len(explorer.stuffing_contexts)
+    return issues, stats
+
+
+def model_check_plan_file(
+    path: str,
+    feed_stuff_bits: bool = False,
+) -> Tuple[List[VerifierIssue], ModelCheckStats]:
+    """Load a JSON plan from ``path`` and model-check it (``VC30x``)."""
+    return model_check_plan(VerificationPlan.load(path),
+                            feed_stuff_bits=feed_stuff_bits)
+
+
+def verify_plan_with_model_check(plan: VerificationPlan,
+                                 ) -> Tuple[VerificationReport,
+                                            ModelCheckStats]:
+    """The full static pipeline: :func:`~repro.analysis.verifier.
+    verify_plan` plus the model checker, merged into one report."""
+    from repro.analysis.verifier import verify_plan
+
+    report = verify_plan(plan)
+    issues, stats = model_check_plan(plan)
+    report.checks_run.append("model-check")
+    report.issues.extend(issues)
+    return report, stats

@@ -13,6 +13,8 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -524,28 +526,70 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _git_changed_python_files() -> Optional[List[str]]:
+    """Python files touched relative to HEAD (tracked diffs + untracked).
+
+    Returns None when the working directory is not a git repository (or
+    git is unavailable) so the caller can report a usable error.
+    """
+    import subprocess
+
+    names: List[str] = []
+    for command in (["git", "diff", "--name-only", "HEAD"],
+                    ["git", "ls-files", "--others", "--exclude-standard"]):
+        try:
+            result = subprocess.run(command, capture_output=True, text=True,
+                                    check=True)
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        names.extend(line.strip() for line in result.stdout.splitlines()
+                     if line.strip())
+    return sorted({name for name in names
+                   if name.endswith(".py") and os.path.isfile(name)})
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
-    from repro.analysis.lint import lint_paths, rule_catalogue
+    from repro.analysis.lint import collect_python_files, lint_paths
+    from repro.analysis.lint.engine import iter_rule_lines
     from repro.analysis.verifier import verify_fault_plan_file, verify_plan_file
     from repro.errors import ConfigurationError
 
     if args.list_rules:
-        width = max(len(r.code) for r in rule_catalogue())
-        for lint_rule in rule_catalogue():
-            print(f"{lint_rule.code:<{width}}  {lint_rule.name:<24} "
-                  f"{lint_rule.summary}")
+        for line in iter_rule_lines():
+            print(line)
         return 0
 
-    if not args.paths and not args.plan and not args.faults:
-        print("error: give paths to lint, --plan PLAN.json, "
+    if not args.paths and not args.plan and not args.faults \
+            and not args.changed:
+        print("error: give paths to lint, --changed, --plan PLAN.json, "
               "and/or --faults FAULTS.json", file=sys.stderr)
         return 2
 
+    lint_targets: Optional[List[str]] = list(args.paths)
+    if args.changed:
+        changed = _git_changed_python_files()
+        if changed is None:
+            print("error: --changed needs a git work tree "
+                  "(git diff against HEAD failed)", file=sys.stderr)
+            return 2
+        if args.paths:
+            scope = {os.path.abspath(f)
+                     for f in collect_python_files(args.paths)}
+            changed = [f for f in changed if os.path.abspath(f) in scope]
+        lint_targets = changed
+
+    cache = None
+    if not args.no_cache and (lint_targets or args.changed):
+        from repro.analysis.callgraph import DEFAULT_CACHE_PATH, AnalysisCache
+
+        cache = AnalysisCache(args.cache or DEFAULT_CACHE_PATH)
+
     failed = False
     try:
-        if args.paths:
-            report = lint_paths(args.paths, select=args.select,
-                                ignore=args.ignore)
+        if lint_targets or args.changed:
+            report = lint_paths(lint_targets or [], select=args.select,
+                                ignore=args.ignore, deep=args.deep,
+                                cache=cache)
             print(report.render_json() if args.format == "json"
                   else report.render_text())
             failed |= not report.ok
@@ -565,7 +609,42 @@ def cmd_lint(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if cache is not None:
+            cache.save()
     return 1 if failed else 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis.verifier import verify_plan, VerificationPlan
+    from repro.errors import ConfigurationError
+
+    try:
+        plan = VerificationPlan.load(args.plan)
+        report = verify_plan(plan)
+        stats = None
+        if args.model_check:
+            from repro.analysis.modelcheck import model_check_plan
+
+            issues, stats = model_check_plan(plan)
+            report.checks_run.append("model-check")
+            report.issues.extend(issues)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        payload = report.to_dict()
+        if stats is not None:
+            payload["model_check"] = stats.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        if stats is not None:
+            print(stats.render())
+        print(report.render_text())
+    return 0 if report.ok else 1
 
 
 # --------------------------------------------------------------------- main
@@ -746,6 +825,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ignore", type=lambda t: t.split(","), default=None,
                    metavar="CODES",
                    help="comma-separated rule codes to skip")
+    p.add_argument("--deep", action="store_true",
+                   help="also run the interprocedural rules (RC2xx) on "
+                        "the project call graph")
+    p.add_argument("--changed", action="store_true",
+                   help="lint only files changed vs git HEAD "
+                        "(tracked diffs + untracked)")
+    p.add_argument("--cache", default=None, metavar="FILE",
+                   help="analysis cache location "
+                        "(default: .repro_cache/lint.json)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the on-disk analysis cache")
     p.add_argument("--plan", default=None, metavar="PLAN.json",
                    help="also verify a deployment plan "
                         "(detection ranges, window, registry)")
@@ -754,6 +844,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "(windows, kinds, targets)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
+
+    p = sub.add_parser("verify",
+                       help="prove a deployment plan sound (verifier + "
+                            "optional model checker)")
+    p.add_argument("plan", metavar="PLAN.json",
+                   help="deployment plan to verify")
+    p.add_argument("--model-check", action="store_true",
+                   help="also run the stuff-bit-aware FSM model checker "
+                        "(VC3xx) over all 2^11 IDs per ECU")
+    p.add_argument("--format", choices=["text", "json"], default="text")
 
     p = sub.add_parser("codegen", help="emit the C firmware patch for an FSM")
     p.add_argument("--ecus", type=_parse_id_list, required=True)
@@ -783,6 +883,7 @@ COMMANDS = {
     "chaos": cmd_chaos,
     "metrics": cmd_metrics,
     "lint": cmd_lint,
+    "verify": cmd_verify,
 }
 
 

@@ -89,7 +89,9 @@ class HangFaultNode(HarnessFaultNode):
                 f"got {self.seconds}")
 
     def trigger(self, time: int) -> None:
-        _time.sleep(self.seconds)
+        # The hang *is* the fault: stalling the worker's wall clock is the
+        # whole point, so the hot-path determinism rule is waived here.
+        _time.sleep(self.seconds)  # repro: noqa[RC201]
 
 
 def compile_harness_fault(spec: FaultSpec) -> HarnessFaultNode:

@@ -1,0 +1,327 @@
+"""Interprocedural rules RC201–RC205 and their CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.analysis.lint import lint_paths
+from repro.cli import main
+from repro.errors import ConfigurationError
+
+
+def _write(tmp_path, relative, source):
+    path = tmp_path / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return str(path)
+
+
+def _package(tmp_path, *parts):
+    directory = tmp_path
+    for part in parts:
+        directory = directory / part
+        directory.mkdir(exist_ok=True)
+        init = directory / "__init__.py"
+        if not init.exists():
+            init.write_text("", encoding="utf-8")
+
+
+def _fixture_tree(tmp_path, noqa_line=""):
+    """A mini-project where ``time.time()`` sits two call hops below the
+    simulator step loop, in a module the per-file rules never look at."""
+    _package(tmp_path, "pkg", "bus")
+    _package(tmp_path, "pkg", "util")
+    _write(tmp_path, "pkg/bus/simulator.py",
+           "from pkg.util.sched import advance\n"
+           "class Simulator:\n"
+           "    def step(self):\n"
+           "        advance(self)\n")
+    _write(tmp_path, "pkg/util/sched.py",
+           "from pkg.util.clock import now\n"
+           "def advance(sim):\n"
+           "    return now()\n")
+    _write(tmp_path, "pkg/util/clock.py",
+           "import time\n"
+           "def now():\n"
+           f"    return time.time(){noqa_line}\n")
+    return str(tmp_path / "pkg")
+
+
+class TestTransitiveWallclock:
+    def test_two_hops_below_simulator_is_flagged_rc201(self, tmp_path,
+                                                       monkeypatch):
+        root = _fixture_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+
+        report = lint_paths([root], deep=True)
+        codes = [f.code for f in report.findings]
+        assert "RC201" in codes
+        finding = next(f for f in report.findings if f.code == "RC201")
+        assert finding.path.replace("\\", "/").endswith("util/clock.py")
+        assert "Simulator.step -> advance -> now" in finding.message
+
+    def test_same_tree_passes_the_per_file_rules(self, tmp_path,
+                                                 monkeypatch):
+        root = _fixture_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert lint_paths([root]).ok  # util/ is outside RC101's scope
+
+    def test_unreachable_sink_is_not_flagged(self, tmp_path, monkeypatch):
+        _package(tmp_path, "pkg", "bus")
+        _package(tmp_path, "pkg", "tools")
+        _write(tmp_path, "pkg/bus/simulator.py",
+               "class Simulator:\n"
+               "    def step(self):\n"
+               "        return 1\n")
+        _write(tmp_path, "pkg/tools/cli.py",
+               "import time\n"
+               "def bench():\n"
+               "    return time.time()\n")
+        monkeypatch.chdir(tmp_path)
+        assert lint_paths([str(tmp_path / "pkg")], deep=True).ok
+
+    def test_unseeded_random_two_hops_down_is_rc202(self, tmp_path,
+                                                    monkeypatch):
+        _package(tmp_path, "pkg", "bus")
+        _package(tmp_path, "pkg", "util")
+        _write(tmp_path, "pkg/bus/simulator.py",
+               "from pkg.util.noise import jitter\n"
+               "class Simulator:\n"
+               "    def step(self):\n"
+               "        return jitter()\n")
+        _write(tmp_path, "pkg/util/noise.py",
+               "import random\n"
+               "def jitter():\n"
+               "    return random.random()\n")
+        monkeypatch.chdir(tmp_path)
+        report = lint_paths([str(tmp_path / "pkg")], deep=True)
+        assert [f.code for f in report.findings] == ["RC202"]
+
+
+class TestSinkSuppression:
+    def test_noqa_at_the_sink_suppresses(self, tmp_path, monkeypatch):
+        root = _fixture_tree(tmp_path, noqa_line="  # repro: noqa[RC201]")
+        monkeypatch.chdir(tmp_path)
+        report = lint_paths([root], deep=True)
+        assert report.ok
+        assert report.suppressed == 1
+
+    def test_noqa_on_the_transitive_caller_does_not_suppress(
+            self, tmp_path, monkeypatch):
+        root = _fixture_tree(tmp_path)
+        # Decorate every line of the *caller* chain with suppressions: the
+        # finding anchors at the sink, so none of these may silence it.
+        sched = tmp_path / "pkg" / "util" / "sched.py"
+        sched.write_text(
+            "from pkg.util.clock import now  # repro: noqa[RC201]\n"
+            "def advance(sim):  # repro: noqa[RC201]\n"
+            "    return now()  # repro: noqa[RC201]\n",
+            encoding="utf-8")
+        monkeypatch.chdir(tmp_path)
+        report = lint_paths([root], deep=True)
+        assert [f.code for f in report.findings] == ["RC201"]
+        assert report.suppressed == 0
+
+
+class TestFaultContainment:
+    def _tree(self, tmp_path, guard):
+        _package(tmp_path, "pkg", "experiments")
+        _package(tmp_path, "pkg", "faults")
+        _write(tmp_path, "pkg/faults/boom.py",
+               "class InjectedFaultError(Exception):\n"
+               "    pass\n"
+               "class CrashFault(InjectedFaultError):\n"
+               "    pass\n"
+               "def execute_spec(spec):\n"
+               "    raise CrashFault('worker died')\n")
+        handler = (
+            "        except Exception:\n            return None\n" if guard
+            else "        except KeyboardInterrupt:\n            raise\n")
+        _write(tmp_path, "pkg/experiments/campaign.py",
+               "from pkg.faults.boom import execute_spec\n"
+               "class Campaign:\n"
+               "    def run(self):\n"
+               "        try:\n"
+               "            return execute_spec(None)\n"
+               f"{handler}")
+        return str(tmp_path / "pkg")
+
+    def test_contained_fault_passes(self, tmp_path, monkeypatch):
+        root = self._tree(tmp_path, guard=True)
+        monkeypatch.chdir(tmp_path)
+        assert lint_paths([root], deep=True).ok
+
+    def test_escaping_fault_is_rc203_at_the_raise_site(self, tmp_path,
+                                                       monkeypatch):
+        root = self._tree(tmp_path, guard=False)
+        monkeypatch.chdir(tmp_path)
+        report = lint_paths([root], deep=True)
+        findings = [f for f in report.findings if f.code == "RC203"]
+        assert len(findings) == 1
+        assert findings[0].path.replace("\\", "/").endswith("faults/boom.py")
+        assert "Campaign.run" in findings[0].message
+
+
+class TestEventLiveness:
+    def _tree(self, tmp_path, consumer_lines, emitter_lines):
+        _package(tmp_path, "pkg", "bus")
+        _write(tmp_path, "pkg/bus/events.py",
+               "class Event:\n"
+               "    pass\n"
+               "class FrameSent(Event):\n"
+               "    pass\n"
+               "class FrameDropped(Event):\n"
+               "    pass\n")
+        _write(tmp_path, "pkg/bus/sim.py",
+               "from pkg.bus.events import FrameDropped, FrameSent\n"
+               "def run(listener):\n"
+               + "".join(f"    {line}\n" for line in emitter_lines)
+               + "def watch(event):\n"
+               + "".join(f"    {line}\n" for line in consumer_lines))
+        return str(tmp_path / "pkg")
+
+    def test_alive_vocabulary_passes(self, tmp_path, monkeypatch):
+        root = self._tree(
+            tmp_path,
+            emitter_lines=["listener(FrameSent())",
+                           "listener(FrameDropped())"],
+            consumer_lines=["return isinstance(event, "
+                            "(FrameSent, FrameDropped))"])
+        monkeypatch.chdir(tmp_path)
+        assert lint_paths([root], deep=True).ok
+
+    def test_emitted_never_consumed_is_rc204(self, tmp_path, monkeypatch):
+        root = self._tree(
+            tmp_path,
+            emitter_lines=["listener(FrameSent())",
+                           "listener(FrameDropped())"],
+            consumer_lines=["return isinstance(event, FrameSent)"])
+        monkeypatch.chdir(tmp_path)
+        report = lint_paths([root], deep=True)
+        assert [f.code for f in report.findings] == ["RC204"]
+        assert "FrameDropped" in report.findings[0].message
+
+    def test_consumed_never_emitted_is_rc205(self, tmp_path, monkeypatch):
+        root = self._tree(
+            tmp_path,
+            emitter_lines=["listener(FrameSent())"],
+            consumer_lines=["return isinstance(event, "
+                            "(FrameSent, FrameDropped))"])
+        monkeypatch.chdir(tmp_path)
+        report = lint_paths([root], deep=True)
+        assert [f.code for f in report.findings] == ["RC205"]
+        assert "FrameDropped" in report.findings[0].message
+
+    def test_annotations_are_not_consumption_evidence(self, tmp_path,
+                                                      monkeypatch):
+        root = self._tree(
+            tmp_path,
+            emitter_lines=["listener(FrameSent())",
+                           "listener(FrameDropped())"],
+            consumer_lines=["return isinstance(event, FrameSent)"])
+        _write(tmp_path, "pkg/bus/types.py",
+               "from pkg.bus.events import FrameDropped\n"
+               "def annotated(event: FrameDropped) -> FrameDropped:\n"
+               "    return event\n")
+        monkeypatch.chdir(tmp_path)
+        report = lint_paths([root], deep=True)
+        assert "RC204" in [f.code for f in report.findings]
+
+
+class TestSelection:
+    def test_deep_codes_require_deep_flag(self):
+        with pytest.raises(ConfigurationError):
+            lint_paths(["src"], select=["RC201"])
+
+    def test_unknown_code_still_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lint_paths(["src"], select=["RC999"], deep=True)
+
+    def test_deep_only_selection_skips_per_file_rules(self, tmp_path,
+                                                      monkeypatch):
+        _package(tmp_path, "pkg", "bus")
+        _write(tmp_path, "pkg/bus/mod.py",
+               "import time\n"
+               "def f():\n"
+               "    return time.time()\n")  # RC101 would fire
+        monkeypatch.chdir(tmp_path)
+        report = lint_paths([str(tmp_path / "pkg")], select=["RC204"],
+                            deep=True)
+        assert report.ok  # RC101 not selected, RC204 has no events.py
+
+    def test_deep_rules_can_be_ignored(self, tmp_path, monkeypatch):
+        root = _fixture_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        report = lint_paths([root], ignore=["RC201"], deep=True)
+        assert "RC201" not in [f.code for f in report.findings]
+
+
+class TestRepoTreeGate:
+    def test_repo_tree_is_deep_clean(self):
+        """`repro lint --deep src/` must exit 0 on the repo itself: the
+        analyzer proves the tree's hot paths deterministic, its injected
+        faults contained, and its event vocabulary alive."""
+        report = lint_paths(["src"], deep=True)
+        assert report.ok, report.render_text()
+        # The one sanctioned wall-clock sink (the hang fault's sleep) is
+        # suppressed at the sink, so it must show up in the counter.
+        assert report.suppressed >= 1
+
+
+class TestCli:
+    def test_lint_deep_flag(self, tmp_path, monkeypatch, capsys):
+        root = _fixture_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--no-cache", root]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--no-cache", "--deep", root]) == 1
+        assert "RC201" in capsys.readouterr().out
+
+    def test_lint_deep_json_format(self, tmp_path, monkeypatch, capsys):
+        root = _fixture_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--no-cache", "--deep", "--format", "json",
+                     root]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert [f["code"] for f in payload["findings"]] == ["RC201"]
+
+    def test_list_rules_includes_deep_catalogue(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RC101", "RC201", "RC205"):
+            assert code in out
+
+    def test_lint_changed_in_a_fresh_repo(self, tmp_path, monkeypatch,
+                                          capsys):
+        import subprocess
+
+        monkeypatch.chdir(tmp_path)
+        subprocess.run(["git", "init", "-q"], check=True)
+        subprocess.run(["git", "-c", "user.email=t@t", "-c", "user.name=t",
+                        "commit", "-q", "--allow-empty", "-m", "seed"],
+                       check=True)
+        _package(tmp_path, "pkg", "bus")
+        _write(tmp_path, "pkg/bus/mod.py",
+               "import time\n"
+               "def f():\n"
+               "    return time.time()\n")
+        assert main(["lint", "--no-cache", "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "RC101" in out
+
+    def test_lint_changed_outside_a_repo_is_exit_2(self, tmp_path,
+                                                   monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "nope"))
+        assert main(["lint", "--no-cache", "--changed"]) == 2
+        assert "git" in capsys.readouterr().err
+
+    def test_lint_cache_flag_writes_and_reuses(self, tmp_path, monkeypatch,
+                                               capsys):
+        root = _fixture_tree(tmp_path)
+        cache_file = tmp_path / "lint-cache.json"
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--cache", str(cache_file), root]) == 0
+        assert cache_file.exists()
+        capsys.readouterr()
+        assert main(["lint", "--cache", str(cache_file), root]) == 0

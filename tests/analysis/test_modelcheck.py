@@ -1,0 +1,214 @@
+"""The DetectionFsm × bit-stuffing product model checker (VC30x)."""
+
+import json
+import time
+
+from repro.analysis.modelcheck import (
+    ModelCheckStats,
+    StuffAwareReceiver,
+    check_detection_stream,
+    model_check_plan,
+    model_check_plan_file,
+    verify_plan_with_model_check,
+)
+from repro.analysis.verifier import VerificationPlan
+from repro.can.constants import COUNTERATTACK_START_POS, NUM_STD_IDS
+from repro.core.fsm import DetectionFsm, FsmRunner, Verdict
+
+EXAMPLE_PLAN = "docs/examples/deployment-plan.json"
+
+#: A single-ID detection set that keeps the FSM pending past the first
+#: stuff-bit opportunity: five leading zeros after the dominant SOF force
+#: a stuff bit while membership is still undecided, so a corrupted
+#: receiver that steps the FSM on stuff bits misclassifies it.
+STUFF_SENSITIVE_ID = 0b00000100000
+
+
+def _plan(**overrides):
+    base = dict(ecu_ids=(0x0A0, 0x173), scenario="full")
+    base.update(overrides)
+    return VerificationPlan(**base)
+
+
+class TestReceiverModel:
+    def test_skips_stuff_bit_without_advancing_frame_position(self):
+        fsm = DetectionFsm({STUFF_SENSITIVE_ID})
+        receiver = StuffAwareReceiver(FsmRunner(fsm))
+        # SOF already consumed; five more dominant bits hit the stuff run.
+        for _ in range(4):
+            receiver.on_bit(0)
+        assert receiver.run == 5
+        cnt_before = receiver.cnt
+        receiver.on_bit(1)  # the stuff bit
+        assert receiver.cnt == cnt_before  # not an ID bit
+        assert receiver.run == 1 and receiver.last == 1
+
+    def test_six_equal_levels_is_a_stuff_error(self):
+        receiver = StuffAwareReceiver(FsmRunner(DetectionFsm({0x1})))
+        for _ in range(4):
+            receiver.on_bit(0)
+        receiver.on_bit(0)  # sixth dominant including SOF
+        assert receiver.stuff_error
+
+    def test_corrupted_receiver_steps_fsm_on_stuff_bits(self):
+        fsm = DetectionFsm({STUFF_SENSITIVE_ID})
+        clean = StuffAwareReceiver(FsmRunner(fsm))
+        corrupt = StuffAwareReceiver(FsmRunner(fsm), feed_stuff_bits=True)
+        # Wire prefix for the sensitive ID: 00000 then the stuff bit 1.
+        for receiver in (clean, corrupt):
+            for _ in range(4):
+                receiver.on_bit(0)
+            receiver.on_bit(1)  # stuff bit
+        assert clean.runner.verdict is Verdict.PENDING
+        # The corrupted model consumed the recessive stuff bit as ID bit 6
+        # (which is 1 for this ID) — one FSM step ahead of the wire.
+        assert corrupt.runner._bits_consumed == clean.runner._bits_consumed + 1
+
+
+class TestCheckDetectionStream:
+    def test_exhaustive_and_clean_on_a_real_detection_set(self):
+        fsm = DetectionFsm({0x0A0, 0x173, 0x5F0})
+        issues, stats = check_detection_stream(fsm)
+        assert issues == []
+        assert stats.ids_checked == NUM_STD_IDS == 2048
+        assert stats.stuff_bits > 0
+        # SOF is consumed before the receiver model starts, so the wire
+        # traffic is 11 ID bits per frame plus whatever got stuffed.
+        assert stats.bits_fed == NUM_STD_IDS * 11 + stats.stuff_bits
+        assert stats.product_states > 0
+        assert 1 <= stats.stuffing_contexts <= 10
+        assert stats.max_commit_position == COUNTERATTACK_START_POS == 13
+
+    def test_every_fsm_subject_is_fast(self):
+        start = time.perf_counter()
+        for detection_ids in ({0x0A0}, {0x173, 0x5F0}, set(range(64))):
+            issues, _ = check_detection_stream(DetectionFsm(detection_ids))
+            assert issues == []
+        assert time.perf_counter() - start < 5.0
+
+    def test_corrupted_receiver_yields_vc301(self):
+        fsm = DetectionFsm({STUFF_SENSITIVE_ID})
+        clean_issues, _ = check_detection_stream(fsm)
+        assert clean_issues == []
+        issues, _ = check_detection_stream(fsm, feed_stuff_bits=True)
+        assert issues, "mis-stepping on a stuff bit must be caught"
+        assert all(issue.code == "VC301" for issue in issues)
+        assert any(f"{STUFF_SENSITIVE_ID:#x}" in issue.message
+                   for issue in issues)
+
+    def test_late_trigger_position_yields_vc302(self):
+        fsm = DetectionFsm({0x0A0})
+        issues, stats = check_detection_stream(fsm, trigger_position=15)
+        assert [issue.code for issue in issues] == ["VC302"]
+        assert stats.max_commit_position == 15
+        assert "position 15" in issues[0].message
+
+    def test_issue_overflow_is_aggregated(self):
+        # An FSM whose membership the stuffed stream always disagrees with
+        # somewhere: corrupted receiver + a large sensitive set.
+        sensitive = {STUFF_SENSITIVE_ID | tail for tail in range(16)}
+        issues, _ = check_detection_stream(DetectionFsm(sensitive),
+                                           feed_stuff_bits=True)
+        assert len(issues) <= 6  # MAX_ISSUES_PER_SUBJECT + aggregate line
+        if len(issues) == 6:
+            assert "more issue(s)" in issues[-1].message
+
+    def test_stats_render_and_to_dict(self):
+        _, stats = check_detection_stream(DetectionFsm({0x0A0}))
+        text = stats.render()
+        assert "2048 IDs" in text and "stuffing contexts" in text
+        payload = stats.to_dict()
+        assert payload["ids_checked"] == 2048
+        assert json.dumps(payload)  # JSON-serializable
+
+
+class TestModelCheckPlan:
+    def test_example_plan_is_clean(self):
+        issues, stats = model_check_plan_file(EXAMPLE_PLAN)
+        assert issues == []
+        assert len(stats.subjects) >= 1
+        assert stats.ids_checked == NUM_STD_IDS
+        assert stats.max_commit_position == COUNTERATTACK_START_POS
+
+    def test_aggregates_across_subjects(self):
+        plan = _plan()
+        issues, stats = model_check_plan(plan)
+        assert issues == []
+        assert stats.subjects == sorted(stats.subjects)
+        assert len(stats.subjects) == len(plan.ecu_ids)
+
+    def test_plan_trigger_position_is_honoured(self):
+        issues, stats = model_check_plan(_plan(trigger_position=15))
+        assert any(issue.code == "VC302" for issue in issues)
+        assert stats.max_commit_position == 15
+
+    def test_corrupted_receivers_fail_a_sensitive_plan(self):
+        plan = _plan(ecu_ids=(STUFF_SENSITIVE_ID,))
+        clean_issues, _ = model_check_plan(plan)
+        assert clean_issues == []
+        issues, _ = model_check_plan(plan, feed_stuff_bits=True)
+        assert any(issue.code == "VC301" for issue in issues)
+
+    def test_unloadable_detection_set_is_vc300(self):
+        plan = _plan(detection_ids={"ecu_0a0": (NUM_STD_IDS + 5,)})
+        issues, stats = model_check_plan(plan)
+        assert any(issue.code == "VC300" for issue in issues)
+        assert "ecu_0a0" not in stats.subjects
+        assert "ecu_173" in stats.subjects  # the healthy ECU still ran
+
+
+class TestVerifyPlanWithModelCheck:
+    def test_merges_into_one_report(self):
+        plan = VerificationPlan.load(EXAMPLE_PLAN)
+        report, stats = verify_plan_with_model_check(plan)
+        assert report.ok
+        assert "model-check" in report.checks_run
+        assert isinstance(stats, ModelCheckStats)
+
+    def test_model_check_issues_fail_the_report(self):
+        report, _ = verify_plan_with_model_check(_plan(trigger_position=15))
+        assert not report.ok
+        codes = {issue.code for issue in report.issues}
+        assert "VC302" in codes
+
+
+class TestCli:
+    def test_verify_with_model_check(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify", EXAMPLE_PLAN, "--model-check"]) == 0
+        out = capsys.readouterr().out
+        assert "model check:" in out
+
+    def test_verify_json_embeds_stats(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify", EXAMPLE_PLAN, "--model-check",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "model-check" in payload["checks_run"]
+        assert payload["model_check"]["ids_checked"] == NUM_STD_IDS
+
+    def test_verify_without_model_check_has_no_stats(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify", EXAMPLE_PLAN, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "model_check" not in payload
+        assert "model-check" not in payload["checks_run"]
+
+    def test_verify_failing_plan_exits_1(self, tmp_path, capsys):
+        from repro.cli import main
+
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(json.dumps({
+            "ecu_ids": [0x0A0], "scenario": "full",
+            "trigger_position": 15,
+        }), encoding="utf-8")
+        assert main(["verify", str(plan_file), "--model-check"]) == 1
+        assert "VC302" in capsys.readouterr().out
+
+    def test_verify_missing_file_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["verify", str(tmp_path / "nope.json")]) == 2
