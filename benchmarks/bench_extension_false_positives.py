@@ -14,24 +14,24 @@ Regenerate:  pytest benchmarks/bench_extension_false_positives.py --benchmark-on
 
 from conftest import report
 from repro.bus.events import BusOffEntered, FrameTransmitted
-from repro.bus.noise import NoisyWire
 from repro.bus.simulator import CanBusSimulator
 from repro.core.defense import MichiCanNode
+from repro.faults import FaultInjectingWire, flip_fault
 from repro.node.controller import CanNode
 from repro.node.scheduler import PeriodicMessage, PeriodicScheduler
 
 
 def run_noisy(flip_probability, duration=150_000, seed=4, defended=True):
     sim = CanBusSimulator(bus_speed=500_000)
-    sim.wire = NoisyWire(flip_probability, seed=seed)
+    sim.wire = FaultInjectingWire([flip_fault(flip_probability, seed=seed)])
     if defended:
         sim.add_node(MichiCanNode("defender", range(0x100)))
     sender = sim.add_node(CanNode("sender", scheduler=PeriodicScheduler(
         [PeriodicMessage(0x123, period_bits=400)])))
     sim.add_node(CanNode("receiver"))
-    sim.run(duration)
+    sim.advance(duration)
     return {
-        "flips": len(sim.wire.flips),
+        "flips": len(sim.wire.injectors[0].flips),
         "busoffs": len(sim.events_of(BusOffEntered)),
         "delivered": len([e for e in sim.events_of(FrameTransmitted)
                           if e.node == "sender"]),
@@ -82,12 +82,12 @@ def test_noise_triggered_counterattacks_self_heal(benchmark):
     frame; the clean retransmission passes, so no victim accumulates TEC."""
     def run():
         sim = CanBusSimulator(bus_speed=500_000)
-        sim.wire = NoisyWire(3e-4, seed=11)
+        sim.wire = FaultInjectingWire([flip_fault(3e-4, seed=11)])
         defender = sim.add_node(MichiCanNode("defender", range(0x100)))
         sender = sim.add_node(CanNode("sender", scheduler=PeriodicScheduler(
             [PeriodicMessage(0x123, period_bits=500)])))
         sim.add_node(CanNode("receiver"))
-        sim.run(200_000)
+        sim.advance(200_000)
         return defender.counterattacks, sender.tec, len(
             sim.events_of(BusOffEntered))
 

@@ -11,10 +11,10 @@ Regenerate:  pytest benchmarks/bench_soak.py --benchmark-only -s
 from conftest import report
 from repro.attacks.dos import DosAttacker
 from repro.bus.events import BusOffEntered, BusOffRecovered, FrameTransmitted
-from repro.bus.noise import NoisyWire
 from repro.bus.simulator import CanBusSimulator
 from repro.core.defense import MichiCanNode
 from repro.experiments.scenarios import detection_ids_for
+from repro.faults import FaultInjectingWire, flip_fault
 from repro.trace.framelog import FrameLog
 from repro.workloads.restbus import RestbusNode
 from repro.workloads.matrix import theoretical_bus_load
@@ -27,14 +27,15 @@ def test_soak_mixed_adversarial_run(benchmark):
     def run():
         matrix, _ = vehicle_buses("veh_b")
         sim = CanBusSimulator(bus_speed=50_000, record_wire=False)
-        sim.wire = NoisyWire(2e-5, seed=99, record=False)
+        sim.wire = FaultInjectingWire([flip_fault(2e-5, seed=99)],
+                                      record=False)
         native = theoretical_bus_load(matrix, sim.bus_speed)
         sim.add_node(RestbusNode("restbus", matrix, sim.bus_speed,
                                  time_scale=max(1.0, native / 0.12)))
         defender = sim.add_node(MichiCanNode(
             "michican", detection_ids_for(0x173, matrix.all_ids())))
         attacker = sim.add_node(DosAttacker("attacker", 0x064))
-        sim.run(DURATION)
+        sim.advance(DURATION)
         return sim, defender, attacker
 
     sim, defender, attacker = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -43,7 +43,7 @@ def arbitration_rules() -> None:
     x, y = sim.add_node(CanNode("x")), sim.add_node(CanNode("y"))
     x.send(CanFrame(0x100 << 18, extended=True))
     y.send(CanFrame(0x100))
-    sim.run(700)
+    sim.advance(700)
     order = [("extended" if e.frame.extended else "standard")
              for e in sim.events_of(FrameTransmitted)]
     print("equal base ID 0x100, simultaneous start:")
@@ -61,7 +61,7 @@ def defended_mixed_bus() -> None:
     diag.send(CanFrame(LEGIT_EXT[0], b"\x02\x10\x01", extended=True))
     attacker.send(CanFrame(0x00001234, bytes(8), extended=True))
 
-    sim.run_until(lambda s: attacker.is_bus_off, 20_000)
+    sim.advance_until(lambda s: attacker.is_bus_off, 20_000)
     boff = sim.events_of(BusOffEntered)[0]
     detection = defender.detections[0]
     print("mixed-bus defense:")
@@ -69,7 +69,7 @@ def defended_mixed_bus() -> None:
           f"{detection.decision_bit} (extended={detection.extended})")
     print(f"  attacker bus-off at t={boff.time} "
           f"({sim.milliseconds(boff.time):.2f} ms)")
-    sim.run(5_000)
+    sim.advance(5_000)
     delivered = [e.frame for e in sim.events_of(FrameTransmitted)
                  if e.node == "diagnostics"]
     print(f"  legitimate UDS frame delivered: "

@@ -65,7 +65,7 @@ def counterattack_waveform() -> None:
     sim.add_node(MichiCanNode("defender", range(0x100)))
     attacker = sim.add_node(CanNode("attacker"))
     attacker.send(CanFrame(0x064, bytes(8)))
-    sim.run(80)
+    sim.advance(80)
     print(LogicTrace(sim.wire.history).render(end=80))
     print("  ^ SOF + ID 0x064, then MichiCAN's 6-bit dominant pulse, the "
         "attacker's error flag and the delimiter")

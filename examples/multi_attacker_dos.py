@@ -10,6 +10,7 @@ Run:  python examples/multi_attacker_dos.py
 """
 
 from repro.analysis.busoff_theory import busoff_ms
+from repro.experiments.config import RunConfig
 from repro.experiments.scenarios import (
     experiment_5,
     multi_attacker_experiment,
@@ -25,7 +26,8 @@ def sweep() -> None:
     print(f"{'A':>3} {'total fight (bits)':>20} {'at 50 kbit/s':>14} "
           f"{'verdict':>22}")
     for attackers in range(1, 6):
-        result = multi_attacker_experiment(attackers).run(24_000)
+        result = multi_attacker_experiment(attackers).run(
+            config=RunConfig(duration_bits=24_000))
         total = total_fight_bits(result)
         verdict = ("OK" if total <= DEADLINE_BITS
                    else "deadline miss — bus inoperable")
@@ -38,7 +40,7 @@ def sweep() -> None:
 def fig6_pattern() -> None:
     print("Fig. 6 pattern — two attackers (0x066 brown / 0x067 yellow):")
     setup = experiment_5()
-    result = setup.run(4_500)
+    result = setup.run(config=RunConfig(duration_bits=4_500))
     log = FrameLog(setup.sim.events)
     interesting = [e for e in log.timeline(
         [a.name for a in setup.attackers])

@@ -63,7 +63,7 @@ def main() -> None:
     attacker = sim.add_node(CanNode("attacker"))
     attack_id = next(iter(sorted(plan.dos_covered.iter_ids())))
     attacker.send(CanFrame(attack_id, bytes(8)))
-    sim.run_until(lambda s: attacker.is_bus_off, 20_000)
+    sim.advance_until(lambda s: attacker.is_bus_off, 20_000)
     boff = sim.events_of(BusOffEntered)
     print(f"\nverification: attack 0x{attack_id:03X} bused off at "
           f"t={boff[0].time if boff else 'NEVER'}; "

@@ -24,14 +24,14 @@ def main() -> None:
 
     # --- MichiCAN ----------------------------------------------------------
     michican = michican_defense_setup(attack_period_bits=attack_period)
-    m_time = michican.sim.run_until(
+    m_time = michican.sim.advance_until(
         lambda s: michican.attackers[0].is_bus_off, 200_000)
     m_trace = LogicTrace(michican.sim.wire.history)
     m_busy = m_trace.busy_fraction()
 
     # --- Parrot -------------------------------------------------------------
     parrot = parrot_defense_setup(attack_period_bits=attack_period)
-    p_time = parrot.sim.run_until(
+    p_time = parrot.sim.advance_until(
         lambda s: parrot.attacker.is_bus_off, 800_000)
     p_trace = LogicTrace(parrot.sim.wire.history)
     p_busy = p_trace.busy_fraction(start=2_000)  # post-detection phase

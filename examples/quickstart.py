@@ -36,7 +36,7 @@ def main() -> None:
     attacker = sim.add_node(TraditionalDosAttacker("attacker"))
 
     # --- run until the attacker is dead ------------------------------------
-    sim.run_until(lambda s: attacker.is_bus_off, limit=20_000)
+    sim.advance_until(lambda s: attacker.is_bus_off, limit=20_000)
 
     detection = sim.events_of(AttackDetected)[0]
     counter = sim.events_of(CounterattackStarted)[0]
@@ -52,7 +52,7 @@ def main() -> None:
 
     # --- benign traffic resumes --------------------------------------------
     before = len([e for e in sim.events_of(FrameTransmitted) if e.node == "benign_ecu"])
-    sim.run(10_000)
+    sim.advance(10_000)
     after = len([e for e in sim.events_of(FrameTransmitted) if e.node == "benign_ecu"])
     print(f"benign frames delivered: {before} during the attack, "
           f"{after - before} in the next 10k bits — traffic restored")

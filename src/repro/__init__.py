@@ -24,7 +24,7 @@ Quickstart::
     defender = sim.add_node(MichiCanNode("defender", range(0x100)))
     attacker = sim.add_node(CanNode("attacker"))
     attacker.send(CanFrame(0x042, bytes(8)))
-    sim.run_until(lambda s: attacker.is_bus_off, 10_000)
+    sim.advance_until(lambda s: attacker.is_bus_off, 10_000)
 """
 
 from repro.bus.simulator import CanBusSimulator

@@ -57,7 +57,9 @@ if TYPE_CHECKING:  # imported lazily at runtime: callgraph imports this
 #: node methods to bare names (statically unresolvable); the fan-out to
 #: node ``output``/``observe`` implementations is only visible via ``step``.
 ENTRY_SPECS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
-    ("bus/simulator.py", ("run", "run_until", "step")),
+    ("bus/simulator.py", ("run", "run_until", "step",
+                          "advance", "advance_until")),
+    ("bus/fastforward.py", ("try_advance",)),
     ("core/detection.py", ("handler",)),
 )
 

@@ -50,6 +50,29 @@ class ContinuousSource:
         self.emitted += 1
         return 1
 
+    # Fast-forward protocol (see repro.node.scheduler.PeriodicScheduler):
+    # the source refills at most once per span — the first tick with an
+    # empty queue enqueues, after which has_pending blocks until the
+    # controller pops it (which only happens in per-bit stepping).
+
+    def next_due(self, time: int, queue: TransmitQueue) -> Optional[int]:
+        if queue.has_pending:
+            return None
+        if self.limit is not None and self.emitted >= self.limit:
+            return None
+        return max(time, self.start_bits)
+
+    def fast_forward(self, start: int, end: int, queue: TransmitQueue) -> None:
+        if queue.has_pending:
+            return
+        if self.limit is not None and self.emitted >= self.limit:
+            return
+        at = max(start, self.start_bits)
+        if at >= end:
+            return
+        queue.enqueue(CanFrame(self.can_id, self.payload_fn(self.emitted)), at)
+        self.emitted += 1
+
 
 class AttackerNode(CanNode):
     """A compromised ECU.

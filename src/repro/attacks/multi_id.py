@@ -39,6 +39,20 @@ class _AlternatingSource:
         self.emitted += 1
         return 1
 
+    # Fast-forward protocol: refills at most once per span, at span start
+    # (identical to what per-bit ticking would do — has_pending then blocks
+    # every later tick until the controller pops the frame per-bit).
+
+    def next_due(self, time: int, queue: TransmitQueue) -> "int | None":
+        return None if queue.has_pending else time
+
+    def fast_forward(self, start: int, end: int, queue: TransmitQueue) -> None:
+        if queue.has_pending or start >= end:
+            return
+        can_id = self.can_ids[self.emitted % len(self.can_ids)]
+        queue.enqueue(CanFrame(can_id, bytes(8)), start)
+        self.emitted += 1
+
 
 class ToggleAttacker(AttackerNode):
     """One compromised ECU alternating between several attack IDs."""

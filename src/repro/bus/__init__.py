@@ -23,6 +23,11 @@ from repro.bus.gateway import (
     Route,
     RouteTable,
 )
+from repro.bus.fastforward import (
+    FAST_FORWARD_POLICIES,
+    FastForwardEngine,
+    FastForwardStats,
+)
 from repro.bus.noise import BurstNoiseWire, NoisyWire
 from repro.bus.simulator import CanBusSimulator
 from repro.bus.wire import Wire, resolve
@@ -34,6 +39,9 @@ __all__ = [
     "BusOffRecovered",
     "BurstNoiseWire",
     "CanBusSimulator",
+    "FAST_FORWARD_POLICIES",
+    "FastForwardEngine",
+    "FastForwardStats",
     "GatewayNode",
     "MultiBusSimulation",
     "NoisyWire",

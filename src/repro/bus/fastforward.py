@@ -1,0 +1,427 @@
+"""Frame-level fast-forward: chunked clock advancement across uncontended spans.
+
+The per-bit loop in :class:`~repro.bus.simulator.CanBusSimulator` pays the
+full output/resolve/observe cost for every bit, yet MichiCAN's decisions (and
+every other protocol decision in the repo) concentrate in a handful of bit
+positions: SOF and arbitration, the ID/commit window where the firmware
+tracks and may counterattack, error frames, and the ACK/EOF trailer.  The
+stretches in between — frame bodies with a single synchronized transmitter,
+and idle recessive gaps (including the 1408-bit bus-off recovery wait) — are
+decision-free.  This module advances the clock across those spans in one
+step each.
+
+Two span kinds are recognised:
+
+**Body spans** — exactly one node is TRANSMITTING somewhere inside its
+precompiled stuffed bitstream, every other node is either a synchronized
+receiver (its parser was reset at this frame's SOF and fed every bit since,
+so ``parser.raw_index == tx_index - 1``) or bus-off.  The wire levels for
+the rest of the stuffed region are then exactly the transmitter's stream
+slice, and every receiver's parser state at the end of the span is a pure
+function of the stream — precomputed once per stream and restored from a
+snapshot.  The span ends at the CRC delimiter so ACK, EOF, intermission and
+every error path stay per-bit.
+
+**Idle spans** — every node is IDLE with an empty queue (or bus-off).  The
+bus stays recessive until the earliest scheduler due time, the earliest
+bus-off recovery bit or the caller's deadline, whichever comes first.
+
+The determinism contract: a committed span changes simulator state exactly
+as the same number of per-bit steps would — same wire history and counters,
+same parser/controller/firmware state, same queue contents enqueued at the
+same times — and emits **zero** events (the chunked regions are event-free
+by construction, which is why probes, listeners and recorders see a
+byte-identical event stream).  Whenever any precondition fails the engine
+simply declines (:meth:`FastForwardEngine.try_advance` returns 0) and the
+caller steps per-bit; unknown node types, instance-patched hooks, fault
+injectors and custom wires therefore never see a behaviour change.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.bus.wire import Wire
+from repro.can.bitstream import Field, WireBit
+from repro.can.constants import (
+    BUS_IDLE_RECESSIVE_BITS,
+    BUS_OFF_RECOVERY_SEQUENCES,
+    DOMINANT,
+    RECESSIVE,
+)
+from repro.core.detection import FirmwarePhase
+from repro.node.controller import CanNode, ControllerState
+from repro.node.rxparser import RxParser
+
+if TYPE_CHECKING:
+    from repro.bus.simulator import CanBusSimulator
+
+#: The two fast-forward policies accepted by ``advance()``/``advance_until``.
+FAST_FORWARD_POLICIES: Tuple[str, ...] = ("auto", "off")
+
+#: Type of a policy value ("auto" or "off").
+FastForwardPolicy = str
+
+#: Spans shorter than this are not worth the commit bookkeeping.
+MIN_SPAN_BITS = 8
+
+#: After a declined span attempt the caller steps this many bits before the
+#: next eligibility check, bounding check overhead to ~1/16 per bit while
+#: delaying span entry by at most one frame's arbitration window.
+RETRY_INTERVAL_BITS = 16
+
+_PLAIN = 0
+_MICHICAN = 1
+_UNSAFE = 2
+
+_BASE_OUTPUT = CanNode.output
+_BASE_OBSERVE = CanNode.observe
+
+_michican_cls: type = None  # type: ignore[assignment]
+
+
+def _michican_class() -> type:
+    # Imported lazily to keep bus -> core -> node import edges acyclic.
+    global _michican_cls
+    if _michican_cls is None:
+        from repro.core.defense import MichiCanNode
+
+        _michican_cls = MichiCanNode
+    return _michican_cls
+
+
+_CLASS_KIND: Dict[type, int] = {}
+
+
+def _class_kind(cls: type) -> int:
+    """Classify a node class: plain controller, MichiCAN, or unsafe.
+
+    Plain means the class inherits :meth:`CanNode.output` and
+    :meth:`CanNode.observe` unchanged (attackers, restbus nodes, IDS taps);
+    anything overriding either hook — baseline defenders, spoofers,
+    recorder pseudo-nodes — is opaque to the engine and forces per-bit
+    stepping.  :class:`MichiCanNode` is special-cased because its firmware
+    state is catch-up-able when it sits in WAIT_SOF.
+    """
+    kind = _CLASS_KIND.get(cls)
+    if kind is None:
+        if cls is _michican_class():
+            kind = _MICHICAN
+        elif (getattr(cls, "output", None) is _BASE_OUTPUT
+                and getattr(cls, "observe", None) is _BASE_OBSERVE):
+            kind = _PLAIN
+        else:
+            kind = _UNSAFE
+        _CLASS_KIND[cls] = kind
+    return kind
+
+
+def _scheduler_safe(scheduler: object) -> bool:
+    """True when the scheduler's tick() effects can be replayed in O(1).
+
+    Requires the class to implement the fast-forward protocol
+    (``next_due``/``fast_forward``) and the instance to not carry a
+    patched ``tick`` (e.g. the random-ID attacker's per-frame mutation).
+    """
+    if "tick" in getattr(scheduler, "__dict__", ()):
+        return False
+    cls = type(scheduler)
+    return (getattr(cls, "fast_forward", None) is not None
+            and getattr(cls, "next_due", None) is not None)
+
+
+class FramePlan:
+    """Per-bitstream precomputation shared by every span over that stream.
+
+    Holds the raw level sequence, dominant-count prefix sums (O(1) wire
+    counter updates), nearest-dominant indices in both directions (O(1)
+    leading/trailing recessive-run queries for firmware and bus-off
+    catch-up) and memoized end-of-span parser snapshots.
+    """
+
+    __slots__ = ("stream", "levels", "dominant_prefix", "body_end",
+                 "next_dominant", "prev_dominant", "_snapshots")
+
+    def __init__(self, stream: List[WireBit]) -> None:
+        self.stream = stream
+        levels = [bit.level for bit in stream]
+        self.levels = levels
+        total = len(levels)
+        prefix = [0] * (total + 1)
+        count = 0
+        for index, level in enumerate(levels):
+            if level == DOMINANT:
+                count += 1
+            prefix[index + 1] = count
+        self.dominant_prefix = prefix
+        body_end = total
+        for index, bit in enumerate(stream):
+            if bit.field is Field.CRC_DELIM:
+                body_end = index
+                break
+        self.body_end = body_end
+        next_dominant = [total] * (total + 1)
+        nearest = total
+        for index in range(total - 1, -1, -1):
+            if levels[index] == DOMINANT:
+                nearest = index
+            next_dominant[index] = nearest
+        self.next_dominant = next_dominant
+        prev_dominant = [-1] * total
+        nearest = -1
+        for index in range(total):
+            if levels[index] == DOMINANT:
+                nearest = index
+            prev_dominant[index] = nearest
+        self.prev_dominant = prev_dominant
+        self._snapshots: Dict[int, tuple] = {}
+
+    def parser_state_at(self, end: int) -> tuple:
+        """Parser state after reset-at-SOF plus feeding ``levels[1:end]``.
+
+        Every receiver synchronized to this stream reaches exactly this
+        state at raw index ``end - 1`` (the parser is deterministic in the
+        fed levels), so one scratch replay serves all receivers of all
+        retransmissions of the frame.
+        """
+        state = self._snapshots.get(end)
+        if state is None:
+            scratch = RxParser()
+            feed = scratch.feed
+            for level in self.levels[1:end]:
+                feed(level)
+            state = scratch.snapshot()
+            self._snapshots[end] = state
+        return state
+
+
+class FastForwardStats:
+    """Span counters exposed as ``sim.ff_stats`` for benchmarks and tests."""
+
+    __slots__ = ("body_spans", "body_bits", "idle_spans", "idle_bits")
+
+    def __init__(self) -> None:
+        self.body_spans = 0
+        self.body_bits = 0
+        self.idle_spans = 0
+        self.idle_bits = 0
+
+    @property
+    def fast_bits(self) -> int:
+        """Total bits advanced without per-bit stepping."""
+        return self.body_bits + self.idle_bits
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "body_spans": self.body_spans,
+            "body_bits": self.body_bits,
+            "idle_spans": self.idle_spans,
+            "idle_bits": self.idle_bits,
+        }
+
+
+class FastForwardEngine:
+    """Plans and commits fast-forward spans for one simulator."""
+
+    def __init__(self, sim: "CanBusSimulator") -> None:
+        self.sim = sim
+        self.stats = FastForwardStats()
+        self._plans: Dict[int, FramePlan] = {}
+
+    # ------------------------------------------------------------- planning
+
+    def _plan(self, stream: List[WireBit]) -> FramePlan:
+        # Keyed by stream identity: serialize_frame_cached() hands the same
+        # list object to every (re)transmission of a frame, and the plan
+        # keeps the stream alive so the id cannot be recycled underneath.
+        key = id(stream)
+        plan = self._plans.get(key)
+        if plan is None:
+            if len(self._plans) >= 128:
+                self._plans.pop(next(iter(self._plans)))
+            plan = self._plans[key] = FramePlan(stream)
+        return plan
+
+    def try_advance(self, deadline: int) -> int:
+        """Fast-forward one span if the bus state allows it.
+
+        Returns the number of bits advanced (0 = the caller must step
+        per-bit; nothing was changed).
+        """
+        sim = self.sim
+        if not sim.nodes:
+            return 0  # stepping an empty bus must keep raising
+        if deadline - sim.time < MIN_SPAN_BITS:
+            return 0
+        if type(sim.wire) is not Wire:
+            return 0  # fault-injecting or custom wires resolve per-bit
+        transmitter = None
+        for node in sim.nodes:
+            kind = _class_kind(type(node))
+            if kind == _UNSAFE:
+                return 0
+            if node._start_tx_next or node._drive_dominant_once:
+                return 0
+            if "output" in node.__dict__ or "observe" in node.__dict__:
+                return 0  # node-fault injector wrappers installed
+            if not node.listen_only and not _scheduler_safe(node.scheduler):
+                return 0
+            if kind == _MICHICAN:
+                firmware = node.firmware
+                if (firmware.phase is not FirmwarePhase.WAIT_SOF
+                        or firmware.drive_level != RECESSIVE
+                        or node._was_attacking
+                        or node._reported_detections != len(firmware.detections)):
+                    return 0
+            state = node.state
+            if state is ControllerState.TRANSMITTING:
+                if transmitter is not None:
+                    return 0  # contended bus: arbitration stays per-bit
+                transmitter = node
+            elif (state is not ControllerState.IDLE
+                    and state is not ControllerState.RECEIVING
+                    and state is not ControllerState.BUS_OFF):
+                return 0  # error flags, delimiters, intermission, suspend
+        if transmitter is not None:
+            return self._body_span(transmitter, deadline)
+        return self._idle_span(deadline)
+
+    # ----------------------------------------------------------- body spans
+
+    def _body_span(self, tx: CanNode, deadline: int) -> int:
+        sim = self.sim
+        start = sim.time
+        index0 = tx._tx_index
+        if index0 < 1:
+            return 0  # SOF bit itself stays per-bit (parser reset happens there)
+        plan = self._plan(tx._tx_stream)
+        index1 = plan.body_end
+        span = index1 - index0
+        if span < MIN_SPAN_BITS or start + span > deadline:
+            # Deadline-clamped spans would need snapshots at arbitrary
+            # indices; declining keeps the snapshot cache exact and small.
+            return 0
+        if tx.parser.raw_index != index0 - 1 or tx.parser.drive_ack_next:
+            return 0
+        levels = plan.levels
+        first_dominant = plan.next_dominant[index0]
+        has_dominant = first_dominant < index1
+        leading = (first_dominant if has_dominant else index1) - index0
+        if has_dominant:
+            trailing = index1 - 1 - plan.prev_dominant[index1 - 1]
+        else:
+            trailing = span
+        michican = _michican_class()
+        nodes = sim.nodes
+        for node in nodes:
+            if node is not tx:
+                state = node.state
+                if state is ControllerState.RECEIVING:
+                    parser = node.parser
+                    if parser.raw_index != index0 - 1 or parser.drive_ack_next:
+                        return 0  # unsynchronized receiver: will error per-bit
+                elif state is ControllerState.BUS_OFF:
+                    if node.auto_recover:
+                        run = node._busoff_recessive_run
+                        gained = ((run + leading) // BUS_IDLE_RECESSIVE_BITS
+                                  - run // BUS_IDLE_RECESSIVE_BITS)
+                        if (node._busoff_sequences + gained
+                                >= BUS_OFF_RECOVERY_SEQUENCES):
+                            return 0  # recovery would fire mid-span
+                else:
+                    return 0  # a node sitting IDLE mid-frame: per-bit
+            if type(node) is michican:
+                # A dominant bit arriving with the 11-recessive credit
+                # already earned would be a SOF from the firmware's view.
+                if (has_dominant and node.firmware._cnt_sof + leading
+                        >= BUS_IDLE_RECESSIVE_BITS):
+                    return 0
+        # ---------------------------------------------------------- commit
+        end_time = start + span
+        dominant = plan.dominant_prefix[index1] - plan.dominant_prefix[index0]
+        sim.wire.extend_history(levels[index0:index1], dominant)
+        parser_state = plan.parser_state_at(index1)
+        last_time = end_time - 1
+        for node in nodes:
+            if not node.listen_only:
+                node.scheduler.fast_forward(start, end_time, node.queue)
+            node._time = last_time
+            if node is tx:
+                tx._tx_index = index1
+                tx._sent_this_bit = levels[index1 - 1]
+                tx.parser.restore(parser_state)
+            elif node.state is ControllerState.RECEIVING:
+                node.parser.restore(parser_state)
+                node._sent_this_bit = RECESSIVE
+            else:  # BUS_OFF
+                node._sent_this_bit = RECESSIVE
+                if node.auto_recover:
+                    run = node._busoff_recessive_run
+                    node._busoff_sequences += (
+                        (run + leading) // BUS_IDLE_RECESSIVE_BITS
+                        - run // BUS_IDLE_RECESSIVE_BITS)
+                    node._busoff_recessive_run = (
+                        trailing if has_dominant else run + span)
+            if type(node) is michican:
+                node.firmware.catch_up_wait_sof(span, has_dominant, trailing)
+        sim.time = end_time
+        self.stats.body_spans += 1
+        self.stats.body_bits += span
+        return span
+
+    # ----------------------------------------------------------- idle spans
+
+    def _idle_span(self, deadline: int) -> int:
+        sim = self.sim
+        start = sim.time
+        end = deadline
+        nodes = sim.nodes
+        for node in nodes:
+            state = node.state
+            if state is ControllerState.IDLE:
+                if node.queue.has_pending:
+                    return 0  # about to start transmitting
+                if not node.listen_only:
+                    due = node.scheduler.next_due(start, node.queue)
+                    if due is not None:
+                        if due <= start:
+                            return 0
+                        if due < end:
+                            end = due
+            elif state is ControllerState.BUS_OFF:
+                if node.auto_recover:
+                    run = node._busoff_recessive_run
+                    target = (BUS_OFF_RECOVERY_SEQUENCES - node._busoff_sequences
+                              + run // BUS_IDLE_RECESSIVE_BITS)
+                    # Recovery fires while observing this bit; it (and the
+                    # idle re-entry it triggers) must stay per-bit.
+                    recovery_bit = (start + BUS_IDLE_RECESSIVE_BITS * target
+                                    - run - 1)
+                    if recovery_bit < end:
+                        end = recovery_bit
+            else:
+                return 0
+        span = end - start
+        if span < MIN_SPAN_BITS:
+            return 0
+        # ---------------------------------------------------------- commit
+        sim.wire.extend_recessive(span)
+        last_time = end - 1
+        michican = _michican_class()
+        for node in nodes:
+            if not node.listen_only:
+                node.scheduler.fast_forward(start, end, node.queue)
+            node._time = last_time
+            node._sent_this_bit = RECESSIVE
+            if node.state is ControllerState.BUS_OFF and node.auto_recover:
+                run = node._busoff_recessive_run
+                node._busoff_sequences += (
+                    (run + span) // BUS_IDLE_RECESSIVE_BITS
+                    - run // BUS_IDLE_RECESSIVE_BITS)
+                node._busoff_recessive_run = run + span
+            if type(node) is michican:
+                node.firmware.catch_up_wait_sof(span, False, 0)
+        sim.time = end
+        self.stats.idle_spans += 1
+        self.stats.idle_bits += span
+        return span

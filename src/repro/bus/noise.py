@@ -9,7 +9,14 @@ testable before the fault-injection subsystem existed; both classes now
 compile down to :class:`~repro.faults.wire.FaultInjectingWire` fault specs
 and exist only for backwards compatibility.  New code should build a
 :class:`~repro.faults.plan.FaultPlan` with ``wire.flip`` / ``wire.burst``
-specs instead.
+specs (the :func:`~repro.faults.plan.flip_fault` /
+:func:`~repro.faults.plan.burst_fault` helpers build the common cases).
+
+Removal timeline: every in-repo caller has been migrated; both shims emit
+:class:`DeprecationWarning` now and will be deleted (along with the
+``repro.bus.noise`` module and its ``repro.bus`` re-exports) in the
+release after next.  Only the shim-coverage tests in
+``tests/bus/test_noise.py`` may keep importing them until then.
 """
 
 from __future__ import annotations

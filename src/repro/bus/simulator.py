@@ -9,6 +9,7 @@ and keeps the engine deterministic and replayable.
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.bus.events import Event
@@ -16,8 +17,17 @@ from repro.bus.wire import Wire
 from repro.can.constants import BUS_SPEED_500K
 from repro.errors import ConfigurationError, SimulationError
 
-if TYPE_CHECKING:  # the engine only needs CanNode for typing
+if TYPE_CHECKING:  # the engine only needs these for typing
+    from repro.bus.fastforward import FastForwardEngine, FastForwardStats
     from repro.node.controller import CanNode
+
+_DEPRECATION_WARNED: set = set()
+
+
+def _warn_once(key: str, message: str) -> None:
+    if key not in _DEPRECATION_WARNED:
+        _DEPRECATION_WARNED.add(key)
+        warnings.warn(message, DeprecationWarning, stacklevel=3)
 
 
 class CanBusSimulator:
@@ -40,7 +50,7 @@ class CanBusSimulator:
         >>> a, b = CanNode("a"), CanNode("b")
         >>> sim.add_node(a); sim.add_node(b)
         >>> a.send(CanFrame(0x100, b"\\x01"))
-        >>> _ = sim.run(200)
+        >>> _ = sim.advance(200)
     """
 
     def __init__(
@@ -61,6 +71,11 @@ class CanBusSimulator:
         self._event_listeners: List[Callable[[Event], None]] = []
         self._stop_requested = False
         self._outputs: List[int] = []
+        #: Default fast-forward policy for :meth:`advance`/:meth:`advance_until`
+        #: when no per-call ``policy`` is given: "auto" (chunk uncontended
+        #: spans) or "off" (always per-bit).
+        self.fast_forward_policy: str = "auto"
+        self._ff_engine: Optional["FastForwardEngine"] = None
 
     # ------------------------------------------------------------- topology
 
@@ -146,7 +161,12 @@ class CanBusSimulator:
     # ------------------------------------------------------------------- run
 
     def step(self) -> int:
-        """Advance one bit time; return the resolved bus level."""
+        """Advance one bit time; return the resolved bus level.
+
+        This is the engine primitive (gateways and instrumentation call it
+        directly, once per bit); for multi-bit advancement prefer
+        :meth:`advance`, which fast-forwards uncontended spans.
+        """
         if not self.nodes:
             raise SimulationError("cannot step a bus with no nodes")
         outputs = [node.output(self.time) for node in self.nodes]
@@ -156,23 +176,42 @@ class CanBusSimulator:
         self.time += 1
         return level
 
-    def run(self, bits: int) -> int:
-        """Run for ``bits`` bit times (or until :meth:`request_stop`).
+    def _resolve_policy(self, policy: Optional[str]) -> str:
+        if policy is None:
+            policy = self.fast_forward_policy
+        if policy not in ("auto", "off"):
+            raise ConfigurationError(
+                f"unknown fast-forward policy {policy!r}; expected 'auto' or 'off'"
+            )
+        return policy
 
-        Returns the time actually reached.
-        """
-        if bits < 0:
-            raise ConfigurationError(f"cannot run for negative time {bits}")
-        if not self.nodes and bits > 0:
-            raise SimulationError("cannot step a bus with no nodes")
-        self._stop_requested = False
-        deadline = self.time + bits
+    def _engine(self) -> "FastForwardEngine":
+        engine = self._ff_engine
+        if engine is None:
+            # Imported lazily: the engine pulls in node/core modules that
+            # the simulator itself must not depend on at import time.
+            from repro.bus.fastforward import FastForwardEngine
+
+            engine = self._ff_engine = FastForwardEngine(self)
+        return engine
+
+    @property
+    def ff_stats(self) -> "FastForwardStats":
+        """Fast-forward span counters (all zero until spans commit)."""
+        return self._engine().stats
+
+    def _instrumented(self) -> bool:
         # Instrumented simulators (subclass or per-instance step() override)
         # keep the one-call-per-bit contract.
-        if "step" in self.__dict__ or type(self).step is not CanBusSimulator.step:
+        return ("step" in self.__dict__
+                or type(self).step is not CanBusSimulator.step)
+
+    def _step_bits(self, deadline: int) -> None:
+        """Per-bit stepping until ``deadline`` or a requested stop."""
+        if self._instrumented():
             while self.time < deadline and not self._stop_requested:
                 self.step()
-            return self.time
+            return
         # The campaign layer multiplies total simulated bits, so this loop
         # is the hottest path in the repo: bind the per-node methods once,
         # reuse one outputs buffer, and avoid the step() dispatch per bit.
@@ -196,28 +235,109 @@ class CanBusSimulator:
                 observe(time, level)
             time += 1
             self.time = time
+
+    def advance(self, bits: int, *, policy: Optional[str] = None) -> int:
+        """Advance the clock ``bits`` bit times (or until :meth:`request_stop`).
+
+        Under the "auto" policy (the default) the engine fast-forwards
+        uncontended spans — single-transmitter frame bodies and idle gaps —
+        and drops to per-bit stepping everywhere a protocol decision can
+        happen (SOF/arbitration, commit window, error frames, bus-off
+        recovery, counterattacks).  Committed spans are bit-exact: state,
+        wire history and the event stream match per-bit stepping (see
+        :mod:`repro.bus.fastforward`).  Pass ``policy="off"`` to force
+        per-bit stepping for the whole call.
+
+        Returns the time actually reached.
+        """
+        if bits < 0:
+            raise ConfigurationError(f"cannot run for negative time {bits}")
+        if not self.nodes and bits > 0:
+            raise SimulationError("cannot step a bus with no nodes")
+        policy = self._resolve_policy(policy)
+        self._stop_requested = False
+        deadline = self.time + bits
+        if policy == "off" or self._instrumented():
+            self._step_bits(deadline)
+            return self.time
+        from repro.bus.fastforward import RETRY_INTERVAL_BITS
+
+        try_advance = self._engine().try_advance
+        while self.time < deadline and not self._stop_requested:
+            if try_advance(deadline) == 0:
+                chunk = self.time + RETRY_INTERVAL_BITS
+                self._step_bits(chunk if chunk < deadline else deadline)
         return self.time
 
-    def run_until(
-        self, predicate: Callable[["CanBusSimulator"], bool], limit: int
+    def advance_until(
+        self,
+        predicate: Callable[["CanBusSimulator"], bool],
+        limit: int,
+        *,
+        policy: Optional[str] = None,
     ) -> Optional[int]:
-        """Run until ``predicate(self)`` holds, at most ``limit`` bits.
+        """Advance until ``predicate(self)`` holds, at most ``limit`` bits.
 
-        Honors :meth:`request_stop` exactly like :meth:`run` does.  Returns
-        the time at which the predicate first held, or None if the limit was
-        reached (or a stop was requested) first.
+        Under "auto" the predicate is evaluated after every committed span
+        or stepped bit — chunk granularity, which is exact for predicates
+        over controller/firmware state (spans are decision-free, so such
+        predicates cannot flip inside one).  Pass ``policy="off"`` for
+        strict per-bit evaluation.  Returns the time at which the predicate
+        first held, or None if the limit was reached (or a stop was
+        requested) first.
         """
         if limit < 0:
             raise ConfigurationError(f"cannot run for negative time {limit}")
+        policy = self._resolve_policy(policy)
         self._stop_requested = False
         deadline = self.time + limit
+        if policy == "off" or self._instrumented():
+            while self.time < deadline:
+                self.step()
+                if predicate(self):
+                    return self.time
+                if self._stop_requested:
+                    return None
+            return None
+        try_advance = self._engine().try_advance
         while self.time < deadline:
-            self.step()
+            if try_advance(deadline) == 0:
+                self.step()
             if predicate(self):
                 return self.time
             if self._stop_requested:
                 return None
         return None
+
+    def run(self, bits: int) -> int:
+        """Deprecated alias for :meth:`advance` (one release grace period).
+
+        .. deprecated:: PR 6
+            Use ``advance(bits)``; ``run`` will be removed next release.
+        """
+        _warn_once(
+            "run",
+            "CanBusSimulator.run() is deprecated; use advance(bits) "
+            "(identical semantics, fast-forward engine included)",
+        )
+        return self.advance(bits)
+
+    def run_until(
+        self, predicate: Callable[["CanBusSimulator"], bool], limit: int
+    ) -> Optional[int]:
+        """Deprecated alias for :meth:`advance_until` with ``policy="off"``.
+
+        .. deprecated:: PR 6
+            Use ``advance_until(predicate, limit)``; ``run_until`` will be
+            removed next release.  The alias pins ``policy="off"`` to keep
+            the historical strictly-per-bit predicate timing.
+        """
+        _warn_once(
+            "run_until",
+            "CanBusSimulator.run_until() is deprecated; use "
+            "advance_until(predicate, limit)",
+        )
+        return self.advance_until(predicate, limit, policy="off")
 
     # ------------------------------------------------------------ conversions
 

@@ -12,6 +12,7 @@ Independently of recording, the wire keeps exact occupancy counters
 from __future__ import annotations
 
 from collections import deque
+from itertools import repeat
 from typing import Iterable, List, MutableSequence, Optional
 
 from repro.can.constants import DOMINANT, RECESSIVE
@@ -93,6 +94,32 @@ class Wire:
         if self.record:
             self.history.append(level)
         return level
+
+    def extend_history(self, levels: "List[int]", dominant: int) -> None:
+        """Batch-append pre-resolved levels (the fast-forward commit path).
+
+        The caller has already resolved every bit of an uncontended span
+        (wired-AND over all drivers) and counted its dominant levels;
+        counters, :attr:`level` and the recorded history end up exactly as
+        if :meth:`drive` had run once per bit.
+        """
+        count = len(levels)
+        if not count:
+            return
+        self.total_bits += count
+        self.dominant_bits += dominant
+        self._level = levels[-1]
+        if self.record:
+            self.history.extend(levels)
+
+    def extend_recessive(self, count: int) -> None:
+        """Batch-append ``count`` recessive (idle) bits."""
+        if count <= 0:
+            return
+        self.total_bits += count
+        self._level = RECESSIVE
+        if self.record:
+            self.history.extend(repeat(RECESSIVE, count))
 
     def _override_level(self, level: int) -> int:
         """Replace the most recently resolved level (fault injection).

@@ -165,6 +165,31 @@ def serialize_frame(frame: CanFrame) -> List[WireBit]:
     return stuff(unstuffed_frame_bits(frame))
 
 
+#: Bounded memo for :func:`serialize_frame_cached`; keyed by the (frozen,
+#: hashable) frame itself.  256 distinct frames covers every workload in the
+#: repo with room to spare while bounding memory for adversarial ID sweeps.
+_SERIALIZE_CACHE: dict = {}
+_SERIALIZE_CACHE_MAX = 256
+
+
+def serialize_frame_cached(frame: CanFrame) -> List[WireBit]:
+    """Memoized :func:`serialize_frame` for hot retransmission paths.
+
+    A flooding attacker re-serializes the same frame on every one of its
+    ~32 (re)transmission attempts per bus-off cycle, and the fast-forward
+    engine needs a *stable* stream object per frame so its per-stream plans
+    (level prefix sums, parser snapshots) can be reused across attempts.
+    Callers must treat the returned list as immutable.
+    """
+    stream = _SERIALIZE_CACHE.get(frame)
+    if stream is None:
+        stream = serialize_frame(frame)
+        if len(_SERIALIZE_CACHE) >= _SERIALIZE_CACHE_MAX:
+            _SERIALIZE_CACHE.pop(next(iter(_SERIALIZE_CACHE)))
+        _SERIALIZE_CACHE[frame] = stream
+    return stream
+
+
 def frame_wire_length(frame: CanFrame) -> int:
     """Total number of wire bits (including stuff bits) for ``frame``."""
     return len(serialize_frame(frame))

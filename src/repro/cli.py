@@ -72,6 +72,7 @@ def cmd_table1(_args: argparse.Namespace) -> int:
 
 
 def cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments.config import RunConfig
     from repro.experiments.scenarios import EXPERIMENTS, run_table2
 
     if args.experiment is not None:
@@ -79,7 +80,8 @@ def cmd_table2(args: argparse.Namespace) -> int:
             print(f"error: experiment must be 1..6, got {args.experiment}",
                   file=sys.stderr)
             return 2
-        result = EXPERIMENTS[args.experiment]().run(args.duration)
+        result = EXPERIMENTS[args.experiment]().run(
+            config=RunConfig(duration_bits=args.duration))
         print(result.render())
         return 0
     for result in run_table2(duration_bits=args.duration).values():
@@ -119,12 +121,14 @@ def cmd_latency(args: argparse.Namespace) -> int:
 
 
 def cmd_multi(args: argparse.Namespace) -> int:
+    from repro.experiments.config import RunConfig
     from repro.experiments.scenarios import (
         multi_attacker_experiment,
         total_fight_bits,
     )
 
-    result = multi_attacker_experiment(args.attackers).run(args.duration)
+    result = multi_attacker_experiment(args.attackers).run(
+        config=RunConfig(duration_bits=args.duration))
     total = total_fight_bits(result)
     print(result.render())
     print(f"total fight: {total} bits "
@@ -231,7 +235,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
 
     sim.add_node(CanNode("listener"))
     limit = args.duration
-    sim.run_until(lambda s: replay.replay_finished, limit)
+    sim.advance_until(lambda s: replay.replay_finished, limit)
     delivered = len(sim.events_of(FrameTransmitted))
     print(f"replayed {delivered}/{len(records)} frames in "
           f"{sim.time} bit times ({sim.milliseconds():.1f} ms)")
@@ -262,7 +266,7 @@ def cmd_waveform(args: argparse.Namespace) -> int:
     sim = CanBusSimulator(bus_speed=50_000)
     sim.add_node(MichiCanNode("defender", range(0x100)))
     sim.add_node(DosAttacker("attacker", args.attack_id))
-    sim.run(args.duration)
+    sim.advance(args.duration)
     annotations = {
         e.time: "counterattack"
         for e in sim.events_of(CounterattackStarted)[:3]
@@ -323,7 +327,7 @@ def cmd_demo(args: argparse.Namespace) -> int:
     sim = CanBusSimulator(bus_speed=args.bus_speed)
     defender = sim.add_node(MichiCanNode("defender", range(0x100)))
     attacker = sim.add_node(DosAttacker("attacker", args.attack_id))
-    sim.run_until(lambda s: attacker.is_bus_off, 20_000)
+    sim.advance_until(lambda s: attacker.is_bus_off, 20_000)
     detection = sim.events_of(AttackDetected)[0]
     busoff = sim.events_of(BusOffEntered)[0]
     print(f"attack ID 0x{args.attack_id:03X} flooded at "
@@ -381,7 +385,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                          duration_bits=args.duration,
                          metrics=not args.no_metrics,
                          snapshot_every_bits=args.snapshot_every,
-                         faults=faults)
+                         faults=faults, engine=args.engine)
             for seed in args.seeds
         )
     if not specs:
@@ -738,6 +742,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="comma-separated seeds (default: 0)")
     cp.add_argument("--duration", type=int, default=20_000,
                     help="simulated window per run, in bit times")
+    cp.add_argument("--engine", choices=["fast", "bit"], default="fast",
+                    help="simulation engine: 'fast' chunks uncontended "
+                         "spans (default), 'bit' forces per-bit stepping; "
+                         "results are identical")
     cp.add_argument("--param", action="append", metavar="KEY=VALUE",
                     help="scenario factory parameter (repeatable)")
     cp.add_argument("--spec-file", default=None,

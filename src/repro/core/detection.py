@@ -215,6 +215,29 @@ class MichiCanFirmware:
         else:
             self._attack_step(time, value)
 
+    def catch_up_wait_sof(
+        self,
+        bits: int,
+        has_dominant: bool,
+        trailing_recessive: int,
+    ) -> None:
+        """O(1) equivalent of ``bits`` consecutive :meth:`handler` calls
+        while the firmware stays in WAIT_SOF for the whole span.
+
+        The fast-forward engine guarantees the span contains no SOF from
+        this firmware's point of view (no dominant bit arrives with the
+        11-recessive idle credit already earned), so the only state that
+        changes is the interrupt/idle counters and the recessive-run
+        credit: after a dominant bit the credit restarts from the span's
+        trailing recessive run; an all-recessive span just extends it.
+        """
+        self.counters.interrupts += bits
+        self.counters.idle_bits += bits
+        if has_dominant:
+            self._cnt_sof = trailing_recessive
+        else:
+            self._cnt_sof += bits
+
     # -------------------------------------------------------------- wait SOF
 
     def _wait_sof(self, time: int, value: int) -> None:

@@ -101,6 +101,7 @@ def _register_builtin_scenarios() -> None:
     register_scenario("restbus_fight", sweeps.restbus_fight_setup)
     register_scenario("chaos_fight", chaos.chaos_fight_setup)
     register_scenario("chaos_benign", chaos.chaos_benign_setup)
+    register_scenario("restbus_baseline", scenarios.restbus_baseline)
 
 
 # ------------------------------------------------------------------ specs
@@ -128,6 +129,10 @@ class ScenarioSpec:
             JSONL-ready timeline.
         faults: Optional :class:`~repro.faults.plan.FaultPlan` applied to
             the freshly built simulator before the run (chaos wiring).
+        engine: "fast" (default) runs through the fast-forward engine,
+            "bit" forces per-bit stepping — both produce identical results
+            (the differential suite enforces this); "bit" exists for
+            engine-comparison benchmarks and as an escape hatch.
     """
 
     scenario: str
@@ -138,6 +143,7 @@ class ScenarioSpec:
     metrics: bool = False
     snapshot_every_bits: Optional[int] = None
     faults: Optional[FaultPlan] = None
+    engine: str = "fast"
 
     @property
     def name(self) -> str:
@@ -164,9 +170,15 @@ class ScenarioSpec:
                 apply_fault_plan(sim, self.faults)
         return setup
 
+    def run_config(self) -> "RunConfig":
+        """The :class:`~repro.experiments.config.RunConfig` this spec maps to."""
+        from repro.experiments.config import RunConfig
+
+        return RunConfig(duration_bits=self.duration_bits, engine=self.engine)
+
     def run(self) -> ExperimentResult:
         """Build and run the scenario; convenience for one-off use."""
-        return self.build().run(self.duration_bits)
+        return self.build().run(config=self.run_config())
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -178,6 +190,7 @@ class ScenarioSpec:
             "metrics": self.metrics,
             "snapshot_every_bits": self.snapshot_every_bits,
             "faults": None if self.faults is None else self.faults.to_dict(),
+            "engine": self.engine,
         }
 
     @classmethod
@@ -192,6 +205,7 @@ class ScenarioSpec:
             metrics=data.get("metrics", False),
             snapshot_every_bits=data.get("snapshot_every_bits"),
             faults=None if not faults_data else FaultPlan.from_dict(faults_data),
+            engine=data.get("engine", "fast"),
         )
 
 
@@ -206,9 +220,13 @@ def spec_key(spec: ScenarioSpec) -> str:
 class RunRecord:
     """One executed spec: the result plus per-run throughput metrics.
 
-    ``wall_seconds`` / ``steps_per_second`` / ``worker`` are *timing
-    metadata* — excluded from the determinism contract and from
-    :meth:`CampaignReport.payload_equal` comparisons.
+    ``wall_seconds`` / ``steps_per_second`` / ``worker`` /
+    ``spawn_overhead_seconds`` are *timing metadata* — excluded from the
+    determinism contract and from :meth:`CampaignReport.payload_equal`
+    comparisons.  ``spawn_overhead_seconds`` is the parallel fan-out tax:
+    parent-observed wall time minus the worker's in-process run time
+    (process spawn, import replay, result pickling); always 0.0 on the
+    serial path.
     """
 
     spec: ScenarioSpec
@@ -217,6 +235,7 @@ class RunRecord:
     steps_per_second: float
     worker: str
     snapshots: List[Dict[str, Any]] = field(default_factory=list)
+    spawn_overhead_seconds: float = 0.0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -226,6 +245,7 @@ class RunRecord:
             "steps_per_second": self.steps_per_second,
             "worker": self.worker,
             "snapshots": [dict(snapshot) for snapshot in self.snapshots],
+            "spawn_overhead_seconds": self.spawn_overhead_seconds,
         }
 
     @classmethod
@@ -237,6 +257,7 @@ class RunRecord:
             steps_per_second=data.get("steps_per_second", 0.0),
             worker=data.get("worker", ""),
             snapshots=list(data.get("snapshots", [])),
+            spawn_overhead_seconds=data.get("spawn_overhead_seconds", 0.0),
         )
 
 
@@ -346,6 +367,23 @@ class CampaignReport:
                       for f in data.get("failures", [])],
         )
 
+    def spawn_overhead_seconds(self) -> float:
+        """Total parallel fan-out tax across all records."""
+        return sum(record.spawn_overhead_seconds for record in self.records)
+
+    def parallel_speedup(self) -> Optional[float]:
+        """Estimated speedup vs serial execution of the same specs.
+
+        The serial-equivalent time is the sum of per-record in-worker run
+        times; the ratio against the campaign's wall clock estimates what
+        the fan-out bought.  None when it cannot be estimated (no records
+        or no wall time).
+        """
+        serial_equivalent = sum(r.wall_seconds for r in self.records)
+        if not self.records or self.wall_seconds <= 0:
+            return None
+        return serial_equivalent / self.wall_seconds
+
     def render(self) -> str:
         """Human-readable summary: every run's Table II block + throughput."""
         lines = [
@@ -355,6 +393,19 @@ class CampaignReport:
         ]
         if self.failures:
             lines[0] += f", {len(self.failures)} failed"
+        if self.n_workers > 1:
+            speedup = self.parallel_speedup()
+            if speedup is not None:
+                overhead = self.spawn_overhead_seconds()
+                lines.append(
+                    f"parallel speedup ~{speedup:.2f}x vs serial "
+                    f"(spawn overhead {overhead:.2f} s "
+                    f"across {len(self.records)} worker runs)")
+                if speedup < 1.1:
+                    lines.append(
+                        "WARNING: parallel fan-out gained <1.1x over serial "
+                        "— per-worker spawn overhead dominates these "
+                        "windows; use n_workers=1 or longer duration_bits")
         for record in self.records:
             lines.append("")
             lines.append(f"[{record.spec.name}] "
@@ -395,7 +446,7 @@ def execute_spec(spec: ScenarioSpec) -> RunRecord:
             recorder = SnapshotRecorder(probe, spec.snapshot_every_bits)
             sim.add_node(recorder)
     started = _time.perf_counter()
-    result = setup.run(spec.duration_bits)
+    result = setup.run(config=spec.run_config())
     wall = _time.perf_counter() - started
     steps = getattr(sim, "time", spec.duration_bits)
     if probe is not None:
@@ -679,6 +730,10 @@ class Campaign:
                     status, body = payload
                     if status == "ok":
                         record = RunRecord.from_dict(body)
+                        # Parent-observed wall minus the worker's own run
+                        # time = spawn/import/pickling tax of the fan-out.
+                        record.spawn_overhead_seconds = max(
+                            0.0, wall - record.wall_seconds)
                         records[index] = record
                         if checkpoint is not None:
                             checkpoint.append_record(record)

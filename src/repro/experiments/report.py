@@ -18,6 +18,7 @@ from repro.analysis.busoff_theory import (
 from repro.analysis.cpu import ARDUINO_DUE, NXP_S32K144, analytic_utilization
 from repro.analysis.latency import run_latency_study
 from repro.baselines.comparison import render_table
+from repro.experiments.config import RunConfig
 from repro.experiments.scenarios import (
     EXPERIMENTS,
     multi_attacker_experiment,
@@ -46,7 +47,7 @@ class ReportSection:
 def _table2_section(duration_bits: int) -> ReportSection:
     section = ReportSection("Table II — empirical bus-off times (ms)")
     for number, factory in sorted(EXPERIMENTS.items()):
-        result = factory().run(duration_bits)
+        result = factory().run(config=RunConfig(duration_bits=duration_bits))
         if number == 5:
             for attacker, paper in (("attacker_066", 39.0),
                                     ("attacker_067", 35.4)):
@@ -73,7 +74,8 @@ def _latency_section(num_fsms: int) -> ReportSection:
 def _multi_section(duration_bits: int) -> ReportSection:
     section = ReportSection("Sec. V-C — concurrent attackers")
     for attackers in (2, 3, 4, 5):
-        result = multi_attacker_experiment(attackers).run(duration_bits)
+        result = multi_attacker_experiment(attackers).run(
+            config=RunConfig(duration_bits=duration_bits))
         total = total_fight_bits(result)
         paper = PAPER_MULTI_BITS.get(attackers, "-")
         verdict = "OK" if total <= 5_000 else "deadline miss"

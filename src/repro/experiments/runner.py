@@ -16,8 +16,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.bus.simulator import CanBusSimulator
-from repro.can.constants import BUS_SPEED_50K
 from repro.core.defense import MichiCanNode
+from repro.experiments.config import _UNSET, RunConfig
 from repro.node.controller import CanNode
 from repro.obs.probe import BusProbe, MetricsSummary
 from repro.trace.framelog import BusOffEpisode, FrameLog
@@ -131,14 +131,15 @@ class ExperimentResult:
 def run_and_measure(
     sim: CanBusSimulator,
     attackers: Sequence[CanNode],
-    duration_bits: int,
-    name: str = "experiment",
+    duration_bits: int = _UNSET,
+    name: str = _UNSET,
     defenders: Optional[Sequence[MichiCanNode]] = None,
     *,
-    log: Optional[FrameLog] = None,
-    metrics: Union[bool, BusProbe] = False,
+    log: Optional[FrameLog] = _UNSET,
+    metrics: Union[bool, BusProbe] = _UNSET,
+    config: Optional[RunConfig] = None,
 ) -> ExperimentResult:
-    """Run ``sim`` for ``duration_bits`` and collect Table II statistics.
+    """Run ``sim`` for the configured window and collect Table II statistics.
 
     This is the single-run primitive.  For multi-run parameterized studies
     (sweeps, repeated seeds, fan-out over worker processes) build
@@ -147,29 +148,36 @@ def run_and_measure(
     this function by hand.
 
     Args:
-        log: Escape hatch — supply a pre-built :class:`FrameLog` (e.g. a
-            filtered one) instead of having one derived from ``sim.events``
-            after the run.  Keyword-only; the positional signature is frozen.
-        metrics: Truthy attaches a :class:`~repro.obs.probe.BusProbe` for
-            the run and embeds its :class:`~repro.obs.probe.MetricsSummary`
-            in the result.  Pass an existing probe (e.g. one already
-            snapshotting) to reuse it — the caller then owns its lifetime;
-            a probe created here is closed before returning.
+        config: A :class:`~repro.experiments.config.RunConfig` carrying the
+            window length, result name, metrics switch, optional pre-built
+            :class:`FrameLog` and engine selection ("fast" uses the
+            fast-forward path, "bit" forces per-bit stepping).
+        duration_bits, name, log, metrics: Deprecated pre-RunConfig
+            keywords; still honored (with a once-per-process warning) for
+            one release, but mutually exclusive with ``config``.
     """
+    base = config if config is not None else RunConfig()
+    cfg = base.merged_with_legacy(
+        "run_and_measure",
+        {"duration_bits": duration_bits, "name": name,
+         "log": log, "metrics": metrics},
+        config_given=config is not None,
+    )
     probe: Optional[BusProbe] = None
     own_probe = False
-    if isinstance(metrics, BusProbe):
-        probe = metrics
-    elif metrics:
+    if isinstance(cfg.metrics, BusProbe):
+        probe = cfg.metrics
+    elif cfg.metrics:
         probe = BusProbe(sim)
         own_probe = True
-    sim.run(duration_bits)
+    sim.advance(cfg.duration_bits, policy=cfg.policy())
+    log = cfg.log
     if log is None:
         log = FrameLog(sim.events)
     result = ExperimentResult(
-        name=name,
+        name=cfg.name if cfg.name is not None else "experiment",
         bus_speed=sim.bus_speed,
-        duration_bits=duration_bits,
+        duration_bits=cfg.duration_bits,
     )
     if probe is not None:
         result.metrics = probe.summary()
@@ -197,16 +205,33 @@ def run_and_measure(
 
 
 def make_simulator(
-    bus_speed: int = BUS_SPEED_50K,
-    record: bool = True,
+    bus_speed: int = _UNSET,
+    record: bool = _UNSET,
     nodes: Sequence[CanNode] = (),
+    *,
+    config: Optional[RunConfig] = None,
 ) -> CanBusSimulator:
     """A simulator at the paper's online-evaluation bus speed (50 kbit/s).
 
     Args:
         nodes: Convenience — nodes to attach immediately, in order, so
             callers stop hand-rolling ``add_node`` loops.
+        config: A :class:`~repro.experiments.config.RunConfig`; its
+            ``bus_speed``, ``record_wire`` and ``wire_history_bits`` fields
+            configure the simulator.
+        bus_speed, record: Deprecated pre-RunConfig keywords (warn-once
+            shim, mutually exclusive with ``config``).
     """
-    sim = CanBusSimulator(bus_speed=bus_speed, record_wire=record)
+    base = config if config is not None else RunConfig()
+    cfg = base.merged_with_legacy(
+        "make_simulator",
+        {"bus_speed": bus_speed, "record_wire": record},
+        config_given=config is not None,
+    )
+    sim = CanBusSimulator(
+        bus_speed=cfg.bus_speed,
+        record_wire=cfg.record_wire,
+        wire_history_bits=cfg.wire_history_bits,
+    )
     sim.add_nodes(*nodes)
     return sim

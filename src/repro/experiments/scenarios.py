@@ -18,6 +18,7 @@ from repro.bus.simulator import CanBusSimulator
 from repro.can.constants import BUS_SPEED_50K
 from repro.core.defense import MichiCanNode
 from repro.dbc.types import CommunicationMatrix
+from repro.experiments.config import _UNSET, DEFAULT_DURATION_BITS, RunConfig
 from repro.experiments.runner import ExperimentResult, make_simulator, run_and_measure
 from repro.node.controller import CanNode
 from repro.node.scheduler import PeriodicMessage, PeriodicScheduler
@@ -33,8 +34,8 @@ from repro.workloads.vehicles import (
 #: The MichiCAN-equipped ECU's CAN ID in all Table II experiments.
 DEFENDER_ID = 0x173
 
-#: Default recording window: the paper records 2 s at 50 kbit/s.
-DEFAULT_DURATION_BITS = 100_000
+# DEFAULT_DURATION_BITS moved to repro.experiments.config (PR 6) and is
+# re-exported here for compatibility.
 
 #: Target steady-state restbus load.  The paper cites ~40 % load in real
 #: vehicles at native speed; replaying onto the 50 kbit/s evaluation bus
@@ -94,18 +95,26 @@ class ExperimentSetup:
     attackers: Tuple[CanNode, ...]
     name: str
 
-    def run(self, duration_bits: int = DEFAULT_DURATION_BITS,
-            metrics: bool = False) -> ExperimentResult:
+    def run(self, duration_bits: int = _UNSET, metrics: bool = _UNSET,
+            *, config: Optional[RunConfig] = None) -> ExperimentResult:
+        base = config if config is not None else RunConfig()
+        cfg = base.merged_with_legacy(
+            "ExperimentSetup.run",
+            {"duration_bits": duration_bits, "metrics": metrics},
+            config_given=config is not None,
+        )
+        if cfg.name is None:
+            cfg = cfg.with_overrides(name=self.name)
+        defenders = [self.defender] if self.defender is not None else []
         return run_and_measure(
-            self.sim, self.attackers, duration_bits,
-            name=self.name, defenders=[self.defender], metrics=metrics,
+            self.sim, self.attackers, defenders=defenders, config=cfg,
         )
 
 
 def _single_attacker_setup(
     attack_id: int, restbus: bool, name: str, bus_speed: int
 ) -> ExperimentSetup:
-    sim = make_simulator(bus_speed)
+    sim = make_simulator(config=RunConfig(bus_speed=bus_speed))
     legitimate: List[int] = []
     if restbus:
         node = _restbus(sim)
@@ -145,7 +154,7 @@ def experiment_5(
     attack_ids: Tuple[int, int] = (0x066, 0x067),
 ) -> ExperimentSetup:
     """Two attacking ECUs with two distinct DoS CAN IDs (Fig. 6 pattern)."""
-    sim = make_simulator(bus_speed)
+    sim = make_simulator(config=RunConfig(bus_speed=bus_speed))
     defender = _defender(sim)
     attackers = tuple(
         sim.add_node(DosAttacker(f"attacker_{can_id:03x}", can_id))
@@ -159,7 +168,7 @@ def experiment_6(
     attack_ids: Tuple[int, int] = (0x050, 0x051),
 ) -> ExperimentSetup:
     """One attacker toggling between two CAN IDs."""
-    sim = make_simulator(bus_speed)
+    sim = make_simulator(config=RunConfig(bus_speed=bus_speed))
     defender = _defender(sim)
     attacker = sim.add_node(ToggleAttacker("attacker", attack_ids))
     return ExperimentSetup(sim, defender, (attacker,), "exp6")
@@ -181,9 +190,26 @@ def run_table2(
 ) -> Dict[int, ExperimentResult]:
     """All six Table II experiments."""
     return {
-        number: factory(bus_speed).run(duration_bits)
+        number: factory(bus_speed).run(
+            config=RunConfig(duration_bits=duration_bits))
         for number, factory in EXPERIMENTS.items()
     }
+
+
+def restbus_baseline(bus_speed: int = BUS_SPEED_50K) -> ExperimentSetup:
+    """Benign restbus + MichiCAN defender, no attacker (false-positive
+    baseline).
+
+    The defended bus carrying only legitimate traffic: every detection or
+    counterattack recorded here is by definition a false positive, making
+    this the control run for Exp. 1/3 and — because the bus is mostly
+    uncontended frames and idle gaps — the reference workload for the
+    fast-forward engine's throughput benchmarks.
+    """
+    sim = make_simulator(config=RunConfig(bus_speed=bus_speed))
+    node = _restbus(sim)
+    defender = _defender(sim, node.matrix.all_ids())
+    return ExperimentSetup(sim, defender, (), "restbus_baseline")
 
 
 # --------------------------------------------------------------- extensions
@@ -196,7 +222,7 @@ def multi_attacker_experiment(
     """A >= 2 concurrent attackers (the Sec. V-C extension to A = 3, 4)."""
     if num_attackers < 1:
         raise ValueError("need at least one attacker")
-    sim = make_simulator(bus_speed)
+    sim = make_simulator(config=RunConfig(bus_speed=bus_speed))
     defender = _defender(sim)
     attackers = tuple(
         sim.add_node(DosAttacker(f"attacker_{base_id + i:03x}", base_id + i))
@@ -239,7 +265,7 @@ def parrot_defense_setup(
     instances to keep its own TEC below bus-off) — one of the structural
     weaknesses the MichiCAN paper highlights.
     """
-    sim = make_simulator(bus_speed)
+    sim = make_simulator(config=RunConfig(bus_speed=bus_speed))
     parrot = ParrotNode(
         "parrot", detection_ids={attack_id},
         max_start_latency=max_start_latency, seed=seed,
@@ -259,7 +285,7 @@ def michican_defense_setup(
     bus_speed: int = BUS_SPEED_50K,
 ) -> ExperimentSetup:
     """The same periodic attack defended by MichiCAN (fair comparison)."""
-    sim = make_simulator(bus_speed)
+    sim = make_simulator(config=RunConfig(bus_speed=bus_speed))
     defender = _defender(sim, own_period_bits=None)
     attacker = CanNode("attacker", scheduler=PeriodicScheduler(
         [PeriodicMessage(attack_id, period_bits=attack_period_bits,
@@ -296,7 +322,7 @@ def parksense_experiment(
     the OBD-II port the attacker is bused off and the feature survives.
     """
     matrix = matrix or pacifica_matrix()
-    sim = make_simulator(bus_speed)
+    sim = make_simulator(config=RunConfig(bus_speed=bus_speed))
     # The vehicle's native traffic would saturate the slow evaluation bus
     # (the real car runs 500 kbit/s); stretch all periods to a ~30 % load,
     # like the restbus replay does.
@@ -332,7 +358,7 @@ def parksense_experiment(
     poll_interval = 500
     next_poll = poll_interval
     while sim.time < duration_bits:
-        sim.run(min(poll_interval, duration_bits - sim.time))
+        sim.advance(min(poll_interval, duration_bits - sim.time))
         if sim.time >= next_poll:
             feature.poll(sim.time)
             next_poll += poll_interval

@@ -21,6 +21,7 @@ from repro.bus.events import AttackDetected, BusOffEntered, FrameStarted
 from repro.bus.simulator import CanBusSimulator
 from repro.can.frame import CanFrame
 from repro.core.defense import MichiCanNode
+from repro.experiments.config import RunConfig
 from repro.node.controller import CanNode
 from repro.trace.framelog import FINAL_PASSIVE_FRAME_BITS
 from repro.workloads.matrix import theoretical_bus_load
@@ -137,7 +138,7 @@ def _run_fight(
     setup = dos_fight_setup(attack_id, dlc=dlc, detection_ids=detection_ids,
                             extra_nodes=extra_nodes)
     sim, attacker = setup.sim, setup.attackers[0]
-    sim.run_until(lambda s: attacker.is_bus_off, limit)
+    sim.advance_until(lambda s: attacker.is_bus_off, limit)
     detections = sim.events_of(AttackDetected)
     detection_bit = detections[0].detection_bit if detections else 0
     busoffs = sim.events_of(BusOffEntered)
@@ -179,7 +180,7 @@ def sweep_restbus_load(
     for load in target_loads:
         setup = restbus_fight_setup(vehicle=vehicle, target_load=load,
                                     name=f"load_{load:.2f}")
-        result = setup.run(duration_bits)
+        result = setup.run(config=RunConfig(duration_bits=duration_bits))
         stats = result.attacker_stats["attacker"]
         results[load] = stats["mean_ms"] / 1e3 * setup.sim.bus_speed
     return results

@@ -200,6 +200,38 @@ class FaultSpec:
         )
 
 
+def flip_fault(
+    flip_probability: float,
+    seed: int = 0,
+    dominant_flips_only: bool = False,
+    name: str = "noise",
+) -> FaultSpec:
+    """A run-long ``wire.flip`` spec (the :class:`NoisyWire` replacement).
+
+    Pass the result to :class:`~repro.faults.wire.FaultInjectingWire` or a
+    :class:`FaultPlan`; injected flip times are on the compiled injector's
+    ``flips`` list.
+    """
+    return FaultSpec(
+        name=name, kind="wire.flip", window=FaultWindow(),
+        params={"flip_probability": flip_probability,
+                "dominant_flips_only": dominant_flips_only},
+        seed=seed)
+
+
+def burst_fault(
+    start_bit: int, length_bits: int, level: int, name: Optional[str] = None
+) -> FaultSpec:
+    """A windowed ``wire.burst`` spec (the :class:`BurstNoiseWire`
+    replacement): the bus is forced to ``level`` for ``length_bits`` bits
+    starting at ``start_bit``."""
+    return FaultSpec(
+        name=name if name is not None else f"burst_{start_bit}",
+        kind="wire.burst",
+        window=FaultWindow(start_bit, start_bit + length_bits),
+        params={"level": level})
+
+
 def example_fault_spec(kind: str, seed: int = 0) -> FaultSpec:
     """A minimal valid :class:`FaultSpec` of ``kind`` (smoke-test helper)."""
     try:

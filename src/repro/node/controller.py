@@ -45,7 +45,7 @@ from repro.can.bitstream import (
     ARBITRATION_FIELDS,
     Field,
     WireBit,
-    serialize_frame,
+    serialize_frame_cached,
 )
 from repro.can.constants import (
     ACTIVE_ERROR_FLAG_BITS,
@@ -284,7 +284,9 @@ class CanNode:
         pending = self.queue.peek()
         assert pending is not None
         self.queue.on_attempt()
-        self._tx_stream = serialize_frame(pending.frame)
+        # Cached: retransmissions reuse the same stream object, which also
+        # lets the fast-forward engine reuse its per-stream plan.
+        self._tx_stream = serialize_frame_cached(pending.frame)
         # The ISO no-TEC exception covers recessive stuff bits located
         # before the RTR; where the RTR sits depends on the frame format.
         if pending.frame.extended:

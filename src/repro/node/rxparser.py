@@ -114,6 +114,36 @@ class RxParser:
         #: Un-stuffed bit index; SOF is 0.
         self.unstuffed_index = 0
 
+    # -- state capture -------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Capture the complete parser state as an immutable-enough tuple.
+
+        The fast-forward engine precomputes, per frame bitstream, the parser
+        state at the end of each uncontended span and :meth:`restore`\\ s it
+        into every synchronized receiver instead of feeding the span bit by
+        bit.  Mutable members are copied on capture *and* on restore, so one
+        snapshot can be restored into many parsers safely.
+        """
+        return (
+            self.phase, list(self._field_bits), self.can_id, self.extended,
+            self.remote, self._base_id, self.dlc, list(self._data_bits),
+            list(self._crc_bits), self._crc, self._run_level,
+            self._run_length, self.drive_ack_next, self.crc_ok,
+            self.ack_seen, self.raw_index, self.unstuffed_index,
+        )
+
+    def restore(self, state: tuple) -> None:
+        """Restore a state captured by :meth:`snapshot`."""
+        (self.phase, field_bits, self.can_id, self.extended,
+         self.remote, self._base_id, self.dlc, data_bits,
+         crc_bits, self._crc, self._run_level,
+         self._run_length, self.drive_ack_next, self.crc_ok,
+         self.ack_seen, self.raw_index, self.unstuffed_index) = state
+        self._field_bits = list(field_bits)
+        self._data_bits = list(data_bits)
+        self._crc_bits = list(crc_bits)
+
     # -- helpers ------------------------------------------------------------
 
     def _stuff_check(self, level: int) -> Optional[RxEvent]:

@@ -12,7 +12,7 @@ All times are in bit times (the simulator's clock).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.can.frame import CanFrame
 from repro.errors import SchedulingError
@@ -143,15 +143,78 @@ class PeriodicScheduler:
 
     def __init__(self, messages: Optional[List[PeriodicMessage]] = None) -> None:
         self.messages: List[PeriodicMessage] = list(messages or [])
+        # Earliest time at which tick() can enqueue again; 0 forces a full
+        # scan (the cache starts invalid so pre-run message edits, e.g.
+        # RestbusNode's time scaling, are picked up).
+        self._no_enqueue_before: float = 0
 
     def add(self, message: PeriodicMessage) -> None:
         self.messages.append(message)
+        self._no_enqueue_before = 0
 
     def tick(self, time: int, queue: TransmitQueue) -> int:
         """Enqueue all due instances; return how many were enqueued."""
+        if time < self._no_enqueue_before:
+            return 0
         count = 0
+        earliest: Optional[int] = None
         for message in self.messages:
             while message.due(time):
                 queue.enqueue(message.emit(time), time)
                 count += 1
+            if message.limit is None or message._emitted < message.limit:
+                candidate = (message.offset_bits
+                             + message._emitted * message.period_bits)
+                if earliest is None or candidate < earliest:
+                    earliest = candidate
+        self._no_enqueue_before = (
+            float("inf") if earliest is None else earliest)
         return count
+
+    # ------------------------------------------------- fast-forward protocol
+    #
+    # The fast-forward engine (repro.bus.fastforward) skips per-bit stepping
+    # across uncontended spans.  A scheduler that implements next_due() and
+    # fast_forward() declares that its tick() effects over a span can be
+    # reproduced exactly without calling tick() once per bit; schedulers
+    # without these methods force the engine back to per-bit stepping.
+
+    def next_due(self, time: int, queue: TransmitQueue) -> Optional[int]:
+        """Earliest ``t >= time`` at which :meth:`tick` would enqueue.
+
+        None means no enqueue will ever happen from the current state.
+        """
+        del queue  # periodic emission does not depend on queue occupancy
+        due: Optional[int] = None
+        for message in self.messages:
+            if message.limit is not None and message._emitted >= message.limit:
+                continue
+            candidate = message.offset_bits + message._emitted * message.period_bits
+            if candidate < time:
+                candidate = time
+            if due is None or candidate < due:
+                due = candidate
+        return due
+
+    def fast_forward(self, start: int, end: int, queue: TransmitQueue) -> None:
+        """Replay ``tick(t, queue)`` for every ``t`` in ``[start, end)``.
+
+        Produces byte-identical queue contents: the same frames, enqueued
+        at the same times, in the same order as per-bit ticking would (ties
+        at one bit keep communication-matrix order, matching tick()'s loop).
+        """
+        events: List[Tuple[int, int]] = []
+        for index, message in enumerate(self.messages):
+            emitted = message._emitted
+            while message.limit is None or emitted < message.limit:
+                due = message.offset_bits + emitted * message.period_bits
+                at = due if due > start else start
+                if at >= end:
+                    break
+                events.append((at, index))
+                emitted += 1
+        events.sort()
+        for at, index in events:
+            message = self.messages[index]
+            queue.enqueue(message.emit(at), at)
+        self._no_enqueue_before = 0  # next tick() rescans

@@ -248,7 +248,7 @@ class BusProbe:
         >>> sim.add_nodes(CanNode("a"), CanNode("b"))
         >>> probe = BusProbe(sim)
         >>> sim.node("a").send(CanFrame(0x100, b"\\x01"))
-        >>> _ = sim.run(200)
+        >>> _ = sim.advance(200)
         >>> probe.summary().nodes["a"]["frames_tx"]
         1
     """

@@ -118,7 +118,7 @@ def profile_run(sim: "CanBusSimulator", bits: int) -> PhaseProfile:
     wall_started = perf()
     try:
         started_at = sim.time
-        sim.run(bits)
+        sim.advance(bits)
         profile.bits = sim.time - started_at
     finally:
         profile.wall_seconds = perf() - wall_started

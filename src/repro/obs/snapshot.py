@@ -39,7 +39,7 @@ class SnapshotRecorder:
 
         probe = BusProbe(sim)
         recorder = sim.add_node(SnapshotRecorder(probe, every_bits=1_000))
-        sim.run(20_000)
+        sim.advance(20_000)
         write_snapshots(recorder.snapshots, "timeline.jsonl")
 
     Attributes:

@@ -1,0 +1,82 @@
+"""Differential suite: the fast-forward engine must be invisible.
+
+Every registered scenario runs twice from the identical spec — once with
+``engine="fast"`` and once with ``engine="bit"`` — across three seeds.
+The event streams, final simulator state, result payloads and metrics
+summaries must match exactly; any divergence is a fast-path correctness
+bug (see the determinism contract in :mod:`repro.bus.fastforward`).
+"""
+
+import pytest
+
+from repro.experiments.campaign import ScenarioSpec, scenario_names
+
+#: Factories whose required positional arguments have no defaults.
+REQUIRED_PARAMS = {
+    "dos_fight": {"attack_id": 0x064},
+    "multi_attacker": {"num_attackers": 2},
+}
+
+DURATION = 6_000
+SEEDS = (0, 1, 2)
+
+
+def _run(name, seed, engine, metrics=False):
+    from repro.experiments.campaign import execute_spec
+
+    spec = ScenarioSpec(name, params=dict(REQUIRED_PARAMS.get(name, {})),
+                        seed=seed, duration_bits=DURATION,
+                        metrics=metrics, engine=engine)
+    setup = spec.build()
+    result = setup.run(config=spec.run_config())
+    return setup.sim, result
+
+
+def _fingerprint(sim):
+    """Everything per-bit stepping determines, in comparable form."""
+    return {
+        "time": sim.time,
+        "events": [repr(e) for e in sim.events],
+        "history": list(sim.wire.history),
+        "level": sim.wire.level,
+        "node_states": {
+            node.name: (node.state.name, node.tec, node.rec)
+            for node in sim.nodes if hasattr(node, "state")
+        },
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", sorted(scenario_names()))
+def test_engines_agree(name, seed):
+    sim_fast, result_fast = _run(name, seed, "fast")
+    sim_bit, result_bit = _run(name, seed, "bit")
+    assert _fingerprint(sim_fast) == _fingerprint(sim_bit)
+    assert result_fast.to_dict() == result_bit.to_dict()
+
+
+@pytest.mark.parametrize("name", ["exp1", "restbus_baseline", "chaos_fight"])
+def test_engines_agree_with_metrics(name):
+    """BusProbe telemetry (event-driven) is identical under both engines."""
+    from repro.experiments.campaign import execute_spec
+
+    records = {}
+    for engine in ("fast", "bit"):
+        spec = ScenarioSpec(name, params=dict(REQUIRED_PARAMS.get(name, {})),
+                            seed=0, duration_bits=DURATION,
+                            metrics=True, engine=engine)
+        records[engine] = execute_spec(spec)
+    fast, bit = records["fast"].result, records["bit"].result
+    assert fast.metrics is not None and bit.metrics is not None
+    assert fast.metrics.to_dict() == bit.metrics.to_dict()
+    assert fast.to_dict() == bit.to_dict()
+
+
+def test_fast_engine_actually_fast_forwards():
+    """The benign long-idle scenario must take the span path, not merely
+    agree with it (guards against silently declining every span)."""
+    sim, _ = _run("restbus_baseline", 0, "fast")
+    stats = sim.ff_stats
+    assert stats.body_spans > 0
+    assert stats.idle_spans > 0
+    assert stats.fast_bits > DURATION // 2

@@ -3,12 +3,19 @@
 import pytest
 
 from repro.bus.events import ErrorDetected, FrameReceived, FrameTransmitted
-from repro.bus.noise import BurstNoiseWire
 from repro.bus.simulator import CanBusSimulator
 from repro.can.constants import DOMINANT
 from repro.can.frame import CanFrame
 from repro.errors import FrameError
+from repro.faults import FaultInjectingWire, burst_fault
 from repro.node.controller import CanNode, ControllerState
+
+
+def burst_wire(bursts):
+    """A wire forcing levels over (start, length, level) windows."""
+    return FaultInjectingWire(
+        [burst_fault(start, length, level, name=f"burst_{index}")
+         for index, (start, length, level) in enumerate(bursts)])
 
 
 class TestRemoteFrameModel:
@@ -42,7 +49,7 @@ class TestRemoteOnTheWire:
         frame = CanFrame(0x321 if not extended else 0x18DAF110,
                          remote=True, remote_dlc=8, extended=extended)
         a.send(frame)
-        sim.run(400)
+        sim.advance(400)
         rx = sim.events_of(FrameReceived)
         assert len(rx) == 1
         assert rx[0].frame == frame
@@ -55,7 +62,7 @@ class TestRemoteOnTheWire:
         sim.add_node(x), sim.add_node(y)
         x.send(CanFrame(0x123, remote=True, remote_dlc=2))
         y.send(CanFrame(0x123, b"\xAA\xBB"))
-        sim.run(600)
+        sim.advance(600)
         tx = sim.events_of(FrameTransmitted)
         assert [e.frame.remote for e in tx] == [False, True]
         assert x.tec == 0 and y.tec == 0
@@ -72,7 +79,7 @@ class TestRemoteOnTheWire:
 
         producer.on_frame_received(answer)
         requester.send(CanFrame(0x321, remote=True, remote_dlc=2))
-        sim.run(800)
+        sim.advance(800)
         received = [e for e in sim.events_of(FrameReceived)
                     if e.node == "requester"]
         assert received
@@ -89,16 +96,16 @@ class TestOverloadFrames:
         sim.add_node(a), sim.add_node(b)
         a.send(CanFrame(0x123, b"\x01"))
         # Find the frame end, then burst one dominant bit into intermission.
-        sim.run(80)
+        sim.advance(80)
         tx_time = sim.events_of(FrameTransmitted)[0].time
         # Rebuild with a burst at intermission bit 1.
         sim2 = CanBusSimulator()
-        sim2.wire = BurstNoiseWire([(tx_time + 1, 1, DOMINANT)])
+        sim2.wire = burst_wire([(tx_time + 1, 1, DOMINANT)])
         a2, b2 = CanNode("a"), CanNode("b")
         sim2.add_node(a2), sim2.add_node(b2)
         a2.send(CanFrame(0x123, b"\x01"))
         a2.send(CanFrame(0x222, b"\x02"))
-        sim2.run(400)
+        sim2.advance(400)
         # Both frames still complete; no error counters were touched.
         tx = sim2.events_of(FrameTransmitted)
         assert [e.frame.can_id for e in tx] == [0x123, 0x222]
@@ -108,7 +115,7 @@ class TestOverloadFrames:
 
     def test_overload_flag_state_entered(self):
         sim = CanBusSimulator()
-        sim.wire = BurstNoiseWire([(56, 1, DOMINANT)])
+        sim.wire = burst_wire([(56, 1, DOMINANT)])
         a, b = CanNode("a"), CanNode("b")
         sim.add_node(a), sim.add_node(b)
         a.send(CanFrame(0x123, b"\x01"))
@@ -122,7 +129,7 @@ class TestOverloadFrames:
             return level
 
         sim.step = traced_step  # type: ignore[method-assign]
-        sim.run(200)
+        sim.advance(200)
         assert ControllerState.OVERLOAD_FLAG in states
 
     def test_third_intermission_bit_is_sof(self):
@@ -133,7 +140,7 @@ class TestOverloadFrames:
         sim.add_node(a), sim.add_node(b)
         a.send(CanFrame(0x123, b"\x01"))
         a.send(CanFrame(0x124, b"\x02"))
-        sim.run(400)
+        sim.advance(400)
         tx = sim.events_of(FrameTransmitted)
         assert len(tx) == 2
         assert not sim.events_of(ErrorDetected)
@@ -144,12 +151,12 @@ class TestOverloadFrames:
     def test_at_most_two_consecutive_overloads(self):
         sim = CanBusSimulator()
         # Three bursts, each hitting the next overload frame's intermission.
-        sim.wire = BurstNoiseWire([(56, 1, DOMINANT), (71, 1, DOMINANT),
-                                   (86, 1, DOMINANT), (101, 1, DOMINANT)])
+        sim.wire = burst_wire([(56, 1, DOMINANT), (71, 1, DOMINANT),
+                               (86, 1, DOMINANT), (101, 1, DOMINANT)])
         a, b = CanNode("a"), CanNode("b")
         sim.add_node(a), sim.add_node(b)
         a.send(CanFrame(0x123, b"\x01"))
-        sim.run(600)
+        sim.advance(600)
         # The bus must make progress regardless (no livelock): traffic done,
         # nodes back to idle.
         assert a.state in (ControllerState.IDLE,)

@@ -15,10 +15,10 @@ from repro.bus.events import (
     FrameReceived,
     FrameTransmitted,
 )
-from repro.bus.noise import NoisyWire
 from repro.bus.simulator import CanBusSimulator
 from repro.can.frame import CanFrame
 from repro.core.defense import MichiCanNode
+from repro.faults import FaultInjectingWire, flip_fault
 from repro.node.controller import CanNode, ControllerState
 from repro.node.scheduler import PeriodicMessage, PeriodicScheduler
 from repro.trace.decoder import decoded_frames
@@ -131,7 +131,7 @@ class TestDefendedBusInvariants:
         """Across random noise seeds at a sporadic flip rate, no legitimate
         node is ever confined — the Sec. IV-E robustness property."""
         sim = CanBusSimulator(bus_speed=500_000)
-        sim.wire = NoisyWire(2e-4, seed=seed)
+        sim.wire = FaultInjectingWire([flip_fault(2e-4, seed=seed)])
         sim.add_node(MichiCanNode("defender", range(0x100)))
         sim.add_node(CanNode("sender", scheduler=PeriodicScheduler(
             [PeriodicMessage(0x123, period_bits=500)])))
