@@ -6,6 +6,16 @@ periodic :class:`~repro.obs.snapshot.SnapshotRecorder` — and records the
 steps/sec of each to ``BENCH_metrics.json`` in the repo root, together
 with a :func:`~repro.obs.profiler.profile_run` phase breakdown.
 
+Methodology: a shared warmup run precedes timing (imports, allocator and
+bytecode caches are hot for every configuration), then the configurations
+are timed *interleaved* — one round runs each configuration once, and the
+best round per configuration wins.  Interleaving means slow drift (CPU
+frequency scaling, another tenant on the box) hits all configurations
+alike instead of biasing whichever ran last, keeping the on/off
+comparison monotone.  Overheads are clamped at zero; a negative raw value
+is physically impossible (the probe-on run does strictly more work) and
+is recorded as measurement noise via the ``noisy`` flag.
+
 The contract this bench enforces: observability is opt-in, so the
 probe-on run may cost at most ``MAX_OVERHEAD`` relative throughput, and
 the probe-off path is the same hot loop the campaign baseline
@@ -31,8 +41,18 @@ BENCH_FILE = REPO_ROOT / "BENCH_metrics.json"
 #: Probe-on throughput must stay within this fraction of probe-off.
 MAX_OVERHEAD = 0.15
 
+#: Probe + periodic snapshots must stay within this fraction of probe-off.
+MAX_SNAPSHOT_OVERHEAD = 0.15
+
 SCENARIO = "exp4"
 ROUNDS = 3
+
+#: The timed configurations, in within-round execution order.
+CONFIGS = (
+    ("bare", {}),
+    ("probed", {"metrics": True}),
+    ("snapshotted", {"metrics": True, "snapshot_every": 1_000}),
+)
 
 
 def _run_once(duration_bits, metrics=False, snapshot_every=None):
@@ -45,20 +65,27 @@ def _run_once(duration_bits, metrics=False, snapshot_every=None):
         if snapshot_every:
             sim.add_node(SnapshotRecorder(probe, snapshot_every))
     started = time.perf_counter()
-    sim.run(duration_bits)
+    sim.advance(duration_bits)
     wall = time.perf_counter() - started
     if probe is not None:
         probe.close()
     return duration_bits / wall, len(sim.events)
 
 
-def _best_of(rounds, duration_bits, **kwargs):
-    """Best steps/s over several rounds (min-noise estimator)."""
-    best = 0.0
+def _measure_interleaved(rounds, duration_bits):
+    """Best steps/s per configuration over interleaved rounds.
+
+    Returns ({config name: best steps/s}, events seen by the probed run).
+    """
+    best = {name: 0.0 for name, _ in CONFIGS}
     events = 0
     for _ in range(rounds):
-        rate, events = _run_once(duration_bits, **kwargs)
-        best = max(best, rate)
+        for name, kwargs in CONFIGS:
+            rate, seen = _run_once(duration_bits, **kwargs)
+            if rate > best[name]:
+                best[name] = rate
+            if name == "probed":
+                events = seen
     return best, events
 
 
@@ -66,15 +93,21 @@ def test_probe_overhead(benchmark, quick):
     duration = 10_000 if quick else 100_000
     rounds = 1 if quick else ROUNDS
 
-    bare, _ = _best_of(rounds, duration)
-    probed, events = _best_of(rounds, duration, metrics=True)
-    snapshotted, _ = _best_of(rounds, duration, metrics=True,
-                              snapshot_every=1_000)
+    # Shared warmup: every configuration is timed against hot caches.
+    _run_once(min(duration, 20_000))
+
+    best, events = _measure_interleaved(rounds, duration)
+    bare = best["bare"]
+    probed = best["probed"]
+    snapshotted = best["snapshotted"]
     benchmark.pedantic(lambda: _run_once(duration, metrics=True),
                        rounds=1, iterations=1)
 
-    overhead = 1.0 - probed / bare
-    snapshot_overhead = 1.0 - snapshotted / bare
+    raw_overhead = 1.0 - probed / bare
+    raw_snapshot_overhead = 1.0 - snapshotted / bare
+    overhead = max(0.0, raw_overhead)
+    snapshot_overhead = max(0.0, raw_snapshot_overhead)
+    noisy = raw_overhead < 0 or raw_snapshot_overhead < 0
 
     profile_setup = ScenarioSpec(SCENARIO, duration_bits=duration).build()
     profile = profile_run(profile_setup.sim, duration)
@@ -89,6 +122,9 @@ def test_probe_overhead(benchmark, quick):
         "probe_and_snapshots_steps_per_second": round(snapshotted, 1),
         "probe_overhead_fraction": round(overhead, 4),
         "snapshot_overhead_fraction": round(snapshot_overhead, 4),
+        "raw_probe_overhead_fraction": round(raw_overhead, 4),
+        "raw_snapshot_overhead_fraction": round(raw_snapshot_overhead, 4),
+        "noisy": noisy,
         "events_per_run": events,
         "phase_profile": profile.to_dict(),
     }
@@ -102,10 +138,13 @@ def test_probe_overhead(benchmark, quick):
         ("probe on (steps/s)", "-", f"{probed:,.0f}"),
         ("probe + snapshots (steps/s)", "-", f"{snapshotted:,.0f}"),
         ("probe overhead", f"<{MAX_OVERHEAD:.0%}", f"{overhead:.1%}"),
-        ("snapshot overhead", "-", f"{snapshot_overhead:.1%}"),
+        ("snapshot overhead", f"<{MAX_SNAPSHOT_OVERHEAD:.0%}",
+         f"{snapshot_overhead:.1%}"),
+        ("noise flag", "-", str(noisy).lower()),
         ("hot-loop phases", "-",
          " ".join(f"{name}={fraction:.0%}" for name, fraction
                   in profile.phase_fractions().items())),
     ], notes=f"recorded to {BENCH_FILE.name}")
 
     assert overhead < MAX_OVERHEAD
+    assert snapshot_overhead < MAX_SNAPSHOT_OVERHEAD

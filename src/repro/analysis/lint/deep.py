@@ -59,8 +59,13 @@ if TYPE_CHECKING:  # imported lazily at runtime: callgraph imports this
 ENTRY_SPECS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("bus/simulator.py", ("run", "run_until", "step",
                           "advance", "advance_until")),
-    ("bus/fastforward.py", ("try_advance",)),
+    ("bus/fastforward.py", ("try_advance", "_notify_span")),
     ("core/detection.py", ("handler",)),
+    # Observability listeners ride the engine's event delivery, so their
+    # handlers must stay wallclock- and entropy-free like the hot loop.
+    ("obs/tracing.py", ("_on_event", "_on_span_commit")),
+    ("obs/flight.py", ("_on_event",)),
+    ("obs/snapshot.py", ("observe",)),
 )
 
 #: Exception boundaries for RC203, matched by path suffix + *full*

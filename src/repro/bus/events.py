@@ -28,10 +28,16 @@ class Event:
 
 @dataclass(frozen=True)
 class FrameStarted(Event):
-    """A node began transmitting a frame (its SOF bit)."""
+    """A node began transmitting a frame (its SOF bit).
+
+    ``enqueued_at`` is when the frame entered the transmit queue, so
+    trace consumers can reconstruct queueing delay without access to
+    the node's mailboxes.
+    """
 
     frame: CanFrame
     attempt: int = 1
+    enqueued_at: int = 0
 
 
 @dataclass(frozen=True)

@@ -39,7 +39,8 @@ injectors and custom wires therefore never see a behaviour change.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.bus.wire import Wire
 from repro.can.bitstream import Field, WireBit
@@ -73,6 +74,7 @@ RETRY_INTERVAL_BITS = 16
 _PLAIN = 0
 _MICHICAN = 1
 _UNSAFE = 2
+_PASSIVE = 3
 
 _BASE_OUTPUT = CanNode.output
 _BASE_OBSERVE = CanNode.observe
@@ -98,15 +100,21 @@ def _class_kind(cls: type) -> int:
 
     Plain means the class inherits :meth:`CanNode.output` and
     :meth:`CanNode.observe` unchanged (attackers, restbus nodes, IDS taps);
-    anything overriding either hook — baseline defenders, spoofers,
-    recorder pseudo-nodes — is opaque to the engine and forces per-bit
-    stepping.  :class:`MichiCanNode` is special-cased because its firmware
-    state is catch-up-able when it sits in WAIT_SOF.
+    anything overriding either hook — baseline defenders, spoofers —
+    is opaque to the engine and forces per-bit stepping.
+    :class:`MichiCanNode` is special-cased because its firmware state is
+    catch-up-able when it sits in WAIT_SOF.  Pseudo-nodes declaring
+    ``ff_passive = True`` (e.g. the snapshot recorder) promise to always
+    drive recessive and to take no protocol action; the engine skips them
+    in eligibility checks and instead clamps spans to their
+    ``next_sample_at()`` so every sample still lands on a per-bit step.
     """
     kind = _CLASS_KIND.get(cls)
     if kind is None:
         if cls is _michican_class():
             kind = _MICHICAN
+        elif getattr(cls, "ff_passive", False):
+            kind = _PASSIVE
         elif (getattr(cls, "output", None) is _BASE_OUTPUT
                 and getattr(cls, "observe", None) is _BASE_OBSERVE):
             kind = _PLAIN
@@ -220,6 +228,25 @@ class FastForwardStats:
         }
 
 
+@dataclass(frozen=True)
+class SpanCommit:
+    """One committed fast-forward span, reported to :meth:`on_span` hooks.
+
+    Not a bus event: spans are an *engine* artifact (the bit engine never
+    produces them), so they ride a separate listener channel and stay out
+    of ``sim.events`` — the event stream remains engine-identical.
+    """
+
+    kind: str  #: "body" or "idle"
+    start: int  #: first bit time covered by the span
+    end: int  #: one past the last bit time covered
+    node: Optional[str] = None  #: transmitter name for body spans
+
+    @property
+    def bits(self) -> int:
+        return self.end - self.start
+
+
 class FastForwardEngine:
     """Plans and commits fast-forward spans for one simulator."""
 
@@ -227,6 +254,30 @@ class FastForwardEngine:
         self.sim = sim
         self.stats = FastForwardStats()
         self._plans: Dict[int, FramePlan] = {}
+        self._span_listeners: List[Callable[[SpanCommit], None]] = []
+
+    def on_span(self, listener: Callable[[SpanCommit], None],
+                ) -> Callable[[], None]:
+        """Subscribe to span commits; returns an unsubscribe handle.
+
+        Listeners fire after the span's state changes are applied.  They
+        exist for diagnostics (trace annotation, flight recording) — span
+        commits carry no protocol information that the event stream does
+        not, because committed regions are event-free by construction.
+        """
+        self._span_listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._span_listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def _notify_span(self, commit: SpanCommit) -> None:
+        for listener in list(self._span_listeners):
+            listener(commit)
 
     # ------------------------------------------------------------- planning
 
@@ -256,10 +307,22 @@ class FastForwardEngine:
         if type(sim.wire) is not Wire:
             return 0  # fault-injecting or custom wires resolve per-bit
         transmitter = None
+        active: List[CanNode] = []
         for node in sim.nodes:
             kind = _class_kind(type(node))
             if kind == _UNSAFE:
                 return 0
+            if kind == _PASSIVE:
+                # Spans never cross a sampler's next capture time, so the
+                # sample itself always happens on a per-bit step (exact
+                # clock and wire counters).
+                sample_at = node.next_sample_at()
+                if sample_at is not None and sample_at < deadline:
+                    if sample_at <= sim.time:
+                        return 0
+                    deadline = sample_at
+                continue
+            active.append(node)
             if node._start_tx_next or node._drive_dominant_once:
                 return 0
             if "output" in node.__dict__ or "observe" in node.__dict__:
@@ -283,12 +346,13 @@ class FastForwardEngine:
                     and state is not ControllerState.BUS_OFF):
                 return 0  # error flags, delimiters, intermission, suspend
         if transmitter is not None:
-            return self._body_span(transmitter, deadline)
-        return self._idle_span(deadline)
+            return self._body_span(transmitter, deadline, active)
+        return self._idle_span(deadline, active)
 
     # ----------------------------------------------------------- body spans
 
-    def _body_span(self, tx: CanNode, deadline: int) -> int:
+    def _body_span(self, tx: CanNode, deadline: int,
+                   nodes: List[CanNode]) -> int:
         sim = self.sim
         start = sim.time
         index0 = tx._tx_index
@@ -312,7 +376,6 @@ class FastForwardEngine:
         else:
             trailing = span
         michican = _michican_class()
-        nodes = sim.nodes
         for node in nodes:
             if node is not tx:
                 state = node.state
@@ -367,15 +430,16 @@ class FastForwardEngine:
         sim.time = end_time
         self.stats.body_spans += 1
         self.stats.body_bits += span
+        if self._span_listeners:
+            self._notify_span(SpanCommit("body", start, end_time, tx.name))
         return span
 
     # ----------------------------------------------------------- idle spans
 
-    def _idle_span(self, deadline: int) -> int:
+    def _idle_span(self, deadline: int, nodes: List[CanNode]) -> int:
         sim = self.sim
         start = sim.time
         end = deadline
-        nodes = sim.nodes
         for node in nodes:
             state = node.state
             if state is ControllerState.IDLE:
@@ -424,4 +488,6 @@ class FastForwardEngine:
         sim.time = end
         self.stats.idle_spans += 1
         self.stats.idle_bits += span
+        if self._span_listeners:
+            self._notify_span(SpanCommit("idle", start, end))
         return span

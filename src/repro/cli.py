@@ -361,6 +361,19 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print(report.render())
         return 0
 
+    if args.campaign_command == "watch":
+        import time as _time
+
+        from repro.experiments.telemetry import load_progress, render_progress
+
+        while True:
+            progress = load_progress(args.checkpoint)
+            print(render_progress(progress))
+            if not args.follow or progress.finished:
+                return 0
+            _time.sleep(args.interval)
+            print()
+
     # campaign run
     faults = None
     if args.faults:
@@ -395,10 +408,15 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         print("error: --resume needs --checkpoint FILE", file=sys.stderr)
         return 2
+    if args.telemetry and not args.checkpoint:
+        print("error: --telemetry needs --checkpoint FILE (it streams over "
+              "the checkpoint channel)", file=sys.stderr)
+        return 2
     report = Campaign(
         specs, n_workers=args.workers, timeout_seconds=args.timeout,
         max_retries=args.retries, retry_backoff_seconds=args.backoff,
-        checkpoint=args.checkpoint,
+        checkpoint=args.checkpoint, flight_dir=args.flight_dir,
+        telemetry=args.telemetry,
     ).run(resume=args.resume)
     print(report.render())
     if args.out:
@@ -527,6 +545,73 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         return 2
     profile = profile_run(sim, args.duration)
     print(profile.render())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "export":
+        from repro.experiments.campaign import ScenarioSpec, scenario_names
+        from repro.obs.tracing import (
+            TraceCollector,
+            render_spans,
+            write_chrome_trace,
+            write_trace,
+        )
+
+        if args.scenario not in scenario_names():
+            print(f"error: unknown scenario {args.scenario!r} "
+                  f"(see `repro campaign scenarios`)", file=sys.stderr)
+            return 2
+        spec = ScenarioSpec(args.scenario, params=_parse_params(args.param),
+                            seed=args.seed, duration_bits=args.duration,
+                            metrics=False, engine=args.engine)
+        setup = spec.build()
+        sim = getattr(setup, "sim", None)
+        if sim is None:
+            print(f"error: scenario {args.scenario!r} exposes no simulator",
+                  file=sys.stderr)
+            return 2
+        collector = TraceCollector(sim,
+                                   include_engine_spans=args.engine_spans)
+        setup.run(config=spec.run_config())
+        spans = collector.finalize()
+        engine_spans = collector.engine_spans if args.engine_spans else None
+        if args.output:
+            if args.format == "chrome":
+                path = write_chrome_trace(spans, args.output,
+                                          bus_speed=sim.bus_speed,
+                                          engine_spans=engine_spans)
+            else:
+                path = write_trace(
+                    spans, args.output,
+                    meta={"scenario": args.scenario, "seed": args.seed,
+                          "engine": args.engine,
+                          "duration_bits": args.duration,
+                          "bus_speed": sim.bus_speed})
+            extra = (f" (+{len(engine_spans)} engine spans)"
+                     if engine_spans else "")
+            print(f"wrote {path} ({len(spans)} spans{extra})")
+        else:
+            print(render_spans(spans, limit=args.limit))
+        return 0
+
+    # trace postmortem
+    from repro.obs.flight import load_dump, render_dump
+
+    dump = load_dump(args.dump)
+    print(render_dump(dump, events=args.events))
+    if args.svg:
+        from repro.trace.svg import render_waveform_svg
+
+        levels = dump.get("wire_tail", {}).get("levels", [])
+        if not levels:
+            print("error: dump carries no wire tail to render",
+                  file=sys.stderr)
+            return 1
+        svg = render_waveform_svg(levels)
+        with open(args.svg, "w", encoding="utf-8") as handle:
+            handle.write(svg)
+        print(f"\nwrote {args.svg}")
     return 0
 
 
@@ -774,8 +859,21 @@ def build_parser() -> argparse.ArgumentParser:
                          "they land")
     cp.add_argument("--resume", action="store_true",
                     help="skip specs already completed in --checkpoint")
+    cp.add_argument("--flight-dir", default=None, metavar="DIR",
+                    help="record per-spec flight-recorder dumps here "
+                         "(post-mortems for crashed/timed-out workers)")
+    cp.add_argument("--telemetry", action="store_true",
+                    help="stream live progress/heartbeat lines into "
+                         "--checkpoint (render with `repro campaign watch`)")
     cp = campaign_sub.add_parser("show", help="render a stored report")
     cp.add_argument("report")
+    cp = campaign_sub.add_parser(
+        "watch", help="render live progress from a telemetry checkpoint")
+    cp.add_argument("checkpoint", help="the campaign's --checkpoint file")
+    cp.add_argument("--follow", action="store_true",
+                    help="keep re-rendering until the campaign finishes")
+    cp.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                    help="refresh period with --follow (default: 1.0)")
 
     p = sub.add_parser("chaos",
                        help="fault-intensity degradation sweep (Sec. IV-E)")
@@ -821,6 +919,39 @@ def build_parser() -> argparse.ArgumentParser:
     mp.add_argument("--duration", type=int, default=20_000)
     mp.add_argument("--seed", type=int, default=0)
     mp.add_argument("--param", action="append", metavar="KEY=VALUE")
+
+    p = sub.add_parser("trace",
+                       help="frame-lifecycle traces and crash post-mortems")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    tp = trace_sub.add_parser(
+        "export", help="run a scenario and export its causal span trace")
+    tp.add_argument("--scenario", required=True,
+                    help="registered scenario name")
+    tp.add_argument("--seed", type=int, default=0)
+    tp.add_argument("--duration", type=int, default=20_000,
+                    help="simulated window, in bit times")
+    tp.add_argument("--engine", choices=["fast", "bit"], default="fast",
+                    help="simulation engine (traces are identical)")
+    tp.add_argument("--param", action="append", metavar="KEY=VALUE",
+                    help="scenario factory parameter (repeatable)")
+    tp.add_argument("--format", choices=["chrome", "jsonl"],
+                    default="chrome",
+                    help="chrome: Perfetto-loadable trace_event JSON; "
+                         "jsonl: schema-versioned span lines")
+    tp.add_argument("--engine-spans", action="store_true",
+                    help="also record fast-forward annotation spans on an "
+                         "[engine] track (diagnostics; fast engine only)")
+    tp.add_argument("-o", "--output", default=None,
+                    help="write here (default: print a text rendering)")
+    tp.add_argument("--limit", type=int, default=40,
+                    help="spans to print without --output (default: 40)")
+    tp = trace_sub.add_parser(
+        "postmortem", help="render a flight-recorder dump")
+    tp.add_argument("dump", help="a .flight.json dump file")
+    tp.add_argument("--events", type=int, default=20,
+                    help="recorded events to show (default: 20)")
+    tp.add_argument("--svg", default=None, metavar="FILE",
+                    help="also render the wire tail as an SVG waveform")
 
     p = sub.add_parser("lint",
                        help="domain-aware static analysis + config verifier")
@@ -890,6 +1021,7 @@ COMMANDS = {
     "campaign": cmd_campaign,
     "chaos": cmd_chaos,
     "metrics": cmd_metrics,
+    "trace": cmd_trace,
     "lint": cmd_lint,
     "verify": cmd_verify,
 }

@@ -48,7 +48,8 @@ from repro.faults.plan import FaultPlan
 
 #: Bump when the report dict layout changes incompatibly.
 #: v2: reports carry a ``failures`` list; specs carry a ``faults`` plan.
-SCHEMA_VERSION = 2
+#: v3: records and failures carry optional flight-recorder dumps.
+SCHEMA_VERSION = 3
 
 #: A factory takes keyword params and returns an object with
 #: ``run(duration_bits) -> ExperimentResult`` (an ``ExperimentSetup``).
@@ -236,6 +237,8 @@ class RunRecord:
     worker: str
     snapshots: List[Dict[str, Any]] = field(default_factory=list)
     spawn_overhead_seconds: float = 0.0
+    #: Final flight-recorder dump, when the campaign ran with ``flight_dir``.
+    flight: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -246,6 +249,7 @@ class RunRecord:
             "worker": self.worker,
             "snapshots": [dict(snapshot) for snapshot in self.snapshots],
             "spawn_overhead_seconds": self.spawn_overhead_seconds,
+            "flight": None if self.flight is None else dict(self.flight),
         }
 
     @classmethod
@@ -258,6 +262,7 @@ class RunRecord:
             worker=data.get("worker", ""),
             snapshots=list(data.get("snapshots", [])),
             spawn_overhead_seconds=data.get("spawn_overhead_seconds", 0.0),
+            flight=data.get("flight"),
         )
 
 
@@ -280,6 +285,10 @@ class RunFailure:
     attempts: int
     wall_seconds: float = 0.0
     worker: str = ""
+    #: The crashed worker's last flight-recorder dump (``flight_dir`` runs).
+    flight: Optional[Dict[str, Any]] = None
+    #: On-disk path of that dump, for ``repro trace postmortem``.
+    flight_path: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -289,6 +298,8 @@ class RunFailure:
             "attempts": self.attempts,
             "wall_seconds": self.wall_seconds,
             "worker": self.worker,
+            "flight": None if self.flight is None else dict(self.flight),
+            "flight_path": self.flight_path,
         }
 
     @classmethod
@@ -300,6 +311,8 @@ class RunFailure:
             attempts=data.get("attempts", 1),
             wall_seconds=data.get("wall_seconds", 0.0),
             worker=data.get("worker", ""),
+            flight=data.get("flight"),
+            flight_path=data.get("flight_path", ""),
         )
 
 
@@ -432,10 +445,21 @@ class CampaignReport:
 
 # -------------------------------------------------------------- execution
 
-def execute_spec(spec: ScenarioSpec) -> RunRecord:
-    """Build, run and measure one spec (the worker entry point)."""
+#: The worker's live flight recorder, reachable from its SIGTERM handler.
+_active_flight: List[Any] = []
+
+
+def execute_spec(spec: ScenarioSpec,
+                 flight_path: Optional[str] = None) -> RunRecord:
+    """Build, run and measure one spec (the worker entry point).
+
+    With ``flight_path`` a :class:`~repro.obs.flight.FlightRecorder` rides
+    the run, autoflushing its dump there so it survives hard crashes; an
+    aborting exception (injected faults included) flushes a final dump
+    before propagating.
+    """
     setup = spec.build()
-    probe = recorder = None
+    probe = recorder = flight = None
     sim = getattr(setup, "sim", None)
     if spec.metrics and sim is not None:
         from repro.obs.probe import BusProbe
@@ -445,13 +469,37 @@ def execute_spec(spec: ScenarioSpec) -> RunRecord:
         if spec.snapshot_every_bits:
             recorder = SnapshotRecorder(probe, spec.snapshot_every_bits)
             sim.add_node(recorder)
+    if flight_path is not None and sim is not None:
+        from repro.obs.flight import FlightRecorder
+
+        flight = FlightRecorder(sim, autoflush_path=flight_path,
+                                flush_every=32)
+        _active_flight.append(flight)
+        # An on-disk dump exists from t=0 on, so even a crash before the
+        # first autoflush leaves a renderable post-mortem.
+        flight.flush(reason="start")
     started = _time.perf_counter()
-    result = setup.run(config=spec.run_config())
+    try:
+        result = setup.run(config=spec.run_config())
+    except BaseException:
+        if flight is not None:
+            flight.flush(reason="abort")
+        raise
+    finally:
+        if flight is not None and flight in _active_flight:
+            _active_flight.remove(flight)
     wall = _time.perf_counter() - started
     steps = getattr(sim, "time", spec.duration_bits)
     if probe is not None:
         result.metrics = probe.summary()
         probe.close()
+    flight_dump = None
+    if flight is not None:
+        flight_dump = flight.dump(reason="complete")
+        from repro.obs.flight import write_dump
+
+        write_dump(flight_dump, flight_path)
+        flight.close()
     return RunRecord(
         spec=spec,
         result=result,
@@ -459,18 +507,46 @@ def execute_spec(spec: ScenarioSpec) -> RunRecord:
         steps_per_second=steps / wall if wall > 0 else 0.0,
         worker=current_process().name,
         snapshots=list(recorder.snapshots) if recorder is not None else [],
+        flight=flight_dump,
     )
 
 
-def _subprocess_worker(conn: Any, spec: ScenarioSpec) -> None:
+def _subprocess_worker(conn: Any, spec: ScenarioSpec,
+                       flight_path: Optional[str] = None) -> None:
     """Child-process entry: run one spec, report through the pipe."""
+    if flight_path is not None:
+        import signal
+
+        def _on_terminate(signum: int, frame: Any) -> None:
+            # The parent is killing us (timeout): persist the black box,
+            # then exit without unwinding (the run loop is mid-bit).
+            if _active_flight:
+                try:
+                    _active_flight[-1].flush(reason="timeout")
+                except OSError:
+                    pass
+            os._exit(124)
+
+        signal.signal(signal.SIGTERM, _on_terminate)
     try:
-        record = execute_spec(spec)
+        record = execute_spec(spec, flight_path=flight_path)
         conn.send(("ok", record.to_dict()))
     except Exception as exc:  # deliberate: any worker failure is reported
         conn.send(("error", f"{type(exc).__name__}: {exc}"))
     finally:
         conn.close()
+
+
+def _load_flight_dump(path: Optional[str]) -> Optional[Dict[str, Any]]:
+    """Best-effort load of a worker's on-disk dump (None when absent)."""
+    if not path or not os.path.exists(path):
+        return None
+    from repro.obs.flight import load_dump
+
+    try:
+        return load_dump(path)
+    except (OSError, ValueError, ConfigurationError, json.JSONDecodeError):
+        return None  # half-written or foreign file: no post-mortem
 
 
 class _Checkpoint:
@@ -541,6 +617,15 @@ class Campaign:
         checkpoint: Optional JSONL path; every finished spec is persisted
             immediately, and :meth:`run` with ``resume=True`` skips specs
             the checkpoint already completed.
+        flight_dir: Optional directory; every spec runs with a flight
+            recorder autoflushing its dump to
+            ``<flight_dir>/<index>_<spec>.flight.json``, so crashed,
+            hung and fault-aborted workers leave a post-mortem the
+            report attaches to the :class:`RunFailure`.
+        telemetry: Stream live progress lines (spec start/finish/retry,
+            per-worker heartbeats) over the checkpoint channel for
+            ``repro campaign watch``; requires ``checkpoint``.
+        heartbeat_seconds: Minimum spacing of per-worker heartbeat lines.
 
     Example:
         >>> from repro.experiments.campaign import Campaign, ScenarioSpec
@@ -559,6 +644,9 @@ class Campaign:
         max_retries: int = 0,
         retry_backoff_seconds: float = 0.1,
         checkpoint: Optional[str] = None,
+        flight_dir: Optional[str] = None,
+        telemetry: bool = False,
+        heartbeat_seconds: float = 1.0,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(
@@ -573,6 +661,14 @@ class Campaign:
             raise ConfigurationError(
                 f"retry backoff must be non-negative, "
                 f"got {retry_backoff_seconds}")
+        if telemetry and checkpoint is None:
+            raise ConfigurationError(
+                "telemetry streams over the checkpoint channel; "
+                "give a checkpoint path")
+        if heartbeat_seconds <= 0:
+            raise ConfigurationError(
+                f"heartbeat spacing must be positive, "
+                f"got {heartbeat_seconds}")
         for spec in specs:
             scenario_factory(spec.scenario)  # fail fast on unknown names
             if spec.faults is not None:
@@ -583,9 +679,18 @@ class Campaign:
         self.max_retries = max_retries
         self.retry_backoff_seconds = retry_backoff_seconds
         self.checkpoint = checkpoint
+        self.flight_dir = flight_dir
+        self.telemetry = telemetry
+        self.heartbeat_seconds = heartbeat_seconds
 
     def _backoff(self, attempt: int) -> float:
         return self.retry_backoff_seconds * (2 ** (attempt - 1))
+
+    def _flight_path(self, index: int) -> Optional[str]:
+        if self.flight_dir is None:
+            return None
+        safe = self.specs[index].name.replace(os.sep, "_").replace("#", "_")
+        return os.path.join(self.flight_dir, f"{index:03d}_{safe}.flight.json")
 
     def run(self, resume: bool = False) -> CampaignReport:
         started = _time.perf_counter()
@@ -604,19 +709,35 @@ class Campaign:
                     records[index] = done[key]
         elif checkpoint is not None:
             checkpoint.reset()
+        if self.flight_dir is not None:
+            os.makedirs(self.flight_dir, exist_ok=True)
+        telemetry = None
+        if self.telemetry:
+            from repro.experiments.telemetry import TelemetryWriter
+
+            telemetry = TelemetryWriter(
+                self.checkpoint, heartbeat_seconds=self.heartbeat_seconds)
         pending = [index for index in range(len(self.specs))
                    if index not in records]
+        if telemetry is not None:
+            telemetry.campaign_started(
+                len(self.specs), len(pending), self.n_workers)
         if pending:
             serial_ok = self.timeout_seconds is None
             if serial_ok and (self.n_workers == 1 or len(pending) <= 1):
-                self._run_serial(pending, records, failures, checkpoint)
+                self._run_serial(pending, records, failures, checkpoint,
+                                 telemetry)
             else:
-                self._run_processes(pending, records, failures, checkpoint)
+                self._run_processes(pending, records, failures, checkpoint,
+                                    telemetry)
+        wall = _time.perf_counter() - started
+        if telemetry is not None:
+            telemetry.campaign_finished(len(records), len(failures), wall)
         return CampaignReport(
             records=[records[index] for index in sorted(records)],
             failures=[failures[index] for index in sorted(failures)],
             n_workers=self.n_workers,
-            wall_seconds=_time.perf_counter() - started,
+            wall_seconds=wall,
         )
 
     # ------------------------------------------------------- serial path
@@ -627,30 +748,46 @@ class Campaign:
         records: Dict[int, RunRecord],
         failures: Dict[int, RunFailure],
         checkpoint: Optional[_Checkpoint],
+        telemetry: Optional[Any] = None,
     ) -> None:
+        worker = current_process().name
         for index in pending:
             spec = self.specs[index]
+            flight_path = self._flight_path(index)
             attempt = 0
             while True:
                 attempt += 1
+                if telemetry is not None:
+                    telemetry.spec_started(spec.name, attempt, worker)
                 spec_started = _time.perf_counter()
                 try:
-                    record = execute_spec(spec)
+                    record = execute_spec(spec, flight_path=flight_path)
                 except Exception as exc:  # deliberate: retry, then report
                     wall = _time.perf_counter() - spec_started
                     if attempt <= self.max_retries:
+                        if telemetry is not None:
+                            telemetry.spec_retry(spec.name, attempt, "error",
+                                                 self._backoff(attempt))
                         _time.sleep(self._backoff(attempt))
                         continue
                     failure = RunFailure(
                         spec=spec, kind="error",
                         error=f"{type(exc).__name__}: {exc}",
                         attempts=attempt, wall_seconds=wall,
-                        worker=current_process().name)
+                        worker=worker,
+                        flight=_load_flight_dump(flight_path),
+                        flight_path=flight_path or "")
                     failures[index] = failure
+                    if telemetry is not None:
+                        telemetry.spec_finished(spec.name, attempt, worker,
+                                                "error", wall)
                     if checkpoint is not None:
                         checkpoint.append_failure(failure)
                     break
                 records[index] = record
+                if telemetry is not None:
+                    telemetry.spec_finished(spec.name, attempt, worker,
+                                            "ok", record.wall_seconds)
                 if checkpoint is not None:
                     checkpoint.append_record(record)
                 break
@@ -663,6 +800,7 @@ class Campaign:
         records: Dict[int, RunRecord],
         failures: Dict[int, RunFailure],
         checkpoint: Optional[_Checkpoint],
+        telemetry: Optional[Any] = None,
     ) -> None:
         """Process-per-spec scheduler with crash/timeout detection.
 
@@ -680,14 +818,24 @@ class Campaign:
 
         def finish(index: int, kind: str, message: str,
                    attempt: int, wall: float, worker: str) -> None:
+            spec_name = self.specs[index].name
             if attempt <= self.max_retries:
+                if telemetry is not None:
+                    telemetry.spec_retry(spec_name, attempt, kind,
+                                         self._backoff(attempt))
                 ready.append((index, attempt + 1,
                               _time.monotonic() + self._backoff(attempt)))
                 return
+            flight_path = self._flight_path(index)
             failure = RunFailure(
                 spec=self.specs[index], kind=kind, error=message,
-                attempts=attempt, wall_seconds=wall, worker=worker)
+                attempts=attempt, wall_seconds=wall, worker=worker,
+                flight=_load_flight_dump(flight_path),
+                flight_path=flight_path or "")
             failures[index] = failure
+            if telemetry is not None:
+                telemetry.spec_finished(spec_name, attempt, worker, kind,
+                                        wall)
             if checkpoint is not None:
                 checkpoint.append_failure(failure)
 
@@ -704,12 +852,16 @@ class Campaign:
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
                 proc = ctx.Process(
                     target=_subprocess_worker,
-                    args=(child_conn, self.specs[index]),
+                    args=(child_conn, self.specs[index],
+                          self._flight_path(index)),
                     name=f"campaign-{index}-try{attempt}")
                 proc.start()
                 child_conn.close()
                 running[index] = (proc, parent_conn, attempt,
                                   _time.monotonic())
+                if telemetry is not None:
+                    telemetry.spec_started(self.specs[index].name, attempt,
+                                           proc.name)
                 progressed = True
 
             for index in list(running):
@@ -735,6 +887,10 @@ class Campaign:
                         record.spawn_overhead_seconds = max(
                             0.0, wall - record.wall_seconds)
                         records[index] = record
+                        if telemetry is not None:
+                            telemetry.spec_finished(
+                                record.spec.name, attempt, proc.name,
+                                "ok", record.wall_seconds)
                         if checkpoint is not None:
                             checkpoint.append_record(record)
                     else:
@@ -749,8 +905,16 @@ class Campaign:
                            f"worker exited with code {proc.exitcode} "
                            f"without reporting a result",
                            attempt, wall, proc.name)
-                elif (self.timeout_seconds is not None
-                      and wall > self.timeout_seconds):
+                elif telemetry is not None and (
+                        self.timeout_seconds is None
+                        or wall <= self.timeout_seconds):
+                    # Still running within budget: sign of life (the
+                    # writer rate-limits to one line per worker/second).
+                    telemetry.heartbeat(proc.name, self.specs[index].name,
+                                        wall)
+                if (payload is None and not worker_died
+                        and self.timeout_seconds is not None
+                        and wall > self.timeout_seconds):
                     proc.terminate()
                     proc.join()
                     conn.close()

@@ -301,7 +301,7 @@ class CanNode:
         self.emit(
             FrameStarted(
                 time=time, node=self.name, frame=pending.frame,
-                attempt=pending.attempts,
+                attempt=pending.attempts, enqueued_at=pending.enqueued_at,
             )
         )
 

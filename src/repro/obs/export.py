@@ -21,10 +21,17 @@ if TYPE_CHECKING:
 PREFIX = "repro_"
 
 
+def _escape_label_value(value: Any) -> str:
+    """Escape a label value per the Prometheus exposition format:
+    backslash, double quote and newline must be backslash-escaped."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _format_labels(labels: Mapping[str, Any]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{key}="{value}"'
+    inner = ",".join(f'{key}="{_escape_label_value(value)}"'
                      for key, value in sorted(labels.items()))
     return "{" + inner + "}"
 

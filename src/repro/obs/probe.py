@@ -448,10 +448,18 @@ class BusProbe:
 
     def snapshot(self, time: Optional[int] = None) -> Dict[str, Any]:
         """One point-in-time sample (the snapshotter's payload): live
-        TEC/REC/state plus cumulative counters per node, and bus load."""
-        bus = self.bus_metrics()
+        TEC/REC/state plus cumulative counters per node, and bus load.
+
+        Deliberately O(nodes), never O(history): unlike :meth:`summary`
+        this skips the :class:`~repro.trace.recorder.LogicTrace` idle-gap
+        scan of the recorded wire, reading only the wire's running
+        counters — a periodic snapshotter calls this thousands of times.
+        """
+        wire = self.sim.wire
+        live_nodes = {node.name: node for node in self.sim.nodes
+                      if hasattr(node, "tec")}
         nodes = {}
-        for name in self._node_names():
+        for name in sorted(set(self._nodes) | set(live_nodes)):
             probe = self._nodes.get(name)
             entry: Dict[str, Any] = {}
             if probe is not None:
@@ -465,7 +473,7 @@ class BusProbe:
             else:
                 entry.update(frames_tx=0, frames_rx=0, errors=0,
                              busoffs=0, counterattacks=0)
-            live = self._live_node(name)
+            live = live_nodes.get(name)
             if live is not None:
                 entry.update(tec=live.tec, rec=live.rec,
                              state=live.state.value)
@@ -473,9 +481,9 @@ class BusProbe:
         return {
             "time": self.sim.time if time is None else time,
             "events": self._events_seen,
-            "dominant_fraction": round(bus["dominant_fraction"], 6),
-            "dominant_bits": bus["dominant_bits"],
-            "dropped_recorded_bits": bus["dropped_recorded_bits"],
+            "dominant_fraction": round(wire.dominant_fraction(), 6),
+            "dominant_bits": wire.dominant_bits,
+            "dropped_recorded_bits": wire.dropped_bits,
             "nodes": nodes,
         }
 

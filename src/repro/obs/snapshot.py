@@ -11,6 +11,15 @@ recorder is actually attached.
 The JSONL format is one header line (``kind`` + ``schema_version``)
 followed by one snapshot object per line, so a timeline can be tailed
 while a long campaign is still running.
+
+Format v2 delta-encodes the timeline: the first snapshot is written in
+full, and each later line carries only the fields that changed since the
+previous one, wrapped as ``{"~": {...}}`` (node entries merge key-wise).
+Steady-state snapshots — identical counters, only the clock advancing —
+shrink to a few bytes.  Whenever a key disappears between consecutive
+snapshots the writer falls back to a full row, so reconstruction is
+always exact; :func:`read_snapshots` returns the same row dicts that
+were written, and still accepts v1 files.
 """
 
 from __future__ import annotations
@@ -24,7 +33,8 @@ from repro.errors import ConfigurationError
 from repro.obs.probe import BusProbe
 
 #: Bump when the snapshot line layout changes incompatibly.
-SNAPSHOT_SCHEMA_VERSION = 1
+#: v2: delta-encoded lines (``{"~": {...}}``) after a full first row.
+SNAPSHOT_SCHEMA_VERSION = 2
 
 #: The header line's format marker.
 SNAPSHOT_KIND = "repro.obs.snapshots"
@@ -45,6 +55,12 @@ class SnapshotRecorder:
     Attributes:
         snapshots: The captured timeline, oldest first.
     """
+
+    #: Fast-forward contract: this pseudo-node always drives recessive and
+    #: takes no protocol action, so the engine may keep chunking spans
+    #: around it — clamping them to :meth:`next_sample_at` so every
+    #: capture still happens on a per-bit step with exact wire counters.
+    ff_passive = True
 
     def __init__(self, probe: BusProbe, every_bits: int,
                  name: str = "obs.snapshots") -> None:
@@ -74,6 +90,10 @@ class SnapshotRecorder:
             self.capture(time)
             self._next_at += self.every_bits
 
+    def next_sample_at(self) -> Optional[int]:
+        """The next bit time this recorder must see per-bit (engine hook)."""
+        return self._next_at
+
     # ----------------------------------------------------------- capture
 
     def capture(self, time: Optional[int] = None) -> Dict[str, Any]:
@@ -85,9 +105,46 @@ class SnapshotRecorder:
 
 # ------------------------------------------------------------------- JSONL
 
+def _snapshot_delta(prev: Dict[str, Any],
+                    snapshot: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """Changed-fields-only encoding of ``snapshot`` vs ``prev``.
+
+    Returns None when a key disappeared (key-wise merging could not
+    reconstruct that), telling the writer to emit a full row instead.
+    """
+    if not set(prev) <= set(snapshot):
+        return None
+    delta: Dict[str, Any] = {}
+    for key, value in snapshot.items():
+        if key == "nodes":
+            continue
+        if key not in prev or prev[key] != value:
+            delta[key] = value
+    prev_nodes = prev.get("nodes", {})
+    nodes = snapshot.get("nodes", {})
+    if not set(prev_nodes) <= set(nodes):
+        return None
+    node_delta: Dict[str, Any] = {}
+    for name, entry in nodes.items():
+        prev_entry = prev_nodes.get(name, {})
+        if not set(prev_entry) <= set(entry):
+            return None
+        changed = {key: value for key, value in entry.items()
+                   if key not in prev_entry or prev_entry[key] != value}
+        if changed:
+            node_delta[name] = changed
+    if node_delta:
+        delta["nodes"] = node_delta
+    return delta
+
+
 def write_snapshots(snapshots: List[Dict[str, Any]], path: PathLike,
                     meta: Optional[Dict[str, Any]] = None) -> str:
     """Write a snapshot timeline as schema-versioned JSONL; returns the path.
+
+    The first snapshot is a full row; later rows delta-encode against
+    their predecessor as ``{"~": {changed fields}}`` (falling back to a
+    full row when a key disappeared).
 
     Args:
         meta: Extra header fields (e.g. the producing spec's name).
@@ -97,13 +154,36 @@ def write_snapshots(snapshots: List[Dict[str, Any]], path: PathLike,
     header.update(meta or {})
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(json.dumps(header, sort_keys=True) + "\n")
+        prev: Optional[Dict[str, Any]] = None
         for snapshot in snapshots:
-            handle.write(json.dumps(snapshot, sort_keys=True) + "\n")
+            delta = (_snapshot_delta(prev, snapshot)
+                     if prev is not None else None)
+            line = snapshot if delta is None else {"~": delta}
+            handle.write(json.dumps(line, sort_keys=True) + "\n")
+            prev = snapshot
     return os.fspath(path)
 
 
+def _apply_delta(prev: Dict[str, Any],
+                 delta: Dict[str, Any]) -> Dict[str, Any]:
+    """Reconstruct the next full row from its predecessor and a delta."""
+    snapshot = {key: value for key, value in prev.items() if key != "nodes"}
+    snapshot.update(
+        {key: value for key, value in delta.items() if key != "nodes"})
+    nodes = {name: dict(entry)
+             for name, entry in prev.get("nodes", {}).items()}
+    for name, changed in delta.get("nodes", {}).items():
+        entry = nodes.setdefault(name, {})
+        entry.update(changed)
+    snapshot["nodes"] = nodes
+    return snapshot
+
+
 def read_snapshots(path: PathLike) -> List[Dict[str, Any]]:
-    """Load a snapshot timeline, validating the header's schema version."""
+    """Load a snapshot timeline, validating the header's schema version.
+
+    Reads the current delta-encoded v2 format and plain-row v1 files.
+    """
     with open(path, encoding="utf-8") as handle:
         header_line = handle.readline()
         if not header_line.strip():
@@ -115,12 +195,24 @@ def read_snapshots(path: PathLike) -> List[Dict[str, Any]]:
                 f"{os.fspath(path)!r} is not a snapshot timeline "
                 f"(kind={header.get('kind')!r})")
         version = header.get("schema_version")
-        if version != SNAPSHOT_SCHEMA_VERSION:
+        if version not in (1, SNAPSHOT_SCHEMA_VERSION):
             raise ConfigurationError(
                 f"snapshot file {os.fspath(path)!r} has schema version "
                 f"{version!r}; this build reads "
-                f"version {SNAPSHOT_SCHEMA_VERSION}")
-        return [json.loads(line) for line in handle if line.strip()]
+                f"versions 1-{SNAPSHOT_SCHEMA_VERSION}")
+        snapshots: List[Dict[str, Any]] = []
+        for line in handle:
+            if not line.strip():
+                continue
+            row = json.loads(line)
+            if version >= 2 and set(row) == {"~"}:
+                if not snapshots:
+                    raise ConfigurationError(
+                        f"snapshot file {os.fspath(path)!r} starts with a "
+                        f"delta row; the first row must be full")
+                row = _apply_delta(snapshots[-1], row["~"])
+            snapshots.append(row)
+        return snapshots
 
 
 def render_snapshots(snapshots: List[Dict[str, Any]],

@@ -80,3 +80,67 @@ def test_fast_engine_actually_fast_forwards():
     assert stats.body_spans > 0
     assert stats.idle_spans > 0
     assert stats.fast_bits > DURATION // 2
+
+
+# ------------------------------------------------------------ trace spans
+
+def _trace_spans(name, seed, engine):
+    """Run one scenario with a TraceCollector attached; spans as dicts."""
+    import json
+
+    from repro.obs.tracing import TraceCollector
+
+    spec = ScenarioSpec(name, params=dict(REQUIRED_PARAMS.get(name, {})),
+                        seed=seed, duration_bits=DURATION, engine=engine)
+    setup = spec.build()
+    collector = TraceCollector(setup.sim)
+    setup.run(config=spec.run_config())
+    spans = collector.finalize()
+    return [json.dumps(span.to_dict(), sort_keys=True) for span in spans]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", sorted(scenario_names()))
+def test_trace_spans_agree(name, seed):
+    """Both engines synthesize byte-identical lifecycle span streams.
+
+    Fast-forward spans are event-free by construction and never enclose
+    a lifecycle boundary, so the purely event-driven collector must see
+    the same events at the same times either way — ids, parents, begins,
+    ends and attrs all included.
+    """
+    assert (_trace_spans(name, seed, "fast")
+            == _trace_spans(name, seed, "bit"))
+
+
+def test_snapshot_timelines_agree():
+    """Periodic snapshots are byte-identical under both engines: spans
+    are clamped to the recorder's sample times, so every capture happens
+    on a per-bit step with exact wire counters."""
+    from repro.obs.probe import BusProbe
+    from repro.obs.snapshot import SnapshotRecorder
+
+    timelines = {}
+    for engine in ("fast", "bit"):
+        spec = ScenarioSpec("exp4", seed=0, duration_bits=DURATION,
+                            engine=engine)
+        setup = spec.build()
+        recorder = setup.sim.add_node(
+            SnapshotRecorder(BusProbe(setup.sim), 500))
+        setup.run(config=spec.run_config())
+        timelines[engine] = recorder.snapshots
+    assert timelines["fast"] == timelines["bit"]
+    assert len(timelines["fast"]) >= DURATION // 500 - 1
+
+
+def test_fast_engine_still_fast_forwards_with_snapshots():
+    """A passive snapshot recorder must not force per-bit stepping."""
+    from repro.obs.probe import BusProbe
+    from repro.obs.snapshot import SnapshotRecorder
+
+    spec = ScenarioSpec("restbus_baseline", seed=0, duration_bits=DURATION,
+                        engine="fast")
+    setup = spec.build()
+    setup.sim.add_node(SnapshotRecorder(BusProbe(setup.sim), 1_000))
+    setup.run(config=spec.run_config())
+    assert setup.sim.ff_stats.fast_bits > DURATION // 4

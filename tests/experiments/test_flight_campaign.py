@@ -1,0 +1,104 @@
+"""Campaign-attached flight recorder: post-mortems for dead workers."""
+
+import os
+
+from repro.experiments.campaign import Campaign, ScenarioSpec
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.obs.flight import FLIGHT_KIND, load_dump, render_dump
+
+
+def harness_plan(kind, **params):
+    return FaultPlan((
+        FaultSpec(name="trouble", kind=kind, params=params, seed=0),
+    ))
+
+
+def good_spec(seed=0):
+    return ScenarioSpec("exp4", duration_bits=2_000, seed=seed)
+
+
+def bad_spec(kind, seed=0, **params):
+    return ScenarioSpec("exp4", duration_bits=2_000, seed=seed,
+                        label=f"{kind}#{seed}", faults=harness_plan(
+                            kind, **params))
+
+
+def test_successful_runs_record_a_complete_dump(tmp_path):
+    flight_dir = str(tmp_path / "flights")
+    report = Campaign([good_spec()], flight_dir=flight_dir).run()
+    (record,) = report.records
+    assert record.flight is not None
+    assert record.flight["kind"] == FLIGHT_KIND
+    assert record.flight["reason"] == "complete"
+    assert record.flight["events"]
+    # The dump also landed on disk, loadable and renderable.
+    (name,) = os.listdir(flight_dir)
+    dump = load_dump(os.path.join(flight_dir, name))
+    assert dump == record.flight
+    assert "final node states" in render_dump(dump)
+
+
+def test_soft_crash_attaches_an_abort_dump(tmp_path):
+    flight_dir = str(tmp_path / "flights")
+    report = Campaign(
+        [bad_spec("harness.crash", hard=False)],
+        flight_dir=flight_dir,
+    ).run()
+    (failure,) = report.failures
+    assert failure.kind == "error"
+    assert failure.flight is not None
+    assert failure.flight["reason"] == "abort"
+    assert failure.flight_path.endswith(".flight.json")
+    assert os.path.exists(failure.flight_path)
+
+
+def test_hard_crash_leaves_an_autoflushed_dump(tmp_path):
+    """os._exit runs no handlers; the dump survives via autoflush."""
+    flight_dir = str(tmp_path / "flights")
+    report = Campaign(
+        [bad_spec("harness.crash", hard=True)],
+        n_workers=2, timeout_seconds=30.0,
+    ).run()
+    assert report.failures[0].kind == "crash"
+
+    report = Campaign(
+        [bad_spec("harness.crash", hard=True)],
+        n_workers=2, timeout_seconds=30.0, flight_dir=flight_dir,
+    ).run()
+    (failure,) = report.failures
+    assert failure.kind == "crash"
+    assert failure.flight is not None
+    assert failure.flight["reason"] in ("start", "autoflush")
+    assert load_dump(failure.flight_path) == failure.flight
+
+
+def test_timeout_flushes_via_sigterm_handler(tmp_path):
+    flight_dir = str(tmp_path / "flights")
+    report = Campaign(
+        [bad_spec("harness.hang", seconds=30.0)],
+        n_workers=2, timeout_seconds=1.0, flight_dir=flight_dir,
+    ).run()
+    (failure,) = report.failures
+    assert failure.kind == "timeout"
+    assert failure.flight is not None
+    assert failure.flight["reason"] in ("timeout", "start", "autoflush")
+    assert "flight recorder dump" in render_dump(failure.flight)
+
+
+def test_flight_dumps_round_trip_through_the_report(tmp_path):
+    from repro.experiments.campaign import CampaignReport
+
+    flight_dir = str(tmp_path / "flights")
+    report = Campaign(
+        [good_spec(), bad_spec("harness.crash", hard=False, seed=1)],
+        flight_dir=flight_dir,
+    ).run()
+    clone = CampaignReport.from_dict(report.to_dict())
+    assert clone.records[0].flight == report.records[0].flight
+    assert clone.failures[0].flight == report.failures[0].flight
+    assert clone.failures[0].flight_path == report.failures[0].flight_path
+
+
+def test_no_flight_dir_means_no_dumps():
+    report = Campaign([good_spec()]).run()
+    assert report.records[0].flight is None

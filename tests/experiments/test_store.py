@@ -33,7 +33,7 @@ class TestSaveLoad:
         path = tmp_path / "report.json"
         save_report(report, path)
         data = json.loads(path.read_text())
-        assert data["schema_version"] == 2
+        assert data["schema_version"] == 3
         assert len(data["records"]) == 2
 
     def test_schema_version_checked(self, report, tmp_path):

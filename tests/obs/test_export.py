@@ -49,6 +49,13 @@ class TestRegistryExposition:
                                       extra_labels={"spec": "exp4#0"})
         assert 'node="a",spec="exp4#0"' in text
 
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("frames_tx", node='say "hi"\\now\n').inc(1)
+        text = registry_to_prometheus(registry)
+        assert 'node="say \\"hi\\"\\\\now\\n"' in text
+        assert "\n\"" not in text  # no raw newline inside a label value
+
     def test_jsonl(self):
         lines = registry_to_jsonl(self._registry()).strip().splitlines()
         parsed = [json.loads(line) for line in lines]

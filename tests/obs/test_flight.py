@@ -1,0 +1,163 @@
+"""Flight recorder: bounded rings, dumps, autoflush and rendering."""
+
+import json
+
+import pytest
+
+from repro.attacks.dos import DosAttacker
+from repro.bus.simulator import CanBusSimulator
+from repro.can.frame import CanFrame
+from repro.core.defense import MichiCanNode
+from repro.errors import ConfigurationError
+from repro.node.controller import CanNode
+from repro.obs.flight import (
+    FLIGHT_KIND,
+    FLIGHT_SCHEMA_VERSION,
+    FlightRecorder,
+    load_dump,
+    render_dump,
+    write_dump,
+)
+
+
+def fight_sim():
+    sim = CanBusSimulator()
+    sim.add_node(MichiCanNode("defender", range(0x100)))
+    sim.add_node(DosAttacker("attacker", 0x064))
+    return sim
+
+
+class TestRecorder:
+    def test_bounded_event_ring_keeps_the_newest(self):
+        sim = fight_sim()
+        recorder = FlightRecorder(sim, event_capacity=10)
+        sim.advance(2_000)
+        dump = recorder.dump(reason="test")
+        assert len(dump["events"]) == 10
+        assert len(sim.events) > 10
+        times = [entry["time"] for entry in dump["events"]]
+        assert times == sorted(times)
+        assert times[-1] == sim.events[-1].time
+
+    def test_periodic_node_samples(self):
+        sim = fight_sim()
+        recorder = FlightRecorder(sim, sample_every_bits=500)
+        sim.advance(5_000)
+        dump = recorder.dump(reason="test")
+        samples = dump["samples"]
+        assert samples
+        for sample in samples:
+            assert set(sample["nodes"]) == {"defender", "attacker"}
+            assert "tec" in sample["nodes"]["attacker"]
+        assert [s["time"] for s in samples] == sorted(
+            s["time"] for s in samples)
+
+    def test_dump_carries_final_state_and_wire_tail(self):
+        sim = fight_sim()
+        recorder = FlightRecorder(sim)
+        sim.advance(3_000)
+        dump = recorder.dump(reason="abort")
+        assert dump["kind"] == FLIGHT_KIND
+        assert dump["schema_version"] == FLIGHT_SCHEMA_VERSION
+        assert dump["reason"] == "abort"
+        assert dump["time"] == sim.time
+        assert dump["nodes"]["attacker"]["tec"] > 0
+        tail = dump["wire_tail"]
+        assert len(tail["levels"]) <= 512
+        assert tail["end_bit"] - tail["start_bit"] == len(tail["levels"])
+        assert json.dumps(dump)  # entirely JSON-safe
+
+    def test_events_encode_frames_and_errors(self):
+        sim = CanBusSimulator()
+        sim.add_nodes(CanNode("a"), CanNode("b"))
+        recorder = FlightRecorder(sim)
+        sim.node("a").send(CanFrame(0x123, b"\xAB"))
+        sim.advance(200)
+        dump = recorder.dump()
+        started = [e for e in dump["events"] if e["type"] == "FrameStarted"]
+        assert started and started[0]["frame"] == {
+            "can_id": 0x123, "data": "ab", "extended": False, "remote": False}
+
+    def test_validation(self):
+        sim = fight_sim()
+        with pytest.raises(ConfigurationError, match="event capacity"):
+            FlightRecorder(sim, event_capacity=0)
+        with pytest.raises(ConfigurationError, match="sample period"):
+            FlightRecorder(sim, sample_every_bits=0)
+        with pytest.raises(ConfigurationError, match="flush period"):
+            FlightRecorder(sim, flush_every=0)
+
+    def test_close_detaches(self):
+        sim = fight_sim()
+        recorder = FlightRecorder(sim)
+        recorder.close()
+        sim.advance(500)
+        assert recorder.dump()["events"] == []
+
+
+class TestAutoflush:
+    def test_autoflush_rewrites_dump_during_the_run(self, tmp_path):
+        path = tmp_path / "run.flight.json"
+        sim = fight_sim()
+        recorder = FlightRecorder(sim, autoflush_path=path, flush_every=16)
+        sim.advance(2_000)
+        # No explicit flush: the on-disk dump came from autoflush alone.
+        dump = load_dump(path)
+        assert dump["reason"] == "autoflush"
+        assert dump["events"]
+        assert dump["time"] <= sim.time
+
+    def test_explicit_flush_and_reason(self, tmp_path):
+        path = tmp_path / "run.flight.json"
+        sim = fight_sim()
+        recorder = FlightRecorder(sim, autoflush_path=path,
+                                  flush_every=10**9)
+        sim.advance(300)
+        assert recorder.flush(reason="timeout") == str(path)
+        assert load_dump(path)["reason"] == "timeout"
+
+    def test_flush_without_path_is_a_noop(self):
+        recorder = FlightRecorder(fight_sim())
+        assert recorder.flush() is None
+
+
+class TestDumpIO:
+    def test_write_and_load_round_trip(self, tmp_path):
+        sim = fight_sim()
+        recorder = FlightRecorder(sim)
+        sim.advance(1_000)
+        dump = recorder.dump(reason="complete")
+        path = tmp_path / "a.flight.json"
+        write_dump(dump, path)
+        assert load_dump(path) == dump
+
+    def test_load_rejects_wrong_kind_and_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "other"}))
+        with pytest.raises(ConfigurationError, match="not a flight"):
+            load_dump(path)
+        path.write_text(json.dumps(
+            {"kind": FLIGHT_KIND, "schema_version": 999}))
+        with pytest.raises(ConfigurationError, match="schema version"):
+            load_dump(path)
+
+
+class TestRender:
+    def test_render_covers_states_events_and_wire(self):
+        sim = fight_sim()
+        recorder = FlightRecorder(sim, sample_every_bits=300)
+        sim.advance(3_000)
+        text = render_dump(recorder.dump(reason="abort"))
+        assert "flight recorder dump (abort)" in text
+        assert "final node states:" in text
+        assert "attacker" in text and "defender" in text
+        assert "recorded events:" in text
+        assert "TEC trajectory" in text
+        assert "decoded wire tail" in text
+
+    def test_render_without_wire_decode(self):
+        sim = fight_sim()
+        recorder = FlightRecorder(sim)
+        sim.advance(500)
+        text = render_dump(recorder.dump(), decode_wire_tail=False)
+        assert "decoded wire tail" not in text

@@ -105,6 +105,36 @@ class TestSnapshotJsonl:
         with pytest.raises(ConfigurationError, match="empty"):
             read_snapshots(path)
 
+    def test_v2_writes_delta_rows(self, tmp_path):
+        snapshots = self._timeline()
+        path = tmp_path / "timeline.jsonl"
+        write_snapshots(snapshots, path)
+        rows = [json.loads(line)
+                for line in path.read_text().splitlines()[1:]]
+        assert set(rows[0]) != {"~"}  # first row is always full
+        deltas = [row for row in rows[1:] if set(row) == {"~"}]
+        assert deltas  # steady counters compress into deltas
+        # Deltas carry only changed keys, never the whole snapshot.
+        assert all(set(d["~"]) < set(snapshots[0]) | {"nodes"}
+                   for d in deltas)
+
+    def test_reads_v1_full_row_files(self, tmp_path):
+        snapshots = self._timeline()
+        path = tmp_path / "v1.jsonl"
+        lines = [json.dumps({"kind": SNAPSHOT_KIND, "schema_version": 1})]
+        lines += [json.dumps(row) for row in snapshots]
+        path.write_text("\n".join(lines) + "\n")
+        assert read_snapshots(path) == snapshots
+
+    def test_rejects_leading_delta_row(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(json.dumps(
+            {"kind": SNAPSHOT_KIND,
+             "schema_version": SNAPSHOT_SCHEMA_VERSION}) + "\n"
+            + json.dumps({"~": {"time": 500}}) + "\n")
+        with pytest.raises(ConfigurationError, match="delta"):
+            read_snapshots(path)
+
     def test_render_tail(self):
         snapshots = self._timeline()
         text = render_snapshots(snapshots, last=2)
