@@ -69,15 +69,21 @@ def test_warm_cache_lint_speedup(benchmark, quick, tmp_path):
 
     speedup = cold / warm if warm else float("inf")
 
-    payload = {
-        "files_checked": files,
-        "rounds": rounds,
-        "cpu_count": os.cpu_count() or 1,
-        "cold_seconds": round(cold, 4),
-        "warm_seconds": round(warm, 4),
-        "warm_speedup": round(speedup, 2),
-    }
     if not quick:
+        # Merge: bench_purity_speed.py records its block into the same
+        # file under "purity", and each bench must survive the other.
+        try:
+            payload = json.loads(BENCH_FILE.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            payload = {}
+        payload.update({
+            "files_checked": files,
+            "rounds": rounds,
+            "cpu_count": os.cpu_count() or 1,
+            "cold_seconds": round(cold, 4),
+            "warm_seconds": round(warm, 4),
+            "warm_speedup": round(speedup, 2),
+        })
         BENCH_FILE.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n",
             encoding="utf-8")

@@ -1,0 +1,101 @@
+"""Purity/effect analyzer speed: cold fixpoint vs warm summary-cache run.
+
+Builds the full scenario purity manifest over ``src/`` twice against the
+same on-disk :class:`AnalysisCache` — once cold (every file parsed and
+summarized from scratch before the effect fixpoint and slice hashing
+run) and once warm (summaries replay from the cache by ``(mtime_ns,
+size)``; only the fixpoint and the hashing re-run) — and records both
+wall times into ``BENCH_lint.json`` under the ``purity`` key (merged, so
+the lint-speed baseline in the same file survives).
+
+The contract this bench enforces: the warm analyzer must beat the cold
+one by at least ``MIN_SPEEDUP``x, so ``repro campaign run --cache``
+(which rebuilds the manifest when none is given) and manifest refreshes
+in ``--changed`` loops stay interactive as the tree grows.
+
+Regenerate:  pytest benchmarks/bench_purity_speed.py --benchmark-only -s
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from conftest import report
+from repro.analysis.callgraph import AnalysisCache
+from repro.analysis.purity import build_purity_manifest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_lint.json"
+
+#: The warm analyzer run must beat a cold run by at least this factor.
+MIN_SPEEDUP = 3.0
+
+ROUNDS = 3
+
+
+def _build_once(cache_path):
+    cache = AnalysisCache(str(cache_path))
+    started = time.perf_counter()
+    manifest = build_purity_manifest([str(REPO_ROOT / "src" / "repro")],
+                                     cache=cache)
+    wall = time.perf_counter() - started
+    cache.save()
+    verdicts = [entry.verdict for entry in manifest.scenarios.values()]
+    assert verdicts and set(verdicts) == {"pure"}, manifest.to_dict()
+    return wall, len(manifest.scenarios)
+
+
+def _best_cold(rounds, tmp_path):
+    best, scenarios = float("inf"), 0
+    for index in range(rounds):
+        wall, scenarios = _build_once(tmp_path / f"cold-{index}.json")
+        best = min(best, wall)
+    return best, scenarios
+
+
+def _best_warm(rounds, tmp_path):
+    cache_path = tmp_path / "warm.json"
+    _build_once(cache_path)  # populate
+    best = float("inf")
+    for _ in range(rounds):
+        wall, _ = _build_once(cache_path)
+        best = min(best, wall)
+    return best
+
+
+def test_warm_purity_analysis_speedup(benchmark, quick, tmp_path):
+    rounds = 1 if quick else ROUNDS
+
+    cold, scenarios = _best_cold(rounds, tmp_path)
+    warm = _best_warm(rounds, tmp_path)
+    benchmark.pedantic(lambda: _build_once(tmp_path / "warm.json"),
+                       rounds=1, iterations=1)
+
+    speedup = cold / warm if warm else float("inf")
+
+    if not quick:
+        try:
+            payload = json.loads(BENCH_FILE.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            payload = {}
+        payload["purity"] = {
+            "scenarios": scenarios,
+            "rounds": rounds,
+            "cpu_count": os.cpu_count() or 1,
+            "cold_seconds": round(cold, 4),
+            "warm_seconds": round(warm, 4),
+            "warm_speedup": round(speedup, 2),
+        }
+        BENCH_FILE.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+    report("Purity analyzer speedup (src/repro)", [
+        ("scenarios certified", "-", scenarios),
+        ("cold build (s)", "-", f"{cold:.3f}"),
+        ("warm build (s)", "-", f"{warm:.3f}"),
+        ("speedup", f">={MIN_SPEEDUP:.0f}x", f"{speedup:.1f}x"),
+    ], notes=f"recorded to {BENCH_FILE.name} under 'purity'")
+
+    assert speedup >= MIN_SPEEDUP

@@ -69,7 +69,14 @@ from repro.analysis.lint.suppressions import SuppressionIndex
 
 #: Bump when the FileSummary layout changes incompatibly: cached summaries
 #: with another version are re-parsed, never misread.
-SUMMARY_SCHEMA_VERSION = 1
+#: v2: per-function effect facts (global/param mutation sites, I/O and
+#: ambient-state sinks) and per-file registration sites / module globals.
+SUMMARY_SCHEMA_VERSION = 2
+#: Bump when the effect/purity *interpretation* of the summaries changes
+#: (new effect kinds, changed fixpoint semantics) without the summary
+#: layout itself changing.  Folded into :func:`rules_cache_key` and the
+#: purity manifest so upgraded analyzers never replay stale verdicts.
+EFFECT_SCHEMA_VERSION = 1
 #: Bump when the on-disk cache file layout changes incompatibly.
 CACHE_SCHEMA_VERSION = 1
 
@@ -93,6 +100,60 @@ _BUILTIN_METHOD_NAMES: FrozenSet[str] = frozenset(
 _NON_EXCEPTION_BUILTINS = frozenset({
     "BaseException", "KeyboardInterrupt", "SystemExit", "GeneratorExit",
 })
+
+#: Container/str methods that mutate their receiver in place.  A call
+#: ``root.append(x)`` where ``root`` is module-level state is a shared
+#: mutation even though nothing is assigned.
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear", "update",
+    "setdefault", "add", "discard", "popitem", "sort", "reverse",
+    "appendleft", "popleft",
+})
+
+#: ``random`` module functions that mutate/draw from the *global* RNG are
+#: the RC102/RC202 family's concern, not the mutation analysis: exclude
+#: the whole module from mutation classification so ``random.seed(spec)``
+#: (the campaign's sanctioned deterministic reseed) is not double-flagged.
+_RNG_MODULES = frozenset({"random"})
+
+#: Calls that write to the world outside the process (the "io" effect).
+_IO_CALLS = {
+    "os": frozenset({
+        "remove", "unlink", "makedirs", "mkdir", "rename", "replace",
+        "rmdir", "chdir", "symlink", "link", "chmod", "system", "popen",
+        "_exit", "kill",
+    }),
+    "shutil": None,  # any shutil call writes
+    "subprocess": None,  # any subprocess call spawns
+}
+#: Bare-name builtins that perform I/O.
+_IO_BUILTINS = frozenset({"open", "print", "input"})
+#: Method names that read/write files through handles or pathlib.
+_IO_METHODS = frozenset({"write_text", "write_bytes"})
+
+#: Calls that read ambient process/host state beyond the arguments (the
+#: "reads-ambient" effect): environment, filesystem metadata, host info.
+_AMBIENT_CALLS = {
+    "os": frozenset({
+        "getenv", "getcwd", "cpu_count", "stat", "listdir", "walk",
+        "scandir", "uname", "getpid", "urandom",
+    }),
+    "os.path": frozenset({
+        "exists", "isfile", "isdir", "getsize", "getmtime", "realpath",
+        "abspath", "expanduser",
+    }),
+    "platform": None,  # any platform call reads host identity
+    "socket": frozenset({"gethostname", "getfqdn"}),
+}
+#: Attribute chains whose *read* is ambient state (not calls).
+_AMBIENT_ATTRS = frozenset({("os", "environ"), ("sys", "argv")})
+#: Method names that read files through pathlib-style handles.
+_AMBIENT_METHODS = frozenset({"read_text", "read_bytes"})
+
+#: Function names whose call sites register scenario factories; the second
+#: positional argument (or ``factory=`` keyword) must be pickle-safe by
+#: reference for the multiprocessing fan-out (RC303).
+_REGISTRATION_FUNCS = frozenset({"register_scenario"})
 
 
 # ------------------------------------------------------------- summary model
@@ -170,9 +231,86 @@ class SinkSite:
                    description=str(data.get("description", "")))
 
 
+@dataclass(frozen=True)
+class MutationSite:
+    """One statement that mutates state outliving the function call.
+
+    Attributes:
+        line: 1-based source line of the mutation.
+        column: 0-based column offset.
+        target: Display form of the mutated expression
+            (``"_REGISTRY[...]"``, ``"Cls.attr"``).
+        root: The leftmost name of the mutated chain.
+        scope: ``"global"`` (module/class-level state) or ``"param"``
+            (an argument escaping the call, ``self`` included).
+        kind: ``"assign"``, ``"augassign"``, ``"delete"`` or ``"method"``
+            (an in-place mutating method call such as ``.append()``).
+        locked: True when the statement sits inside a ``with`` block whose
+            context expression names a lock — the RC302 exemption.
+    """
+
+    line: int
+    column: int
+    target: str
+    root: str
+    scope: str
+    kind: str
+    locked: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"line": self.line, "column": self.column,
+                "target": self.target, "root": self.root,
+                "scope": self.scope, "kind": self.kind,
+                "locked": self.locked}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MutationSite":
+        return cls(line=int(data["line"]), column=int(data.get("column", 0)),
+                   target=str(data.get("target", "")),
+                   root=str(data.get("root", "")),
+                   scope=str(data.get("scope", "global")),
+                   kind=str(data.get("kind", "assign")),
+                   locked=bool(data.get("locked", False)))
+
+
+@dataclass(frozen=True)
+class RegistrationSite:
+    """One ``register_scenario(...)`` call site (RC303 evidence).
+
+    ``factory_kind`` classifies the factory argument statically:
+    ``"lambda"`` (a lambda literal), ``"nested"`` (a function defined
+    inside the registering function), ``"ref"`` (a name/attribute chain,
+    recorded in ``factory`` for project-level resolution) or ``"unknown"``
+    (a computed value the analysis cannot type — conservatively accepted).
+    """
+
+    line: int
+    column: int
+    scenario: Optional[str]
+    factory_kind: str
+    factory: Tuple[str, ...] = ()
+    #: Qualname of the enclosing function ("" at module level).
+    enclosing: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"line": self.line, "column": self.column,
+                "scenario": self.scenario,
+                "factory_kind": self.factory_kind,
+                "factory": list(self.factory),
+                "enclosing": self.enclosing}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RegistrationSite":
+        return cls(line=int(data["line"]), column=int(data.get("column", 0)),
+                   scenario=data.get("scenario"),
+                   factory_kind=str(data.get("factory_kind", "unknown")),
+                   factory=tuple(data.get("factory", ())),
+                   enclosing=str(data.get("enclosing", "")))
+
+
 @dataclass
 class FunctionSummary:
-    """Call/raise/sink facts for one function or method."""
+    """Call/raise/sink/effect facts for one function or method."""
 
     qualname: str
     line: int
@@ -180,6 +318,9 @@ class FunctionSummary:
     raises: List[RaiseSite] = field(default_factory=list)
     wallclock_sinks: List[SinkSite] = field(default_factory=list)
     random_sinks: List[SinkSite] = field(default_factory=list)
+    io_sinks: List[SinkSite] = field(default_factory=list)
+    ambient_sinks: List[SinkSite] = field(default_factory=list)
+    mutations: List[MutationSite] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -189,6 +330,9 @@ class FunctionSummary:
             "raises": [r.to_dict() for r in self.raises],
             "wallclock_sinks": [s.to_dict() for s in self.wallclock_sinks],
             "random_sinks": [s.to_dict() for s in self.random_sinks],
+            "io_sinks": [s.to_dict() for s in self.io_sinks],
+            "ambient_sinks": [s.to_dict() for s in self.ambient_sinks],
+            "mutations": [m.to_dict() for m in self.mutations],
         }
 
     @classmethod
@@ -202,6 +346,12 @@ class FunctionSummary:
                              for s in data.get("wallclock_sinks", ())],
             random_sinks=[SinkSite.from_dict(s)
                           for s in data.get("random_sinks", ())],
+            io_sinks=[SinkSite.from_dict(s)
+                      for s in data.get("io_sinks", ())],
+            ambient_sinks=[SinkSite.from_dict(s)
+                           for s in data.get("ambient_sinks", ())],
+            mutations=[MutationSite.from_dict(m)
+                       for m in data.get("mutations", ())],
         )
 
 
@@ -246,6 +396,11 @@ class FileSummary:
     consumed: Dict[str, int] = field(default_factory=dict)
     #: Other capitalised value references (``X if p else Y`` dispatch).
     referenced: Dict[str, int] = field(default_factory=dict)
+    #: Module-level assigned names -> first binding line.  The mutation
+    #: analysis classifies writes through these roots as shared state.
+    module_globals: Dict[str, int] = field(default_factory=dict)
+    #: ``register_scenario(...)`` call sites found anywhere in the file.
+    registrations: List[RegistrationSite] = field(default_factory=list)
 
     def suppression_index(self) -> SuppressionIndex:
         return SuppressionIndex.from_mapping(
@@ -264,6 +419,8 @@ class FileSummary:
             "instantiated": dict(self.instantiated),
             "consumed": dict(self.consumed),
             "referenced": dict(self.referenced),
+            "module_globals": dict(self.module_globals),
+            "registrations": [r.to_dict() for r in self.registrations],
         }
 
     @classmethod
@@ -288,6 +445,11 @@ class FileSummary:
                       for k, v in data.get("consumed", {}).items()},
             referenced={k: int(v)
                         for k, v in data.get("referenced", {}).items()},
+            module_globals={k: int(v)
+                            for k, v in data.get("module_globals",
+                                                 {}).items()},
+            registrations=[RegistrationSite.from_dict(r)
+                           for r in data.get("registrations", ())],
         )
 
 
@@ -373,6 +535,66 @@ def _exception_name(node: Optional[ast.expr]) -> Optional[str]:
     return None
 
 
+#: Methods whose ``self`` mutations are construction, not escape: the
+#: receiver does not exist outside the call yet.
+_CONSTRUCTOR_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+def _flatten_targets(nodes: Iterable[ast.expr]) -> List[ast.expr]:
+    """Unpack tuple/list/starred assignment targets into leaf targets."""
+    leaves: List[ast.expr] = []
+    stack = list(nodes)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Tuple, ast.List)):
+            stack.extend(node.elts)
+        elif isinstance(node, ast.Starred):
+            stack.append(node.value)
+        else:
+            leaves.append(node)
+    return leaves
+
+
+def _is_lockish(parts: Sequence[str]) -> bool:
+    """Does a ``with`` context expression look like a lock acquisition?"""
+    return any("lock" in part.lower() for part in parts)
+
+
+class _FunctionContext:
+    """Name-binding facts for one function body (mutation classification).
+
+    ``locals`` over-approximates (nested-function locals bleed in via the
+    plain AST walk), which only ever *suppresses* mutation findings —
+    a name bound locally anywhere in the subtree is never classified as
+    shared state.
+    """
+
+    def __init__(self, node: ast.AST) -> None:
+        assert isinstance(node, _FunctionNode)
+        args = node.args
+        params = {a.arg for a in (list(args.posonlyargs) + list(args.args)
+                                  + list(args.kwonlyargs))}
+        if args.vararg is not None:
+            params.add(args.vararg.arg)
+        if args.kwarg is not None:
+            params.add(args.kwarg.arg)
+        self.params = params
+        self.is_constructor = node.name in _CONSTRUCTOR_METHODS
+        self.global_decls: Set[str] = set()
+        self.locals: Set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Global, ast.Nonlocal)):
+                self.global_decls.update(sub.names)
+            elif isinstance(sub, ast.Name) and isinstance(
+                    sub.ctx, (ast.Store, ast.Del)):
+                self.locals.add(sub.id)
+            elif isinstance(sub, (ast.For, ast.AsyncFor)):
+                for leaf in _flatten_targets([sub.target]):
+                    if isinstance(leaf, ast.Name):
+                        self.locals.add(leaf.id)
+        self.locals -= self.global_decls
+
+
 class _Summarizer:
     """One-pass AST -> :class:`FileSummary` extraction."""
 
@@ -394,11 +616,16 @@ class _Summarizer:
         self._random_aliases = {a for a, m in
                                 self.summary.import_aliases.items()
                                 if m == "random"}
+        self._class_names = {node.name for node in tree.body
+                             if isinstance(node, ast.ClassDef)}
+        self._collect_module_globals(tree)
         for node in tree.body:
             if isinstance(node, _FunctionNode):
                 self._summarize_function(node, prefix="")
             elif isinstance(node, ast.ClassDef):
                 self._summarize_class(node)
+        self._scan_module_level(tree)
+        self._finalize_registrations()
         self._collect_event_evidence(tree)
 
     # ------------------------------------------------------------ imports
@@ -423,6 +650,21 @@ class _Summarizer:
                         continue
                     self.summary.from_imports[
                         alias.asname or alias.name] = (module, alias.name)
+
+    def _collect_module_globals(self, tree: ast.Module) -> None:
+        """Names bound by module-level assignments (shared-state roots)."""
+        for node in tree.body:
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = _flatten_targets(node.targets)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    self.summary.module_globals.setdefault(
+                        target.id, node.lineno)
 
     # ------------------------------------------------------------ classes
 
@@ -449,12 +691,16 @@ class _Summarizer:
         qualname = prefix + node.name
         fn = FunctionSummary(qualname=qualname, line=node.lineno)
         self.summary.functions[qualname] = fn
-        self._walk_statements(node.body, fn, guards=(), caught=())
+        ctx = _FunctionContext(node)
+        self._walk_statements(node.body, fn, ctx, guards=(), caught=(),
+                              locked=False)
 
     def _walk_statements(self, stmts: Sequence[ast.stmt],
                          fn: FunctionSummary,
+                         ctx: _FunctionContext,
                          guards: Tuple[str, ...],
-                         caught: Tuple[str, ...]) -> None:
+                         caught: Tuple[str, ...],
+                         locked: bool) -> None:
         for stmt in stmts:
             if isinstance(stmt, _FunctionNode):
                 self._summarize_function(stmt, prefix=fn.qualname + ".")
@@ -465,41 +711,60 @@ class _Summarizer:
                 for handler in stmt.handlers:
                     handler_union.extend(_handler_type_names(handler))
                 inner = guards + tuple(handler_union)
-                self._walk_statements(stmt.body, fn, inner, caught)
+                self._walk_statements(stmt.body, fn, ctx, inner, caught,
+                                      locked)
                 for handler in stmt.handlers:
                     self._walk_statements(
-                        handler.body, fn, guards,
-                        caught=_handler_type_names(handler))
-                self._walk_statements(stmt.orelse, fn, guards, caught)
-                self._walk_statements(stmt.finalbody, fn, guards, caught)
+                        handler.body, fn, ctx, guards,
+                        caught=_handler_type_names(handler), locked=locked)
+                self._walk_statements(stmt.orelse, fn, ctx, guards, caught,
+                                      locked)
+                self._walk_statements(stmt.finalbody, fn, ctx, guards,
+                                      caught, locked)
             elif isinstance(stmt, ast.Raise):
-                self._record_raise(stmt, fn, guards, caught)
+                self._record_raise(stmt, fn, ctx, guards, caught, locked)
             elif isinstance(stmt, (ast.If, ast.While)):
-                self._scan_expression(stmt.test, fn, guards)
-                self._walk_statements(stmt.body, fn, guards, caught)
-                self._walk_statements(stmt.orelse, fn, guards, caught)
+                self._scan_expression(stmt.test, fn, ctx, guards, locked)
+                self._walk_statements(stmt.body, fn, ctx, guards, caught,
+                                      locked)
+                self._walk_statements(stmt.orelse, fn, ctx, guards, caught,
+                                      locked)
             elif isinstance(stmt, (ast.For, ast.AsyncFor)):
-                self._scan_expression(stmt.iter, fn, guards)
-                self._walk_statements(stmt.body, fn, guards, caught)
-                self._walk_statements(stmt.orelse, fn, guards, caught)
+                self._scan_expression(stmt.iter, fn, ctx, guards, locked)
+                self._walk_statements(stmt.body, fn, ctx, guards, caught,
+                                      locked)
+                self._walk_statements(stmt.orelse, fn, ctx, guards, caught,
+                                      locked)
             elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner_locked = locked
                 for item in stmt.items:
-                    self._scan_expression(item.context_expr, fn, guards)
-                self._walk_statements(stmt.body, fn, guards, caught)
+                    self._scan_expression(item.context_expr, fn, ctx,
+                                          guards, locked)
+                    if _is_lockish(_dotted_parts(item.context_expr) or []):
+                        inner_locked = True
+                self._walk_statements(stmt.body, fn, ctx, guards, caught,
+                                      inner_locked)
             elif isinstance(stmt, ast.Match):
-                self._scan_expression(stmt.subject, fn, guards)
+                self._scan_expression(stmt.subject, fn, ctx, guards, locked)
                 for case in stmt.cases:
                     if case.guard is not None:
-                        self._scan_expression(case.guard, fn, guards)
-                    self._walk_statements(case.body, fn, guards, caught)
+                        self._scan_expression(case.guard, fn, ctx, guards,
+                                              locked)
+                    self._walk_statements(case.body, fn, ctx, guards,
+                                          caught, locked)
             else:
-                self._scan_expression(stmt, fn, guards)
+                if isinstance(stmt, (ast.Assign, ast.AugAssign,
+                                     ast.AnnAssign, ast.Delete)):
+                    self._record_mutations(stmt, fn, ctx, locked)
+                self._scan_expression(stmt, fn, ctx, guards, locked)
 
     def _record_raise(self, stmt: ast.Raise, fn: FunctionSummary,
+                      ctx: _FunctionContext,
                       guards: Tuple[str, ...],
-                      caught: Tuple[str, ...]) -> None:
+                      caught: Tuple[str, ...],
+                      locked: bool) -> None:
         if stmt.exc is not None:
-            self._scan_expression(stmt.exc, fn, guards)
+            self._scan_expression(stmt.exc, fn, ctx, guards, locked)
         fn.raises.append(RaiseSite(
             exception=_exception_name(stmt.exc),
             line=stmt.lineno,
@@ -507,9 +772,99 @@ class _Summarizer:
             handler_types=caught if stmt.exc is None else (),
         ))
 
+    # ------------------------------------------------------------ mutations
+
+    def _mutation_scope(self, root: str,
+                        ctx: _FunctionContext) -> Optional[str]:
+        """``"global"``/``"param"`` when a write through ``root`` mutates
+        state outliving the call, ``None`` for locals and unknowns."""
+        if root in ("self", "cls"):
+            return None if ctx.is_constructor else "param"
+        if root in ctx.global_decls:
+            return "global"
+        if root in ctx.params:
+            return "param"
+        if root in ctx.locals:
+            return None
+        if root in self._class_names \
+                or root in self.summary.module_globals:
+            return "global"
+        alias = self.summary.import_aliases.get(root)
+        if alias is not None:
+            return None if alias in _RNG_MODULES else "global"
+        target = self.summary.from_imports.get(root)
+        if target is not None:
+            return None if target[0] in _RNG_MODULES else "global"
+        return None
+
+    def _record_mutations(self, stmt: ast.stmt, fn: FunctionSummary,
+                          ctx: _FunctionContext, locked: bool) -> None:
+        if isinstance(stmt, ast.Assign):
+            targets, kind = _flatten_targets(stmt.targets), "assign"
+        elif isinstance(stmt, ast.AugAssign):
+            targets, kind = [stmt.target], "augassign"
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is None:
+                return
+            targets, kind = [stmt.target], "assign"
+        else:
+            assert isinstance(stmt, ast.Delete)
+            targets, kind = _flatten_targets(stmt.targets), "delete"
+        for target in targets:
+            if isinstance(target, ast.Name):
+                # Rebinding a name is a shared mutation only under a
+                # ``global``/``nonlocal`` declaration.
+                if target.id in ctx.global_decls:
+                    fn.mutations.append(MutationSite(
+                        line=stmt.lineno, column=stmt.col_offset,
+                        target=target.id, root=target.id,
+                        scope="global", kind=kind, locked=locked))
+                continue
+            if not isinstance(target, (ast.Subscript, ast.Attribute)):
+                continue
+            parts = _dotted_parts(target.value)
+            if not parts:
+                continue
+            scope = self._mutation_scope(parts[0], ctx)
+            if scope is None:
+                continue
+            display = ".".join(parts)
+            display += "[...]" if isinstance(target, ast.Subscript) \
+                else f".{target.attr}"
+            fn.mutations.append(MutationSite(
+                line=stmt.lineno, column=stmt.col_offset,
+                target=display, root=parts[0],
+                scope=scope, kind=kind, locked=locked))
+
+    def _record_method_mutation(self, call: ast.Call,
+                                parts: Sequence[str],
+                                fn: FunctionSummary,
+                                ctx: _FunctionContext,
+                                locked: bool) -> None:
+        receiver = parts[:-1]
+        scope = self._mutation_scope(receiver[0], ctx)
+        if scope is None:
+            return
+        fn.mutations.append(MutationSite(
+            line=call.lineno, column=call.col_offset,
+            target=f"{'.'.join(receiver)}.{parts[-1]}()",
+            root=receiver[0], scope=scope, kind="method", locked=locked))
+
     def _scan_expression(self, node: ast.AST, fn: FunctionSummary,
-                         guards: Tuple[str, ...]) -> None:
+                         ctx: _FunctionContext,
+                         guards: Tuple[str, ...],
+                         locked: bool) -> None:
         for sub in ast.walk(node):
+            if isinstance(sub, ast.Attribute):
+                attr_parts = _dotted_parts(sub) or []
+                if len(attr_parts) == 2:
+                    root = self.summary.import_aliases.get(
+                        attr_parts[0], attr_parts[0])
+                    if (root, attr_parts[1]) in _AMBIENT_ATTRS:
+                        fn.ambient_sinks.append(SinkSite(
+                            line=sub.lineno, column=sub.col_offset,
+                            description=".".join(attr_parts)))
+                continue
             if not isinstance(sub, ast.Call):
                 continue
             parts = _dotted_parts(sub.func)
@@ -518,6 +873,10 @@ class _Summarizer:
             fn.calls.append(CallSite(parts=tuple(parts), line=sub.lineno,
                                      guards=guards))
             self._classify_sink(sub, parts, fn)
+            if len(parts) >= 2 and parts[-1] in _MUTATING_METHODS:
+                self._record_method_mutation(sub, parts, fn, ctx, locked)
+            if parts[-1] in _REGISTRATION_FUNCS:
+                self._record_registration(sub, fn.qualname)
 
     def _classify_sink(self, call: ast.Call, parts: List[str],
                        fn: FunctionSummary) -> None:
@@ -527,29 +886,147 @@ class _Summarizer:
         if len(parts) >= 2 and parts[0] in self._time_aliases \
                 and parts[1] in _TIME_FUNCS:
             fn.wallclock_sinks.append(sink)
-        elif parts[0] in self._datetime_aliases \
+            return
+        if parts[0] in self._datetime_aliases \
                 and parts[-1] in _DATETIME_FACTORIES:
             fn.wallclock_sinks.append(sink)
-        elif len(parts) == 1:
+            return
+        if len(parts) == 1:
             target = self.summary.from_imports.get(parts[0])
             if target == ("time", parts[0]) or (
                     target is not None and target[0] == "time"
                     and target[1] in _TIME_FUNCS):
                 fn.wallclock_sinks.append(sink)
-            elif target is not None and target[0] == "datetime" \
+                return
+            if target is not None and target[0] == "datetime" \
                     and target[1] in _DATETIME_FACTORIES:
                 fn.wallclock_sinks.append(sink)
-            elif target is not None and target[0] == "random" and (
+                return
+            if target is not None and target[0] == "random" and (
                     target[1] in _GLOBAL_RNG_FUNCS
                     or target[1] == "SystemRandom"):
                 fn.random_sinks.append(sink)
-        elif len(parts) == 2 and parts[0] in self._random_aliases:
+                return
+        if len(parts) == 2 and parts[0] in self._random_aliases:
             if parts[1] in _GLOBAL_RNG_FUNCS or parts[1] == "SystemRandom":
                 fn.random_sinks.append(sink)
-            elif parts[1] == "Random" and not call.args and not call.keywords:
+                return
+            if parts[1] == "Random" and not call.args and not call.keywords:
                 fn.random_sinks.append(SinkSite(
                     line=call.lineno, column=call.col_offset,
                     description=f"{dotted}() without a seed"))
+                return
+        self._classify_effect_sink(call, parts, sink, fn)
+
+    # -------------------------------------------------------- effect sinks
+
+    def _module_call_target(
+            self, parts: Sequence[str]) -> Optional[Tuple[str, str]]:
+        """``(module, function)`` for a call through an imported module or
+        a from-imported name, else ``None``."""
+        if len(parts) == 1:
+            return self.summary.from_imports.get(parts[0])
+        base = self.summary.import_aliases.get(parts[0])
+        if base is None:
+            target = self.summary.from_imports.get(parts[0])
+            if target is None:
+                return None
+            base = f"{target[0]}.{target[1]}"
+        rest = parts[1:]
+        if len(rest) == 1:
+            return (base, rest[0])
+        return (base + "." + ".".join(rest[:-1]), rest[-1])
+
+    @staticmethod
+    def _in_call_map(mapping: Mapping[str, Optional[FrozenSet[str]]],
+                     module: str, func: str) -> bool:
+        if module not in mapping:
+            return False
+        allowed = mapping[module]
+        return allowed is None or func in allowed
+
+    def _classify_effect_sink(self, call: ast.Call, parts: Sequence[str],
+                              sink: SinkSite, fn: FunctionSummary) -> None:
+        resolved = self._module_call_target(parts)
+        if resolved is not None:
+            module, func = resolved
+            if self._in_call_map(_IO_CALLS, module, func):
+                fn.io_sinks.append(sink)
+                return
+            if self._in_call_map(_AMBIENT_CALLS, module, func):
+                fn.ambient_sinks.append(sink)
+                return
+        if len(parts) == 1 and parts[0] in _IO_BUILTINS \
+                and parts[0] not in self.summary.from_imports \
+                and parts[0] not in self.summary.functions:
+            fn.io_sinks.append(sink)
+            return
+        if len(parts) >= 2:
+            if parts[-1] in _IO_METHODS:
+                fn.io_sinks.append(sink)
+            elif parts[-1] in _AMBIENT_METHODS:
+                fn.ambient_sinks.append(sink)
+
+    # ------------------------------------------------------- registrations
+
+    def _record_registration(self, call: ast.Call,
+                             enclosing: str) -> None:
+        scenario: Optional[str] = None
+        if call.args and isinstance(call.args[0], ast.Constant) \
+                and isinstance(call.args[0].value, str):
+            scenario = call.args[0].value
+        factory: Optional[ast.expr] = None
+        if len(call.args) >= 2:
+            factory = call.args[1]
+        else:
+            for keyword in call.keywords:
+                if keyword.arg == "factory":
+                    factory = keyword.value
+        if factory is None:
+            kind: str = "unknown"
+            fparts: Tuple[str, ...] = ()
+        elif isinstance(factory, ast.Lambda):
+            kind, fparts = "lambda", ()
+        else:
+            dotted = _dotted_parts(factory)
+            kind, fparts = ("ref", tuple(dotted)) if dotted \
+                else ("unknown", ())
+        self.summary.registrations.append(RegistrationSite(
+            line=call.lineno, column=call.col_offset,
+            scenario=scenario, factory_kind=kind, factory=fparts,
+            enclosing=enclosing))
+
+    def _scan_module_level(self, tree: ast.Module) -> None:
+        """Registration calls in module-level statements (import-time
+        registration outside any function)."""
+        for stmt in tree.body:
+            if isinstance(stmt, _FunctionNode) \
+                    or isinstance(stmt, ast.ClassDef):
+                continue
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call):
+                    parts = _dotted_parts(sub.func)
+                    if parts and parts[-1] in _REGISTRATION_FUNCS:
+                        self._record_registration(sub, "")
+
+    def _finalize_registrations(self) -> None:
+        """Reclassify single-name factory refs that resolve to a function
+        nested inside the registering function: pickle-unsafe (RC303)."""
+        final: List[RegistrationSite] = []
+        for site in self.summary.registrations:
+            if site.factory_kind == "ref" and len(site.factory) == 1 \
+                    and site.enclosing:
+                prefix = site.enclosing.split(".")
+                for depth in range(len(prefix), 0, -1):
+                    nested = ".".join(prefix[:depth]) + "." + site.factory[0]
+                    if nested in self.summary.functions:
+                        site = RegistrationSite(
+                            line=site.line, column=site.column,
+                            scenario=site.scenario, factory_kind="nested",
+                            factory=(nested,), enclosing=site.enclosing)
+                        break
+            final.append(site)
+        self.summary.registrations = final
 
     # ------------------------------------------------------ event evidence
 
@@ -811,9 +1288,19 @@ class AnalysisCache:
 
 def rules_cache_key(codes: Sequence[str],
                     vocabulary: Optional[Iterable[str]]) -> str:
-    """Stable key for one (rule set, event vocabulary) configuration."""
+    """Stable key for one (rule set, event vocabulary) configuration.
+
+    The summary and effect schema versions are folded in so an upgraded
+    analyzer never replays findings derived from an older extraction or
+    an older effect interpretation (the cached blobs key off this).
+    """
     vocab = ",".join(sorted(vocabulary)) if vocabulary is not None else "-"
-    blob = ",".join(sorted(codes)) + "|" + vocab
+    blob = "|".join((
+        f"s{SUMMARY_SCHEMA_VERSION}",
+        f"e{EFFECT_SCHEMA_VERSION}",
+        ",".join(sorted(codes)),
+        vocab,
+    ))
     return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:16]
 
 

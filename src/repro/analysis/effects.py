@@ -1,0 +1,242 @@
+"""Interprocedural effect/purity analysis (the RC3xx substrate).
+
+The summarizer (:mod:`repro.analysis.callgraph`) records *local* effect
+facts per function: mutations of module/class-level state, mutations of
+escaping parameters, I/O calls, ambient-state reads, wall-clock reads and
+global-RNG draws.  This module lifts those facts to whole-program answers:
+
+* :meth:`EffectAnalysis.effect_sets` — a fixpoint over the call graph
+  computing, for every function, the set of effect *kinds* it can perform
+  transitively (monotone over a finite lattice, so iteration terminates);
+* :meth:`EffectAnalysis.slice_sites` — the concrete effect sites inside
+  the BFS closure of a set of entry points, each with the shortest witness
+  chain that proves reachability (the RC301/RC302 evidence and the purity
+  manifest's effect listing).
+
+Purity policy
+-------------
+
+A scenario is **cacheable-pure** when its transitive code slice performs
+no global-state mutation, no I/O and no ambient read, and reads no wall
+clock (:data:`IMPURE_KINDS`).  Two effect kinds are deliberately excluded
+from the verdict:
+
+* ``unseeded-random`` — ``ScenarioSpec.build()`` reseeds the global RNG
+  from ``spec.seed`` before the factory runs, so global-RNG draws below a
+  factory are deterministic per spec (the RC102/RC202 rules still police
+  the simulator hot path separately);
+* ``mutates-args`` — factories receive only immutable arguments (the
+  seed) and specs are frozen dataclasses, so argument mutation cannot
+  leak state between runs.
+
+Sites suppressed by a ``# repro: noqa[<code>]`` comment on the sink line
+are excluded from both the lint findings *and* the manifest (the code per
+kind is :data:`KIND_CODES`): a sanctioned effect is sanctioned everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    CallSite,
+    FunctionSummary,
+    NodeKey,
+)
+
+EFFECT_MUTATES_GLOBAL = "mutates-global"
+EFFECT_MUTATES_ARGS = "mutates-args"
+EFFECT_IO = "io"
+EFFECT_AMBIENT = "reads-ambient"
+EFFECT_WALLCLOCK = "wallclock"
+EFFECT_RANDOM = "unseeded-random"
+
+#: Every effect kind the analysis tracks, in manifest order.
+EFFECT_KINDS: Tuple[str, ...] = (
+    EFFECT_MUTATES_GLOBAL,
+    EFFECT_MUTATES_ARGS,
+    EFFECT_IO,
+    EFFECT_AMBIENT,
+    EFFECT_WALLCLOCK,
+    EFFECT_RANDOM,
+)
+
+#: Effect kinds that disqualify a scenario from content-addressed caching
+#: (see the module docstring for why the other two are excluded).
+IMPURE_KINDS: FrozenSet[str] = frozenset({
+    EFFECT_MUTATES_GLOBAL,
+    EFFECT_IO,
+    EFFECT_AMBIENT,
+    EFFECT_WALLCLOCK,
+})
+
+#: The lint code whose ``# repro: noqa[...]`` sanctions a site per kind.
+#: Cache-like global mutations answer to RC302 instead of RC301 (see
+#: :func:`is_cache_like`); both are honoured when filtering.
+KIND_CODES: Mapping[str, Tuple[str, ...]] = {
+    EFFECT_MUTATES_GLOBAL: ("RC301", "RC302"),
+    EFFECT_MUTATES_ARGS: ("RC301",),
+    EFFECT_IO: ("RC304",),
+    EFFECT_AMBIENT: ("RC304",),
+    EFFECT_WALLCLOCK: ("RC201",),
+    EFFECT_RANDOM: ("RC202",),
+}
+
+
+def is_cache_like(root: str) -> bool:
+    """Does a mutated global look like a memo/cache (the RC302 family)?"""
+    lowered = root.lower()
+    return "cache" in lowered or "memo" in lowered
+
+
+@dataclass(frozen=True)
+class EffectSite:
+    """One concrete effect occurrence, attributed to its function."""
+
+    kind: str
+    path: str
+    qualname: str
+    line: int
+    column: int
+    description: str
+    locked: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "path": self.path,
+                "qualname": self.qualname, "line": self.line,
+                "column": self.column, "description": self.description,
+                "locked": self.locked}
+
+
+def local_effect_sites(path: str, fn: FunctionSummary) -> List[EffectSite]:
+    """The effect sites one function performs *directly* (no callees)."""
+    sites: List[EffectSite] = []
+    for mutation in fn.mutations:
+        kind = EFFECT_MUTATES_GLOBAL if mutation.scope == "global" \
+            else EFFECT_MUTATES_ARGS
+        sites.append(EffectSite(
+            kind=kind, path=path, qualname=fn.qualname,
+            line=mutation.line, column=mutation.column,
+            description=mutation.target, locked=mutation.locked))
+    groups = ((EFFECT_IO, fn.io_sinks), (EFFECT_AMBIENT, fn.ambient_sinks),
+              (EFFECT_WALLCLOCK, fn.wallclock_sinks),
+              (EFFECT_RANDOM, fn.random_sinks))
+    for kind, sinks in groups:
+        for sink in sinks:
+            sites.append(EffectSite(
+                kind=kind, path=path, qualname=fn.qualname,
+                line=sink.line, column=sink.column,
+                description=sink.description))
+    return sites
+
+
+class EffectAnalysis:
+    """Whole-program effect answers over a resolved :class:`CallGraph`."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.project = graph.project
+        self._local: Dict[NodeKey, Tuple[EffectSite, ...]] = {}
+        for path, summary in self.project.summaries.items():
+            for qualname, fn in summary.functions.items():
+                self._local[(path, qualname)] = tuple(
+                    local_effect_sites(path, fn))
+
+    def local_sites(self, node: NodeKey) -> Tuple[EffectSite, ...]:
+        return self._local.get(node, ())
+
+    # -------------------------------------------------------- effect sets
+
+    def effect_sets(self) -> Dict[NodeKey, FrozenSet[str]]:
+        """Fixpoint: for every function, the transitive effect-kind set.
+
+        ``effects(caller) ⊇ effects(callee)`` for every resolved call
+        edge; seeded with each function's local sites.
+        """
+        effects: Dict[NodeKey, Set[str]] = {
+            node: {site.kind for site in sites}
+            for node, sites in self._local.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for caller, out_edges in self.graph.edges.items():
+                current = effects.setdefault(caller, set())
+                for callee, _site in out_edges:
+                    for kind in effects.get(callee, ()):
+                        if kind not in current:
+                            current.add(kind)
+                            changed = True
+        return {node: frozenset(kinds) for node, kinds in effects.items()}
+
+    # ------------------------------------------------------------- slices
+
+    def slice_from(
+        self, entries: Sequence[NodeKey],
+    ) -> Dict[NodeKey, Optional[Tuple[NodeKey, CallSite]]]:
+        """BFS closure from ``entries`` (parent pointers, see
+        :meth:`CallGraph.reachable_from`)."""
+        return self.graph.reachable_from(entries)
+
+    def slice_files(
+        self,
+        parents: Mapping[NodeKey, Optional[Tuple[NodeKey, CallSite]]],
+    ) -> List[str]:
+        """Sorted distinct file paths touched by a slice."""
+        return sorted({path for path, _ in parents})
+
+    def slice_sites(
+        self,
+        parents: Mapping[NodeKey, Optional[Tuple[NodeKey, CallSite]]],
+        kinds: Optional[Iterable[str]] = None,
+        respect_suppressions: bool = True,
+    ) -> List[Tuple[EffectSite, List[NodeKey]]]:
+        """Effect sites inside a slice, each with its witness chain.
+
+        ``kinds`` restricts the effect kinds returned (default: all).
+        With ``respect_suppressions`` (the default), sites whose sink line
+        carries a ``# repro: noqa`` for the kind's code
+        (:data:`KIND_CODES`) are dropped — a sanctioned effect neither
+        lints nor taints the purity verdict.
+        """
+        wanted = frozenset(kinds) if kinds is not None \
+            else frozenset(EFFECT_KINDS)
+        results: List[Tuple[EffectSite, List[NodeKey]]] = []
+        suppression_cache: Dict[str, Any] = {}
+        for node in parents:
+            for site in self._local.get(node, ()):
+                if site.kind not in wanted:
+                    continue
+                if respect_suppressions and self._suppressed(
+                        site, suppression_cache):
+                    continue
+                chain = CallGraph.call_chain(parents, node)
+                results.append((site, chain))
+        results.sort(key=lambda item: (item[0].path, item[0].line,
+                                       item[0].column, item[0].kind))
+        return results
+
+    def _suppressed(self, site: EffectSite,
+                    cache: Dict[str, Any]) -> bool:
+        index = cache.get(site.path)
+        if index is None:
+            summary = self.project.summaries.get(site.path)
+            if summary is None:
+                return False
+            index = summary.suppression_index()
+            cache[site.path] = index
+        return any(index.is_suppressed(site.line, code)
+                   for code in KIND_CODES.get(site.kind, ()))

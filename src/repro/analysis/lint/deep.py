@@ -1,4 +1,4 @@
-"""Interprocedural (whole-program) rules: RC201–RC205.
+"""Interprocedural (whole-program) rules: RC201–RC205 and RC301–RC303.
 
 The per-file rules in :mod:`repro.analysis.lint.rules` only see one module
 at a time, so a wall-clock read hiding two call hops below the simulator
@@ -17,7 +17,22 @@ RC204     event-never-consumed     a ``bus/events.py`` class is emitted (or
                                    defined) but nothing ever consumes it
 RC205     event-never-emitted      a ``bus/events.py`` class is consumed but
                                    nothing ever emits it
+RC301     worker-shared-global     shared module/class state is mutated
+                                   somewhere transitively reachable from a
+                                   campaign worker entry point
+RC302     unlocked-shared-cache    a cache/memo global is mutated without a
+                                   lock on a worker-reachable path
+RC303     pickle-safe-registration a scenario factory is registered as a
+                                   lambda or nested function (unpicklable by
+                                   reference — the static VC220/VC221)
 ========  =======================  ==========================================
+
+The RC3xx family is the effect/purity analysis
+(:mod:`repro.analysis.effects`): RC301/RC302 walk the BFS closure of the
+worker entry points (:data:`WORKER_ENTRY_SPECS` plus every statically
+resolvable registered factory) and flag global-mutation sites inside it;
+the same machinery certifies scenario purity for the campaign result
+cache (:mod:`repro.analysis.purity`).
 
 Findings anchor at the *sink* (the offending call, the raise site, the
 class definition), never at the transitive caller — so a
@@ -37,7 +52,16 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.analysis.lint.findings import Finding
 
@@ -46,6 +70,7 @@ if TYPE_CHECKING:  # imported lazily at runtime: callgraph imports this
     from repro.analysis.callgraph import (
         AnalysisCache,
         CallGraph,
+        CallSite,
         FileSummary,
         NodeKey,
         Project,
@@ -73,6 +98,24 @@ ENTRY_SPECS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
 FAULT_BOUNDARY_SPECS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("experiments/campaign.py", ("Campaign.run", "_subprocess_worker")),
 )
+
+#: Campaign worker entry points for RC301/RC302, matched like
+#: :data:`ENTRY_SPECS` (path suffix + last qualname segment).  Statically
+#: resolvable registered scenario factories are added per project on top.
+WORKER_ENTRY_SPECS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("experiments/campaign.py", ("_subprocess_worker", "execute_spec",
+                                 "build")),
+    ("bus/simulator.py", ("advance", "advance_until")),
+)
+
+#: Deep rules whose findings can only ever anchor in one fixed file.
+#: ``repro lint --deep --changed`` errors when such a rule is explicitly
+#: selected but its anchor file is outside the changed set — silence
+#: there would mean "not checked", not "clean".
+RULE_ANCHOR_SUFFIXES: Dict[str, Tuple[str, ...]] = {
+    "RC204": ("bus/events.py",),
+    "RC205": ("bus/events.py",),
+}
 
 #: Root of the injected-fault exception taxonomy (plus name-resolved
 #: subclasses found in the project).
@@ -102,6 +145,15 @@ DEEP_RULES: Tuple[DeepRule, ...] = (
              "every bus/events.py class is consumed somewhere"),
     DeepRule("RC205", "event-never-emitted",
              "every consumed bus/events.py class is emitted somewhere"),
+    DeepRule("RC301", "worker-shared-global",
+             "no shared module/class state is mutated on a path reachable "
+             "from a campaign worker entry point or scenario factory"),
+    DeepRule("RC302", "unlocked-shared-cache",
+             "cache/memo globals on worker-reachable paths are only "
+             "mutated under a lock"),
+    DeepRule("RC303", "pickle-safe-registration",
+             "scenario factories are registered as module-level functions "
+             "(picklable by reference), never lambdas or nested defs"),
 )
 
 
@@ -115,7 +167,7 @@ def deep_rule_catalogue() -> Tuple[DeepRule, ...]:
     return DEEP_RULES
 
 
-_GRAPH_CODES = frozenset({"RC201", "RC202", "RC203"})
+_GRAPH_CODES = frozenset({"RC201", "RC202", "RC203", "RC301", "RC302"})
 
 
 # ----------------------------------------------------------- project scope
@@ -165,7 +217,11 @@ def _entry_points(project: Project) -> List[NodeKey]:
     return entries
 
 
-def _chain_text(graph: CallGraph, parents, node: NodeKey) -> str:
+def _chain_text(
+    graph: CallGraph,
+    parents: "Mapping[NodeKey, Optional[Tuple[NodeKey, CallSite]]]",
+    node: NodeKey,
+) -> str:
     chain = graph.call_chain(parents, node)
     return " -> ".join(qualname for _, qualname in chain)
 
@@ -205,6 +261,121 @@ def _reachable_sink_findings(graph: CallGraph, codes: Set[str],
                     message=(f"{what} {sink.description} is reachable from "
                              f"the deterministic hot path: {chain}; {fix}"),
                     path=path, line=sink.line, column=sink.column))
+    return findings
+
+
+def registered_factory_nodes(project: Project) -> List[NodeKey]:
+    """Call-graph nodes of every statically resolvable registered scenario
+    factory (``register_scenario`` sites with a name/attribute factory
+    argument).  Loop variables and computed factories stay unresolved —
+    the runtime registry (:mod:`repro.analysis.purity`) covers those."""
+    nodes: Set[NodeKey] = set()
+    for path, summary in project.summaries.items():
+        for site in summary.registrations:
+            if site.factory_kind == "nested":
+                nodes.add((path, site.factory[0]))
+                continue
+            if site.factory_kind != "ref" or not site.factory:
+                continue
+            parts = site.factory
+            if len(parts) == 1:
+                if parts[0] in summary.functions:
+                    nodes.add((path, parts[0]))
+                    continue
+                target = summary.from_imports.get(parts[0])
+                if target is not None:
+                    module_path = project.modules.get(target[0])
+                    if module_path is not None and target[1] in \
+                            project.summaries[module_path].functions:
+                        nodes.add((module_path, target[1]))
+            elif len(parts) == 2:
+                module = summary.import_aliases.get(parts[0])
+                if module is None:
+                    continue
+                module_path = project.modules.get(module)
+                if module_path is not None and parts[1] in \
+                        project.summaries[module_path].functions:
+                    nodes.add((module_path, parts[1]))
+    return sorted(nodes)
+
+
+def worker_entry_points(project: Project) -> List[NodeKey]:
+    """RC301/RC302 roots: the campaign worker machinery plus every
+    statically resolvable registered factory."""
+    entries: List[NodeKey] = []
+    for suffix, names in WORKER_ENTRY_SPECS:
+        entries.extend(project.find_functions(suffix, names))
+    entries.extend(registered_factory_nodes(project))
+    return entries
+
+
+def _shared_state_findings(graph: CallGraph,
+                           codes: Set[str]) -> List[Finding]:
+    from repro.analysis.effects import is_cache_like
+
+    entries = worker_entry_points(graph.project)
+    if not entries:
+        return []
+    parents = graph.reachable_from(entries)
+    findings: List[Finding] = []
+    for node in parents:
+        fn = graph.project.function(node)
+        if fn is None:
+            continue
+        path, _ = node
+        chain: Optional[str] = None
+        for mutation in fn.mutations:
+            if mutation.scope != "global":
+                continue
+            if is_cache_like(mutation.root):
+                if "RC302" not in codes or mutation.locked:
+                    continue
+                if chain is None:
+                    chain = _chain_text(graph, parents, node)
+                findings.append(Finding(
+                    code="RC302", rule="unlocked-shared-cache",
+                    message=(f"unlocked mutation of shared cache "
+                             f"{mutation.target} is reachable from a "
+                             f"campaign worker entry point: {chain}; "
+                             "guard it with a lock (a `with *lock*:` "
+                             "block) or key it off immutable inputs"),
+                    path=path, line=mutation.line,
+                    column=mutation.column))
+            else:
+                if "RC301" not in codes:
+                    continue
+                if chain is None:
+                    chain = _chain_text(graph, parents, node)
+                findings.append(Finding(
+                    code="RC301", rule="worker-shared-global",
+                    message=(f"shared module state {mutation.target} is "
+                             f"mutated on a worker-reachable path: "
+                             f"{chain}; workers must stay effect-free "
+                             "for memoized campaign results to be sound"),
+                    path=path, line=mutation.line,
+                    column=mutation.column))
+    return findings
+
+
+def _pickle_soundness_findings(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for path, summary in project.summaries.items():
+        for site in summary.registrations:
+            if site.factory_kind == "lambda":
+                what = "a lambda"
+            elif site.factory_kind == "nested":
+                what = f"nested function {site.factory[0].split('.')[-1]}"
+            else:
+                continue
+            scenario = f"scenario {site.scenario!r}" if site.scenario \
+                else "a scenario"
+            findings.append(Finding(
+                code="RC303", rule="pickle-safe-registration",
+                message=(f"{scenario} registers {what} as its factory; "
+                         "factories must be module-level functions so "
+                         "specs pickle by reference into subprocess "
+                         "workers (the static form of VC220/VC221)"),
+                path=path, line=site.line, column=site.column))
     return findings
 
 
@@ -313,8 +484,12 @@ def run_deep_rules(files: Sequence[str],
             candidates.extend(_reachable_sink_findings(graph, wanted))
         if "RC203" in wanted:
             candidates.extend(_fault_escape_findings(graph))
+        if wanted & {"RC301", "RC302"}:
+            candidates.extend(_shared_state_findings(graph, wanted))
     if wanted & {"RC204", "RC205"}:
         candidates.extend(_event_liveness_findings(project, wanted))
+    if "RC303" in wanted:
+        candidates.extend(_pickle_soundness_findings(project))
 
     requested = {os.path.abspath(path) for path in files}
     suppression_cache: Dict[str, object] = {}

@@ -26,7 +26,8 @@ _DEPRECATION_WARNED: set = set()
 
 def _warn_once(key: str, message: str) -> None:
     if key not in _DEPRECATION_WARNED:
-        _DEPRECATION_WARNED.add(key)
+        # Dedup set for warnings only: never observable in results.
+        _DEPRECATION_WARNED.add(key)  # repro: noqa[RC301]
         warnings.warn(message, DeprecationWarning, stacklevel=3)
 
 

@@ -185,8 +185,10 @@ def serialize_frame_cached(frame: CanFrame) -> List[WireBit]:
     if stream is None:
         stream = serialize_frame(frame)
         if len(_SERIALIZE_CACHE) >= _SERIALIZE_CACHE_MAX:
-            _SERIALIZE_CACHE.pop(next(iter(_SERIALIZE_CACHE)))
-        _SERIALIZE_CACHE[frame] = stream
+            # Value-deterministic FIFO memo: entries are pure functions of
+            # the frame, so worker results never depend on cache state.
+            _SERIALIZE_CACHE.pop(next(iter(_SERIALIZE_CACHE)))  # repro: noqa[RC302]
+        _SERIALIZE_CACHE[frame] = stream  # repro: noqa[RC302]
     return stream
 
 

@@ -341,6 +341,30 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_result_cache(cache_dir: str, manifest_path: Optional[str]) -> Any:
+    """A ready :class:`ResultCache` for ``campaign run --cache``.
+
+    With ``--manifest`` the stored purity manifest is trusted (silently
+    falling back to a fresh analysis when it is missing, corrupted or
+    version-skewed); otherwise the effect analysis runs over the
+    installed ``repro`` package to certify the registered scenarios.
+    """
+    import repro
+    from repro.analysis.purity import PurityManifest, build_purity_manifest
+    from repro.experiments.resultcache import ResultCache
+
+    manifest = None
+    if manifest_path:
+        manifest = PurityManifest.load(manifest_path)
+        if manifest is None:
+            print(f"note: purity manifest {manifest_path!r} is missing, "
+                  f"corrupted or stale — re-running the effect analysis",
+                  file=sys.stderr)
+    if manifest is None:
+        manifest = build_purity_manifest([os.path.dirname(repro.__file__)])
+    return ResultCache(cache_dir, manifest)
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.experiments.campaign import (
         Campaign,
@@ -412,13 +436,25 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print("error: --telemetry needs --checkpoint FILE (it streams over "
               "the checkpoint channel)", file=sys.stderr)
         return 2
+    if args.cache and args.no_cache:
+        print("error: --cache and --no-cache are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    result_cache = None
+    if args.cache:
+        from repro.experiments.resultcache import DEFAULT_CACHE_DIR
+
+        result_cache = _build_result_cache(
+            args.cache_dir or DEFAULT_CACHE_DIR, args.manifest)
     report = Campaign(
         specs, n_workers=args.workers, timeout_seconds=args.timeout,
         max_retries=args.retries, retry_backoff_seconds=args.backoff,
         checkpoint=args.checkpoint, flight_dir=args.flight_dir,
-        telemetry=args.telemetry,
+        telemetry=args.telemetry, result_cache=result_cache,
     ).run(resume=args.resume)
     print(report.render())
+    if result_cache is not None:
+        print(result_cache.render_stats())
     if args.out:
         save_report(report, args.out)
         print(f"\nwrote {args.out}")
@@ -616,25 +652,45 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _git_changed_python_files() -> Optional[List[str]]:
-    """Python files touched relative to HEAD (tracked diffs + untracked).
+    """Python files touched relative to HEAD (tracked diffs + untracked
+    new files).
 
-    Returns None when the working directory is not a git repository (or
-    git is unavailable) so the caller can report a usable error.
+    Both git commands run from the repository toplevel: ``git diff``
+    prints toplevel-relative paths while ``git ls-files --others`` prints
+    cwd-relative ones, so mixing them from a subdirectory would silently
+    drop untracked files (exactly the new-file case ``--changed`` must
+    catch).  Results are returned relative to the CWD.  Returns None when
+    the working directory is not a git work tree (or git is unavailable)
+    so the caller can report a usable error.
     """
     import subprocess
 
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, check=True).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    if not top:
+        return None
     names: List[str] = []
     for command in (["git", "diff", "--name-only", "HEAD"],
                     ["git", "ls-files", "--others", "--exclude-standard"]):
         try:
             result = subprocess.run(command, capture_output=True, text=True,
-                                    check=True)
+                                    check=True, cwd=top)
         except (OSError, subprocess.CalledProcessError):
             return None
         names.extend(line.strip() for line in result.stdout.splitlines()
                      if line.strip())
-    return sorted({name for name in names
-                   if name.endswith(".py") and os.path.isfile(name)})
+    files: set = set()
+    for name in names:
+        if not name.endswith(".py"):
+            continue
+        path = os.path.relpath(os.path.join(top, name))
+        if os.path.isfile(path):
+            files.add(path)
+    return sorted(files)
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -666,6 +722,31 @@ def cmd_lint(args: argparse.Namespace) -> int:
                      for f in collect_python_files(args.paths)}
             changed = [f for f in changed if os.path.abspath(f) in scope]
         lint_targets = changed
+        if args.deep and args.select:
+            from repro.analysis.lint.deep import RULE_ANCHOR_SUFFIXES
+
+            requested = [f.replace("\\", "/")
+                         for f in collect_python_files(lint_targets)]
+            missing = []
+            for code in args.select:
+                normalized = code.strip().upper()
+                for suffix in RULE_ANCHOR_SUFFIXES.get(normalized, ()):
+                    if not any(f.endswith(suffix) for f in requested):
+                        missing.append(f"{normalized} anchors in {suffix}")
+            if missing:
+                print("error: --changed excludes the sink files of "
+                      "explicitly selected deep rules "
+                      f"({'; '.join(sorted(set(missing)))}); a clean "
+                      "result there would mean 'not checked', not "
+                      "'clean' — lint those files directly or drop the "
+                      "--select", file=sys.stderr)
+                return 2
+
+    if args.purity_manifest and not args.deep:
+        print("error: --purity-manifest needs --deep (the manifest is "
+              "derived from the whole-program effect analysis)",
+              file=sys.stderr)
+        return 2
 
     cache = None
     if not args.no_cache and (lint_targets or args.changed):
@@ -682,6 +763,19 @@ def cmd_lint(args: argparse.Namespace) -> int:
             print(report.render_json() if args.format == "json"
                   else report.render_text())
             failed |= not report.ok
+        if args.purity_manifest:
+            from repro.analysis.purity import build_purity_manifest
+
+            manifest = build_purity_manifest(lint_targets or [],
+                                             cache=cache)
+            manifest.save(args.purity_manifest)
+            verdicts = [entry.verdict
+                        for entry in manifest.scenarios.values()]
+            print(f"purity manifest: {len(verdicts)} scenario(s) "
+                  f"({verdicts.count('pure')} pure, "
+                  f"{verdicts.count('impure')} impure, "
+                  f"{verdicts.count('unresolved')} unresolved) "
+                  f"-> {args.purity_manifest}")
         if args.plan:
             verification = verify_plan_file(args.plan)
             print(verification.render_json() if args.format == "json"
@@ -865,6 +959,20 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--telemetry", action="store_true",
                     help="stream live progress/heartbeat lines into "
                          "--checkpoint (render with `repro campaign watch`)")
+    cp.add_argument("--cache", action="store_true",
+                    help="replay purity-certified specs from the "
+                         "content-addressed result cache and store fresh "
+                         "runs into it")
+    cp.add_argument("--no-cache", action="store_true",
+                    help="explicitly disable the result cache "
+                         "(the default; rejects a combined --cache)")
+    cp.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="result cache directory "
+                         "(default: .repro_cache/results)")
+    cp.add_argument("--manifest", default=None, metavar="FILE",
+                    help="trust this purity manifest (from `repro lint "
+                         "--deep --purity-manifest`) instead of "
+                         "re-running the effect analysis")
     cp = campaign_sub.add_parser("show", help="render a stored report")
     cp.add_argument("report")
     cp = campaign_sub.add_parser(
@@ -965,8 +1073,12 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="CODES",
                    help="comma-separated rule codes to skip")
     p.add_argument("--deep", action="store_true",
-                   help="also run the interprocedural rules (RC2xx) on "
-                        "the project call graph")
+                   help="also run the interprocedural rules (RC2xx/RC3xx) "
+                        "on the project call graph")
+    p.add_argument("--purity-manifest", default=None, metavar="FILE",
+                   help="with --deep: write the scenario purity manifest "
+                        "(verdicts + transitive slice hashes) consumed by "
+                        "'campaign run --cache'")
     p.add_argument("--changed", action="store_true",
                    help="lint only files changed vs git HEAD "
                         "(tracked diffs + untracked)")

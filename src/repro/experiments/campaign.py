@@ -228,6 +228,12 @@ class RunRecord:
     parent-observed wall time minus the worker's in-process run time
     (process spawn, import replay, result pickling); always 0.0 on the
     serial path.
+
+    ``cache_hit`` marks a record replayed from the content-addressed
+    result cache (:mod:`repro.experiments.resultcache`) instead of
+    simulated.  It is *runtime-only* state: deliberately excluded from
+    :meth:`to_dict`, so a replayed record serializes byte-identically to
+    the cold run that populated the cache.
     """
 
     spec: ScenarioSpec
@@ -239,6 +245,8 @@ class RunRecord:
     spawn_overhead_seconds: float = 0.0
     #: Final flight-recorder dump, when the campaign ran with ``flight_dir``.
     flight: Optional[Dict[str, Any]] = None
+    #: Runtime-only replay marker; never serialized (see class docstring).
+    cache_hit: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -330,6 +338,14 @@ class CampaignReport:
     def results(self) -> List[ExperimentResult]:
         return [record.result for record in self.records]
 
+    def cache_hits(self) -> int:
+        """How many records were replayed from the result cache.
+
+        Runtime-only (``cache_hit`` never serializes): a report loaded
+        back from JSON reports 0 regardless of how it was produced.
+        """
+        return sum(1 for record in self.records if record.cache_hit)
+
     def result_of(self, name: str) -> ExperimentResult:
         """The result of the spec whose :attr:`ScenarioSpec.name` matches."""
         for record in self.records:
@@ -406,6 +422,11 @@ class CampaignReport:
         ]
         if self.failures:
             lines[0] += f", {len(self.failures)} failed"
+        hits = self.cache_hits()
+        if hits:
+            lines.append(
+                f"result cache: {hits} of {len(self.records)} record(s) "
+                f"replayed without simulation")
         if self.n_workers > 1:
             speedup = self.parallel_speedup()
             if speedup is not None:
@@ -421,9 +442,10 @@ class CampaignReport:
                         "windows; use n_workers=1 or longer duration_bits")
         for record in self.records:
             lines.append("")
+            cached = " (cached)" if record.cache_hit else ""
             lines.append(f"[{record.spec.name}] "
                          f"{record.steps_per_second:,.0f} steps/s "
-                         f"on {record.worker}")
+                         f"on {record.worker}{cached}")
             lines.append(record.result.render())
             if record.snapshots:
                 lines.append(f"  snapshots: {len(record.snapshots)} "
@@ -474,7 +496,9 @@ def execute_spec(spec: ScenarioSpec,
 
         flight = FlightRecorder(sim, autoflush_path=flight_path,
                                 flush_every=32)
-        _active_flight.append(flight)
+        # Crash-dump registry for the SIGTERM handler; drained in the
+        # finally below, so no state survives into the next spec.
+        _active_flight.append(flight)  # repro: noqa[RC301]
         # An on-disk dump exists from t=0 on, so even a crash before the
         # first autoflush leaves a renderable post-mortem.
         flight.flush(reason="start")
@@ -487,7 +511,7 @@ def execute_spec(spec: ScenarioSpec,
         raise
     finally:
         if flight is not None and flight in _active_flight:
-            _active_flight.remove(flight)
+            _active_flight.remove(flight)  # repro: noqa[RC301]
     wall = _time.perf_counter() - started
     steps = getattr(sim, "time", spec.duration_bits)
     if probe is not None:
@@ -626,6 +650,12 @@ class Campaign:
             per-worker heartbeats) over the checkpoint channel for
             ``repro campaign watch``; requires ``checkpoint``.
         heartbeat_seconds: Minimum spacing of per-worker heartbeat lines.
+        result_cache: Optional
+            :class:`~repro.experiments.resultcache.ResultCache`.  Specs
+            whose scenario the cache's purity manifest certifies as pure
+            are looked up before execution (a hit replays the stored
+            record with ``cache_hit=True``) and stored after a
+            successful fresh run.  Failures are never cached.
 
     Example:
         >>> from repro.experiments.campaign import Campaign, ScenarioSpec
@@ -647,6 +677,7 @@ class Campaign:
         flight_dir: Optional[str] = None,
         telemetry: bool = False,
         heartbeat_seconds: float = 1.0,
+        result_cache: Optional[Any] = None,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(
@@ -682,6 +713,7 @@ class Campaign:
         self.flight_dir = flight_dir
         self.telemetry = telemetry
         self.heartbeat_seconds = heartbeat_seconds
+        self.result_cache = result_cache
 
     def _backoff(self, attempt: int) -> float:
         return self.retry_backoff_seconds * (2 ** (attempt - 1))
@@ -717,6 +749,13 @@ class Campaign:
 
             telemetry = TelemetryWriter(
                 self.checkpoint, heartbeat_seconds=self.heartbeat_seconds)
+        if self.result_cache is not None:
+            for index, spec in enumerate(self.specs):
+                if index in records:
+                    continue  # already satisfied by the checkpoint
+                cached = self.result_cache.get(spec)
+                if cached is not None:
+                    records[index] = cached
         pending = [index for index in range(len(self.specs))
                    if index not in records]
         if telemetry is not None:
@@ -730,6 +769,11 @@ class Campaign:
             else:
                 self._run_processes(pending, records, failures, checkpoint,
                                     telemetry)
+        if self.result_cache is not None:
+            for index in pending:
+                record = records.get(index)
+                if record is not None and not record.cache_hit:
+                    self.result_cache.put(self.specs[index], record)
         wall = _time.perf_counter() - started
         if telemetry is not None:
             telemetry.campaign_finished(len(records), len(failures), wall)

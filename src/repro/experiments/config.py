@@ -35,7 +35,8 @@ _WARNED_SHIMS: set = set()
 def warn_legacy_kwargs(entry_point: str, kwargs: Any) -> None:
     """Warn (once per entry point per process) about pre-RunConfig keywords."""
     if entry_point not in _WARNED_SHIMS:
-        _WARNED_SHIMS.add(entry_point)
+        # Dedup set for warnings only: never observable in results.
+        _WARNED_SHIMS.add(entry_point)  # repro: noqa[RC301]
         warnings.warn(
             f"{entry_point}({', '.join(sorted(kwargs))}=...) is deprecated; "
             f"pass config=RunConfig(...) instead (legacy keywords are "

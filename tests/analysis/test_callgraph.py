@@ -326,6 +326,21 @@ class TestAnalysisCache:
         assert rules_cache_key(["RC101"], frozenset({"A"})) != base
         assert rules_cache_key(["RC101", "RC102"], frozenset({"B"})) != base
 
+    def test_rules_key_folds_the_analysis_schema_versions(self, monkeypatch):
+        """Bumping the summary or effect schema must move every rules
+        key, so an upgraded analyzer never replays findings cached under
+        an older extraction or effect interpretation."""
+        import repro.analysis.callgraph as cg
+
+        base = rules_cache_key(["RC101"], None)
+        monkeypatch.setattr(cg, "SUMMARY_SCHEMA_VERSION",
+                            cg.SUMMARY_SCHEMA_VERSION + 1)
+        bumped_summary = rules_cache_key(["RC101"], None)
+        assert bumped_summary != base
+        monkeypatch.setattr(cg, "EFFECT_SCHEMA_VERSION",
+                            cg.EFFECT_SCHEMA_VERSION + 1)
+        assert rules_cache_key(["RC101"], None) != bumped_summary
+
     def test_unwritable_cache_directory_never_raises(self, tmp_path):
         path = _write(tmp_path, "mod.py", "x = 1\n")
         blocked = tmp_path / "blocked"
