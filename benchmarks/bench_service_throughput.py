@@ -1,0 +1,137 @@
+"""Campaign service throughput: batched workers vs process-per-spec.
+
+The ``<1.1x`` speedup warning in ``CampaignReport.render`` has a
+concrete cause: on short windows the per-spec process spawn rivals the
+per-spec simulation time, so parallel fan-out cannot pay for itself.
+The batched campaign service (``repro serve``) exists to delete that
+tax — its workers are spawned once and fed many specs over a pipe.
+
+This bench proves the fix with numbers, recorded to
+``BENCH_service.json`` in the repo root:
+
+* a spawn-bound workload (many very short specs) run two ways with the
+  same worker count — ``Campaign`` forced into one-process-per-spec
+  mode vs ``CampaignService`` batching over long-lived workers;
+* the batched service must be **>= 2x** faster on that workload, and
+  the two reports must be payload-identical (timing metadata aside);
+* per-spec overhead for both paths, so the recorded trajectory shows
+  what a lease round trip costs against a process spawn.
+
+Quick (``--quick``) runs shrink the workload and skip the speedup gate
+(CI smoke containers are too noisy) but still check determinism.
+
+Regenerate:  pytest benchmarks/bench_service_throughput.py --benchmark-only -s
+"""
+
+import json
+import pathlib
+import time
+
+from conftest import report
+from repro.experiments.campaign import Campaign, ScenarioSpec
+from repro.experiments.service.service import CampaignService
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_service.json"
+
+TARGET_SPEEDUP = 2.0
+WORKERS = 2
+
+
+def short_specs(n, duration_bits=300):
+    """A spawn-bound workload: windows so short the fork tax dominates.
+
+    ~300 bits of exp4 simulate in a couple of milliseconds; a worker
+    fork costs several times that, so process-per-spec execution is
+    mostly paying for processes, not simulation.
+    """
+    return [ScenarioSpec("exp4", seed=seed, duration_bits=duration_bits)
+            for seed in range(n)]
+
+
+def run_process_per_spec(specs):
+    """The old cost model: every spec pays for its own worker process.
+
+    A per-spec timeout forces ``Campaign`` to isolate each spec in a
+    fresh subprocess even before fan-out — exactly the overhead the
+    service amortizes away.
+    """
+    started = time.perf_counter()
+    outcome = Campaign(specs, n_workers=WORKERS,
+                       timeout_seconds=120.0).run()
+    return outcome, time.perf_counter() - started
+
+
+def run_batched_service(specs, tmp_path):
+    """The service cost model: spawn the pool once, stream specs to it."""
+    service = CampaignService(str(tmp_path / "bench-journal.jsonl"),
+                              n_workers=WORKERS, heartbeat_seconds=0.5)
+    started = time.perf_counter()
+    service.start()
+    try:
+        service.submit_specs(specs)
+        # Pump hard: this measures lease round trips, not sleep cadence.
+        assert service.run_until_idle(poll_seconds=0.001, timeout=600)
+    finally:
+        service.close()
+    return service.report(), time.perf_counter() - started
+
+
+def _record(payload):
+    BENCH_FILE.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+
+def test_batched_service_beats_process_per_spec(benchmark, quick, tmp_path):
+    n_specs = 6 if quick else 24
+    specs = short_specs(n_specs)
+
+    per_spec, per_spec_wall = run_process_per_spec(specs)
+    batched, batched_wall = benchmark.pedantic(
+        run_batched_service, args=(specs, tmp_path), rounds=1, iterations=1)
+
+    # Determinism first: the execution strategy is timing metadata.
+    assert not per_spec.failures and not batched.failures
+    assert batched.payload_equal(per_spec)
+
+    speedup = per_spec_wall / batched_wall
+    spawn_ms = per_spec.mean_spawn_overhead_seconds() * 1000
+    per_spec_ms = per_spec_wall / n_specs * 1000
+    batched_ms = batched_wall / n_specs * 1000
+
+    if not quick:
+        _record({
+            "workload": {
+                "scenario": "exp4",
+                "n_specs": n_specs,
+                "duration_bits": specs[0].duration_bits,
+                "n_workers": WORKERS,
+            },
+            "process_per_spec": {
+                "wall_seconds": round(per_spec_wall, 3),
+                "per_spec_ms": round(per_spec_ms, 1),
+                "mean_spawn_overhead_ms": round(spawn_ms, 1),
+            },
+            "batched_service": {
+                "wall_seconds": round(batched_wall, 3),
+                "per_spec_ms": round(batched_ms, 1),
+                "worker_utilization": batched.worker_utilization(),
+            },
+            "speedup": round(speedup, 2),
+            "target_speedup": TARGET_SPEEDUP,
+        })
+
+    report("Campaign service — batched workers vs process-per-spec", [
+        ("specs (short windows)", "-", n_specs),
+        ("process-per-spec wall (s)", "-", f"{per_spec_wall:.2f}"),
+        (f"batched service wall (s), {WORKERS} workers", "-",
+         f"{batched_wall:.2f}"),
+        ("mean spawn overhead per spec (ms)", "-", f"{spawn_ms:.0f}"),
+        ("per-spec cost, batched (ms)", "-", f"{batched_ms:.0f}"),
+        ("speedup", f">= {TARGET_SPEEDUP}x", f"{speedup:.1f}x"),
+        ("payloads bit-identical", True, True),
+    ], notes=f"recorded to {BENCH_FILE.name}; this is the workload the "
+             f"<1.1x render() warning points at `repro serve` for")
+    if not quick:
+        assert speedup >= TARGET_SPEEDUP

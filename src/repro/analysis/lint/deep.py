@@ -97,6 +97,9 @@ ENTRY_SPECS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
 #: qualname: no injected-fault exception may escape these uncaught.
 FAULT_BOUNDARY_SPECS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("experiments/campaign.py", ("Campaign.run", "_subprocess_worker")),
+    # The campaign service's long-lived worker loop: an injected fault
+    # escaping here would kill the worker instead of reporting an error.
+    ("experiments/service/supervisor.py", ("_pool_worker",)),
 )
 
 #: Campaign worker entry points for RC301/RC302, matched like
@@ -105,6 +108,7 @@ FAULT_BOUNDARY_SPECS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
 WORKER_ENTRY_SPECS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("experiments/campaign.py", ("_subprocess_worker", "execute_spec",
                                  "build")),
+    ("experiments/service/supervisor.py", ("_pool_worker",)),
     ("bus/simulator.py", ("advance", "advance_until")),
 )
 

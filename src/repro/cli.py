@@ -365,10 +365,52 @@ def _build_result_cache(cache_dir: str, manifest_path: Optional[str]) -> Any:
     return ResultCache(cache_dir, manifest)
 
 
+def _campaign_specs(args: argparse.Namespace) -> List[Any]:
+    """Build the spec list from --spec-file / --scenario flags.
+
+    Shared by ``campaign run`` (local execution) and ``campaign submit``
+    (service client).  Raises :class:`~repro.errors.ConfigurationError`
+    on an unusable combination.
+    """
+    from repro.errors import ConfigurationError
+    from repro.experiments.campaign import ScenarioSpec, scenario_names
+
+    faults = None
+    if getattr(args, "faults", None):
+        from repro.faults.plan import load_fault_plan
+
+        faults = load_fault_plan(args.faults)
+    specs: List[Any] = []
+    if args.spec_file:
+        import json
+
+        with open(args.spec_file, encoding="utf-8") as handle:
+            specs = [ScenarioSpec.from_dict(entry)
+                     for entry in json.load(handle)]
+    if args.scenario:
+        if args.scenario not in scenario_names():
+            raise ConfigurationError(
+                f"unknown scenario {args.scenario!r} "
+                f"(see `repro campaign scenarios`)")
+        params = _parse_params(args.param)
+        specs.extend(
+            ScenarioSpec(args.scenario, params=params, seed=seed,
+                         duration_bits=args.duration,
+                         metrics=not args.no_metrics,
+                         snapshot_every_bits=args.snapshot_every,
+                         faults=faults, engine=args.engine)
+            for seed in args.seeds
+        )
+    if not specs:
+        raise ConfigurationError(
+            "nothing to run — give --scenario and/or --spec-file")
+    return specs
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
     from repro.experiments.campaign import (
         Campaign,
-        ScenarioSpec,
         scenario_names,
         scenario_summary,
     )
@@ -398,36 +440,71 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             _time.sleep(args.interval)
             print()
 
-    # campaign run
-    faults = None
-    if args.faults:
-        from repro.faults.plan import load_fault_plan
+    if args.campaign_command == "submit":
+        from repro.experiments.service.server import request
 
-        faults = load_fault_plan(args.faults)
-    specs = []
-    if args.spec_file:
-        import json
-
-        with open(args.spec_file, encoding="utf-8") as handle:
-            specs = [ScenarioSpec.from_dict(entry)
-                     for entry in json.load(handle)]
-    if args.scenario:
-        if args.scenario not in scenario_names():
-            print(f"error: unknown scenario {args.scenario!r} "
-                  f"(see `repro campaign scenarios`)", file=sys.stderr)
+        try:
+            specs = _campaign_specs(args)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
             return 2
-        params = _parse_params(args.param)
-        specs.extend(
-            ScenarioSpec(args.scenario, params=params, seed=seed,
-                         duration_bits=args.duration,
-                         metrics=not args.no_metrics,
-                         snapshot_every_bits=args.snapshot_every,
-                         faults=faults, engine=args.engine)
-            for seed in args.seeds
-        )
-    if not specs:
-        print("error: nothing to run — give --scenario and/or --spec-file",
-              file=sys.stderr)
+        try:
+            response = request(
+                args.socket,
+                {"op": "submit",
+                 "specs": [spec.to_dict() for spec in specs]})
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not response.get("ok"):
+            kind = response.get("kind", "internal")
+            print(f"rejected ({kind}): {response.get('error')}",
+                  file=sys.stderr)
+            return 3 if kind in ("queue-full", "draining") else 2
+        accepted = response.get("accepted", [])
+        duplicate = response.get("duplicate", [])
+        completed = response.get("completed", [])
+        print(f"accepted {len(accepted)} spec(s)"
+              f" ({len(duplicate)} already queued,"
+              f" {len(completed)} already completed)")
+        for key in accepted:
+            print(f"  {key[:16]}")
+        return 0
+
+    if args.campaign_command == "status":
+        from repro.experiments.service.server import request
+
+        try:
+            if args.report:
+                from repro.experiments.campaign import CampaignReport
+
+                response = request(args.socket, {"op": "report"})
+                if not response.get("ok"):
+                    print(f"error: {response.get('error')}", file=sys.stderr)
+                    return 2
+                print(CampaignReport.from_dict(response["report"]).render())
+                return 0
+            response = request(args.socket, {"op": "status"})
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not response.get("ok"):
+            print(f"error: {response.get('error')}", file=sys.stderr)
+            return 2
+        status = response["status"]
+        if args.json:
+            import json
+
+            print(json.dumps(status, indent=2, sort_keys=True))
+            return 0
+        print(_render_service_status(args.socket, status))
+        return 0
+
+    # campaign run
+    try:
+        specs = _campaign_specs(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.resume and not args.checkpoint:
         print("error: --resume needs --checkpoint FILE", file=sys.stderr)
@@ -474,6 +551,84 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                 meta={"spec": record.spec.name},
             )
             print(f"wrote {path}")
+    return 1 if report.failures else 0
+
+
+def _render_service_status(socket_path: str, status: Dict[str, Any]) -> str:
+    """Terminal block for ``repro campaign status``."""
+    lines = [
+        f"campaign service @ {socket_path}",
+        f"  submitted {status.get('submitted', 0)}  "
+        f"completed {status.get('completed', 0)}  "
+        f"failed {status.get('failed', 0)}  "
+        f"queued {status.get('queued', 0)}/"
+        f"{status.get('queue_capacity', '?')}  "
+        f"in-flight {status.get('in_flight', 0)}",
+        f"  journal {status.get('journal_path', '?')}"
+        + (f"  [DEGRADED: {status.get('journal_write_failures')} write "
+           f"failure(s) — resume may be incomplete]"
+           if status.get("journal_degraded") else ""),
+        f"  uptime {status.get('uptime_seconds', 0.0):.1f} s"
+        + ("  [draining]" if status.get("draining") else ""),
+    ]
+    workers = status.get("workers") or []
+    if workers:
+        lines.append("  workers:")
+        for worker in workers:
+            spec = worker.get("spec") or "-"
+            restarts = worker.get("restarts", 0)
+            suffix = f"  ({restarts} restart(s))" if restarts else ""
+            lines.append(f"    {worker.get('name', '?'):<12} "
+                         f"{worker.get('state', '?'):<10} {spec}{suffix}")
+    return "\n".join(lines)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.experiments.service import CampaignService, ServiceServer
+    from repro.experiments.store import save_report
+
+    result_cache = None
+    if args.cache:
+        from repro.experiments.resultcache import DEFAULT_CACHE_DIR
+
+        result_cache = _build_result_cache(
+            args.cache_dir or DEFAULT_CACHE_DIR, args.manifest)
+    service = CampaignService(
+        args.journal,
+        n_workers=args.workers,
+        queue_capacity=args.queue_limit,
+        lease_seconds=args.lease,
+        heartbeat_seconds=args.heartbeat,
+        max_retries=args.retries,
+        retry_backoff_seconds=args.backoff,
+        poison_threshold=args.poison_threshold,
+        max_worker_restarts=args.max_restarts,
+        flight_dir=args.flight_dir,
+        telemetry=args.telemetry,
+        result_cache=result_cache,
+        resume=args.resume,
+    )
+    if not args.resume:
+        service.journal.reset()
+    server = ServiceServer(service, args.socket,
+                           idle_exit_seconds=args.idle_exit)
+    print(f"campaign service listening on {args.socket}\n"
+          f"  journal: {args.journal}   workers: {args.workers}   "
+          f"queue limit: {args.queue_limit}\n"
+          f"  submit with `repro campaign submit --socket {args.socket} "
+          f"...`; SIGTERM drains gracefully", flush=True)
+    server.run()
+    report = service.report()
+    print(report.render())
+    if result_cache is not None:
+        print(result_cache.render_stats())
+    if args.report_out:
+        save_report(report, args.report_out)
+        print(f"\nwrote {args.report_out}")
+    if service.journal.degraded:
+        print(f"\nWARNING: {service.journal.write_failures} journal write "
+              f"failure(s) — results above are complete, but a --resume "
+              f"restart may re-run some specs", file=sys.stderr)
     return 1 if report.failures else 0
 
 
@@ -914,33 +1069,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="declarative experiment campaigns (parallel)")
     campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
     campaign_sub.add_parser("scenarios", help="list registered scenarios")
+    def _add_spec_flags(cp: argparse.ArgumentParser) -> None:
+        """Spec-building flags shared by `campaign run` and `submit`."""
+        cp.add_argument("--scenario", default=None,
+                        help="registered scenario name (one spec per seed)")
+        cp.add_argument("--seeds", type=_parse_id_list, default=[0],
+                        help="comma-separated seeds (default: 0)")
+        cp.add_argument("--duration", type=int, default=20_000,
+                        help="simulated window per run, in bit times")
+        cp.add_argument("--engine", choices=["fast", "bit"], default="fast",
+                        help="simulation engine: 'fast' chunks uncontended "
+                             "spans (default), 'bit' forces per-bit "
+                             "stepping; results are identical")
+        cp.add_argument("--param", action="append", metavar="KEY=VALUE",
+                        help="scenario factory parameter (repeatable)")
+        cp.add_argument("--spec-file", default=None,
+                        help="JSON file with a list of ScenarioSpec dicts")
+        cp.add_argument("--no-metrics", action="store_true",
+                        help="skip the per-run telemetry probe")
+        cp.add_argument("--snapshot-every", type=int, default=None,
+                        metavar="BITS",
+                        help="sample a telemetry snapshot every N "
+                             "simulated bits")
+        cp.add_argument("--faults", default=None, metavar="FAULTS.json",
+                        help="apply this FaultPlan to every --scenario spec")
+
     cp = campaign_sub.add_parser("run", help="run a campaign of specs")
-    cp.add_argument("--scenario", default=None,
-                    help="registered scenario name (one spec per seed)")
-    cp.add_argument("--seeds", type=_parse_id_list, default=[0],
-                    help="comma-separated seeds (default: 0)")
-    cp.add_argument("--duration", type=int, default=20_000,
-                    help="simulated window per run, in bit times")
-    cp.add_argument("--engine", choices=["fast", "bit"], default="fast",
-                    help="simulation engine: 'fast' chunks uncontended "
-                         "spans (default), 'bit' forces per-bit stepping; "
-                         "results are identical")
-    cp.add_argument("--param", action="append", metavar="KEY=VALUE",
-                    help="scenario factory parameter (repeatable)")
-    cp.add_argument("--spec-file", default=None,
-                    help="JSON file with a list of ScenarioSpec dicts")
+    _add_spec_flags(cp)
     cp.add_argument("--workers", type=int, default=1,
                     help="worker processes (1 = serial)")
     cp.add_argument("--out", default=None,
                     help="write the CampaignReport JSON here")
-    cp.add_argument("--no-metrics", action="store_true",
-                    help="skip the per-run telemetry probe")
-    cp.add_argument("--snapshot-every", type=int, default=None, metavar="BITS",
-                    help="sample a telemetry snapshot every N simulated bits")
     cp.add_argument("--snapshot-dir", default=None, metavar="DIR",
                     help="write per-spec snapshot JSONL timelines here")
-    cp.add_argument("--faults", default=None, metavar="FAULTS.json",
-                    help="apply this FaultPlan to every --scenario spec")
     cp.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                     help="per-spec wall-clock timeout (forces worker "
                          "processes)")
@@ -976,12 +1137,80 @@ def build_parser() -> argparse.ArgumentParser:
     cp = campaign_sub.add_parser("show", help="render a stored report")
     cp.add_argument("report")
     cp = campaign_sub.add_parser(
-        "watch", help="render live progress from a telemetry checkpoint")
-    cp.add_argument("checkpoint", help="the campaign's --checkpoint file")
+        "watch", help="render live progress from a telemetry checkpoint "
+                      "or a `repro serve` work journal")
+    cp.add_argument("checkpoint", help="the campaign's --checkpoint file "
+                                       "(or the service's --journal)")
     cp.add_argument("--follow", action="store_true",
                     help="keep re-rendering until the campaign finishes")
     cp.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
                     help="refresh period with --follow (default: 1.0)")
+    cp = campaign_sub.add_parser(
+        "submit", help="submit specs to a running `repro serve` service")
+    cp.add_argument("--socket", required=True, metavar="PATH",
+                    help="the service's unix socket (see `repro serve`)")
+    _add_spec_flags(cp)
+    cp = campaign_sub.add_parser(
+        "status", help="query a running `repro serve` service")
+    cp.add_argument("--socket", required=True, metavar="PATH",
+                    help="the service's unix socket")
+    cp.add_argument("--report", action="store_true",
+                    help="render the merged campaign report instead of "
+                         "the scheduler snapshot")
+    cp.add_argument("--json", action="store_true",
+                    help="print the raw status JSON")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the supervised campaign execution service (submit with "
+             "`repro campaign submit`)")
+    p.add_argument("--socket", required=True, metavar="PATH",
+                   help="unix socket to listen on")
+    p.add_argument("--journal", required=True, metavar="FILE",
+                   help="durable work journal (JSONL); doubles as the "
+                        "telemetry channel and the --resume source")
+    p.add_argument("--workers", type=int, default=2,
+                   help="long-lived worker processes (default: 2)")
+    p.add_argument("--queue-limit", type=int, default=256, metavar="N",
+                   help="bounded submission queue capacity; submissions "
+                        "beyond it are rejected (default: 256)")
+    p.add_argument("--lease", type=float, default=30.0, metavar="SECONDS",
+                   help="per-spec lease before a hung worker's work is "
+                        "stolen (default: 30)")
+    p.add_argument("--heartbeat", type=float, default=0.5, metavar="SECONDS",
+                   help="worker heartbeat period (default: 0.5)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="retries for a spec whose worker raised "
+                        "(default: 1)")
+    p.add_argument("--backoff", type=float, default=0.1, metavar="SECONDS",
+                   help="base retry backoff, doubling per attempt")
+    p.add_argument("--poison-threshold", type=int, default=2, metavar="K",
+                   help="quarantine a spec after it kills K workers "
+                        "(default: 2)")
+    p.add_argument("--max-restarts", type=int, default=3, metavar="N",
+                   help="per-worker-slot restart budget (default: 3)")
+    p.add_argument("--flight-dir", default=None, metavar="DIR",
+                   help="record per-spec flight-recorder dumps here")
+    p.add_argument("--telemetry", action="store_true",
+                   help="stream live progress into the journal (render "
+                        "with `repro campaign watch <journal>`)")
+    p.add_argument("--resume", action="store_true",
+                   help="fold the existing journal: completed specs "
+                        "replay, pending ones re-enter the queue")
+    p.add_argument("--idle-exit", type=float, default=None,
+                   metavar="SECONDS",
+                   help="drain and exit after the service has been idle "
+                        "this long (batch mode / CI)")
+    p.add_argument("--report-out", default=None, metavar="FILE",
+                   help="write the merged CampaignReport JSON here on "
+                        "drain")
+    p.add_argument("--cache", action="store_true",
+                   help="use the content-addressed result cache")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result cache directory "
+                        "(default: .repro_cache/results)")
+    p.add_argument("--manifest", default=None, metavar="FILE",
+                   help="trust this purity manifest for cache decisions")
 
     p = sub.add_parser("chaos",
                        help="fault-intensity degradation sweep (Sec. IV-E)")
@@ -1131,6 +1360,7 @@ COMMANDS = {
     "replay": cmd_replay,
     "codegen": cmd_codegen,
     "campaign": cmd_campaign,
+    "serve": cmd_serve,
     "chaos": cmd_chaos,
     "metrics": cmd_metrics,
     "trace": cmd_trace,

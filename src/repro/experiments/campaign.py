@@ -275,7 +275,9 @@ class RunRecord:
 
 
 #: Failure kinds a spec can end with after exhausting its retries.
-FAILURE_KINDS = ("error", "crash", "timeout")
+#: ``"poison"`` is produced only by the campaign service's supervisor:
+#: a spec that killed enough workers to be quarantined.
+FAILURE_KINDS = ("error", "crash", "timeout", "poison")
 
 
 @dataclass
@@ -283,8 +285,10 @@ class RunFailure:
     """One spec that never completed: what happened, after how many tries.
 
     ``kind`` is ``"error"`` (the worker raised), ``"crash"`` (the worker
-    process died without reporting) or ``"timeout"`` (the per-spec
-    wall-clock budget ran out and the worker was terminated).
+    process died without reporting), ``"timeout"`` (the per-spec
+    wall-clock budget ran out and the worker was terminated) or
+    ``"poison"`` (the campaign service quarantined a spec that kept
+    killing its workers).
     """
 
     spec: ScenarioSpec
@@ -400,6 +404,31 @@ class CampaignReport:
         """Total parallel fan-out tax across all records."""
         return sum(record.spawn_overhead_seconds for record in self.records)
 
+    def mean_spawn_overhead_seconds(self) -> float:
+        """Mean per-record fan-out tax (0.0 with no records).
+
+        This is the number the ``<1.1x`` speedup warning is really
+        about: when it rivals the mean per-record run time, process
+        fan-out cannot pay for itself on these windows.
+        """
+        if not self.records:
+            return 0.0
+        return self.spawn_overhead_seconds() / len(self.records)
+
+    def worker_utilization(self) -> Optional[float]:
+        """Fraction of the pool's wall-clock capacity spent simulating.
+
+        ``sum(per-record run seconds) / (campaign wall * n_workers)``:
+        1.0 means every worker simulated the whole time, values near
+        ``1/n_workers`` mean the fan-out was effectively serial (spawn
+        overhead, stragglers, or an empty queue).  ``None`` when it
+        cannot be estimated.
+        """
+        if not self.records or self.wall_seconds <= 0 or self.n_workers < 1:
+            return None
+        busy = sum(record.wall_seconds for record in self.records)
+        return busy / (self.wall_seconds * self.n_workers)
+
     def parallel_speedup(self) -> Optional[float]:
         """Estimated speedup vs serial execution of the same specs.
 
@@ -431,15 +460,26 @@ class CampaignReport:
             speedup = self.parallel_speedup()
             if speedup is not None:
                 overhead = self.spawn_overhead_seconds()
+                mean_overhead = self.mean_spawn_overhead_seconds()
+                utilization = self.worker_utilization()
+                utilization_text = (
+                    f"{utilization:.0%}" if utilization is not None else "n/a")
                 lines.append(
                     f"parallel speedup ~{speedup:.2f}x vs serial "
-                    f"(spawn overhead {overhead:.2f} s "
-                    f"across {len(self.records)} worker runs)")
+                    f"(spawn overhead {overhead:.2f} s total, "
+                    f"{mean_overhead * 1000:.0f} ms mean "
+                    f"across {len(self.records)} worker runs; "
+                    f"worker utilization {utilization_text})")
                 if speedup < 1.1:
+                    mean_run = (sum(r.wall_seconds for r in self.records)
+                                / len(self.records) if self.records else 0.0)
                     lines.append(
-                        "WARNING: parallel fan-out gained <1.1x over serial "
-                        "— per-worker spawn overhead dominates these "
-                        "windows; use n_workers=1 or longer duration_bits")
+                        f"WARNING: parallel fan-out gained <1.1x over serial "
+                        f"— mean spawn overhead {mean_overhead * 1000:.0f} ms "
+                        f"vs mean run {mean_run * 1000:.0f} ms per spec "
+                        f"(utilization {utilization_text}); use n_workers=1, "
+                        f"longer duration_bits, or the batched campaign "
+                        f"service (`repro serve`)")
         for record in self.records:
             lines.append("")
             cached = " (cached)" if record.cache_hit else ""
@@ -577,37 +617,66 @@ class _Checkpoint:
     """Incremental JSONL persistence of finished specs (single writer).
 
     One line per finished spec: ``{"type": "record"|"failure", "key":
-    <spec_key>, ...payload...}``.  A truncated trailing line (parent died
-    mid-write) is skipped on load, so resume survives its own crashes.
+    <spec_key>, "schema_version": N, ...payload...}``.  A truncated
+    trailing line (parent died mid-write) is skipped on load, so resume
+    survives its own crashes; a parseable line stamped with a *newer*
+    schema version is a clean error (the file belongs to a newer build),
+    never a silent misread.
+
+    Durability degrades gracefully: an append that raises ``OSError``
+    (disk full, permissions, or an injected ``store.write_failure``
+    fault) is announced with a loud :class:`RuntimeWarning` and counted
+    in :attr:`write_failures`, but never aborts the campaign — the
+    results still reach the in-memory report; only resumability is lost.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, fault: Optional[Any] = None) -> None:
         self.path = os.fspath(path)
+        self.fault = fault
+        self.write_failures = 0
 
     def reset(self) -> None:
         with open(self.path, "w", encoding="utf-8"):
             pass
 
     def _append(self, entry: Dict[str, Any]) -> None:
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(entry, sort_keys=True) + "\n")
-            handle.flush()
+        import warnings
+
+        try:
+            if self.fault is not None:
+                self.fault.before_write(f"checkpoint {self.path}")
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+                handle.flush()
+        except OSError as exc:
+            self.write_failures += 1
+            warnings.warn(
+                f"checkpoint write to {self.path!r} failed ({exc}); the "
+                f"campaign continues but this entry will NOT be resumable "
+                f"({self.write_failures} write failure(s) so far)",
+                RuntimeWarning, stacklevel=3)
 
     def append_record(self, record: RunRecord) -> None:
         self._append({"type": "record", "key": spec_key(record.spec),
+                      "schema_version": SCHEMA_VERSION,
                       "record": record.to_dict()})
 
     def append_failure(self, failure: RunFailure) -> None:
         self._append({"type": "failure", "key": spec_key(failure.spec),
+                      "schema_version": SCHEMA_VERSION,
                       "failure": failure.to_dict()})
 
     def load_records(self) -> Dict[str, RunRecord]:
-        """Completed records by spec key (failures are always re-run)."""
+        """Completed records by spec key (failures are always re-run).
+
+        Raises :class:`~repro.errors.ConfigurationError` when the file
+        carries entries stamped by a newer schema version.
+        """
         if not os.path.exists(self.path):
             return {}
         records: Dict[str, RunRecord] = {}
         with open(self.path, encoding="utf-8") as handle:
-            for line in handle:
+            for number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
@@ -615,6 +684,17 @@ class _Checkpoint:
                     entry = json.loads(line)
                 except json.JSONDecodeError:
                     continue  # torn write from a previous crash
+                if not isinstance(entry, dict):
+                    continue
+                version = entry.get("schema_version")
+                if (entry.get("type") in ("record", "failure")
+                        and isinstance(version, int)
+                        and version > SCHEMA_VERSION):
+                    raise ConfigurationError(
+                        f"checkpoint {self.path!r} line {number} was "
+                        f"written by schema v{version}; this build reads "
+                        f"v{SCHEMA_VERSION} — refusing to resume from a "
+                        f"newer format")
                 if entry.get("type") == "record" and "key" in entry:
                     records[entry["key"]] = RunRecord.from_dict(
                         entry["record"])
@@ -656,6 +736,10 @@ class Campaign:
             are looked up before execution (a hit replays the stored
             record with ``cache_hit=True``) and stored after a
             successful fresh run.  Failures are never cached.
+        store_fault: Optional
+            :class:`~repro.faults.store.StoreWriteFault` injected into
+            checkpoint appends — proves the graceful-degradation
+            contract (run completes, loud warning, no silent loss).
 
     Example:
         >>> from repro.experiments.campaign import Campaign, ScenarioSpec
@@ -678,6 +762,7 @@ class Campaign:
         telemetry: bool = False,
         heartbeat_seconds: float = 1.0,
         result_cache: Optional[Any] = None,
+        store_fault: Optional[Any] = None,
     ) -> None:
         if n_workers < 1:
             raise ConfigurationError(
@@ -714,6 +799,9 @@ class Campaign:
         self.telemetry = telemetry
         self.heartbeat_seconds = heartbeat_seconds
         self.result_cache = result_cache
+        #: Optional :class:`~repro.faults.store.StoreWriteFault` applied
+        #: to checkpoint appends (degradation testing).
+        self.store_fault = store_fault
 
     def _backoff(self, attempt: int) -> float:
         return self.retry_backoff_seconds * (2 ** (attempt - 1))
@@ -726,7 +814,7 @@ class Campaign:
 
     def run(self, resume: bool = False) -> CampaignReport:
         started = _time.perf_counter()
-        checkpoint = (_Checkpoint(self.checkpoint)
+        checkpoint = (_Checkpoint(self.checkpoint, fault=self.store_fault)
                       if self.checkpoint is not None else None)
         if resume and checkpoint is None:
             raise ConfigurationError(

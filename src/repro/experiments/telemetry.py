@@ -24,7 +24,7 @@ import json
 import os
 import time as _time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Union
 
 #: Bump when the telemetry line layout changes incompatibly.
 TELEMETRY_SCHEMA_VERSION = 1
@@ -138,9 +138,51 @@ class CampaignProgress:
     last_update: float = 0.0
 
 
+def _fold_work_entry(progress: CampaignProgress, entry: Dict[str, Any],
+                     queued: set, settled: set,
+                     labels: Dict[str, str]) -> None:
+    """Fold one campaign-service work-journal line (``type: "work"``).
+
+    Mirrors the journal's own idempotence rules (first ``queued`` /
+    first terminal state per key wins) so ``repro campaign watch`` can
+    point straight at a ``repro serve`` journal, with or without
+    telemetry interleaved.
+    """
+    state = entry.get("state")
+    key = entry.get("key")
+    if not isinstance(key, str) or not key:
+        return
+    if state == "queued" and key not in queued:
+        queued.add(key)
+        spec = entry.get("spec")
+        label = key[:12]
+        if isinstance(spec, dict):
+            label = (spec.get("label")
+                     or f"{spec.get('scenario', label)}#{spec.get('seed', 0)}")
+        labels[key] = label
+        progress.total_specs = max(progress.total_specs, len(queued))
+        progress.spec_status.setdefault(label, "queued")
+    elif state == "leased":
+        progress.spec_status[labels.get(key, key[:12])] = "running"
+    elif state == "done" and key not in settled:
+        settled.add(key)
+        progress.completed += 1
+        progress.spec_status[labels.get(key, key[:12])] = "ok"
+    elif state == "failed" and key not in settled:
+        settled.add(key)
+        progress.failed += 1
+        failure = entry.get("failure")
+        status = (failure.get("kind", "error")
+                  if isinstance(failure, dict) else "error")
+        progress.spec_status[labels.get(key, key[:12])] = status
+
+
 def campaign_progress(entries: List[Dict[str, Any]]) -> CampaignProgress:
     """Fold a channel's entries into a :class:`CampaignProgress`."""
     progress = CampaignProgress()
+    queued_work: set = set()
+    settled_work: set = set()
+    work_labels: Dict[str, str] = {}
     for entry in entries:
         kind = entry.get("type")
         if kind == "record":
@@ -148,6 +190,10 @@ def campaign_progress(entries: List[Dict[str, Any]]) -> CampaignProgress:
             continue
         if kind == "failure":
             progress.failed += 1
+            continue
+        if kind == "work":
+            _fold_work_entry(progress, entry, queued_work, settled_work,
+                             work_labels)
             continue
         if kind != "telemetry":
             continue

@@ -32,6 +32,9 @@ class AppliedFaultPlan:
     wire: FaultInjectingWire | None = None
     node_injectors: Dict[str, NodeFaultInjector] = field(default_factory=dict)
     harness_nodes: List[HarnessFaultNode] = field(default_factory=list)
+    #: Store-layer specs carried by the plan: not installed on the sim
+    #: (see :mod:`repro.faults.store`), surfaced here for the harness.
+    store_specs: List[FaultSpec] = field(default_factory=list)
 
 
 def apply_fault_plan(
@@ -43,6 +46,7 @@ def apply_fault_plan(
     (the simulator's hot loop binds node methods at run entry).
     """
     plan.validate()
+    applied = AppliedFaultPlan(plan)
     wire_specs: List[FaultSpec] = []
     node_specs: Dict[str, List[FaultSpec]] = {}
     harness_specs: List[FaultSpec] = []
@@ -52,10 +56,13 @@ def apply_fault_plan(
             wire_specs.append(spec)
         elif layer == "harness":
             harness_specs.append(spec)
+        elif layer == "store":
+            # Store faults attack the parent's durable writes, not the
+            # simulation: compiled by repro.faults.store and honoured by
+            # the journal/checkpoint writers, never installed on a sim.
+            applied.store_specs.append(spec)
         else:
             node_specs.setdefault(spec.target or "", []).append(spec)
-
-    applied = AppliedFaultPlan(plan)
 
     if wire_specs:
         old = sim.wire

@@ -3,7 +3,8 @@
 A :class:`FaultPlan` is the schema-versioned, pickle-safe description of
 *what goes wrong and when* during a run.  It names each fault, pins it to
 one of three layers (wire / node / defense, plus the test-only harness
-layer), gives it an activation window in bit times, and carries an
+and store layers), gives it an activation window in bit times (store
+faults count write operations instead), and carries an
 explicit per-fault seed so the injected pattern is deterministic — the
 campaign engine's serial==parallel replay guarantee extends to chaos
 runs unchanged.
@@ -131,6 +132,12 @@ FAULT_KINDS: Dict[str, Tuple[str, bool, str, Dict[str, object]]] = {
         "defense", True,
         "detection callback raises on the next detection in the window",
         {},
+    ),
+    "store.write_failure": (
+        "store", False,
+        "journal/checkpoint appends raise OSError on a seeded schedule "
+        "(window counts write operations, not bits)",
+        {"probability": 1.0, "max_failures": 2},
     ),
     "harness.crash": (
         "harness", False,

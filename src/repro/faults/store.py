@@ -1,0 +1,108 @@
+"""Store-layer faults: making *durable writes* misbehave.
+
+The wire/node/defense layers attack the simulated bus; the harness layer
+attacks the worker process.  This layer attacks the one thing the
+campaign engine itself promises to keep safe — the durable record of
+finished work.  A ``store.write_failure`` fault makes journal and
+checkpoint appends raise :class:`OSError` on a seeded schedule, so tests
+can prove the engine's degradation contract: the run still completes,
+the loss of durability is announced loudly, and nothing already reported
+to the caller is silently dropped.
+
+Store faults are *parent-side*: :func:`~repro.faults.apply.apply_fault_plan`
+deliberately does not install them on a simulator.  They are compiled
+here and handed to the writers that honour them —
+:class:`~repro.experiments.service.journal.WorkJournal` and the campaign
+checkpoint (``Campaign(store_fault=...)``).
+
+Because a store write has no bit time, the fault's
+:class:`~repro.faults.plan.FaultWindow` is interpreted over the
+**write-operation index** (0 for the first append, 1 for the second,
+...) instead of over simulated bits.  The schedule inside the window is
+an explicit-seed :class:`random.Random` draw per write, so a given
+(spec, seed) pair always fails the same sequence of writes.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan, FaultSpec
+
+
+class StoreWriteFault:
+    """Compiled ``store.write_failure`` injector.
+
+    Params (all optional):
+        probability: Per-write failure chance inside the window
+            (default 1.0 — every windowed write fails).
+        max_failures: Stop injecting after this many failures
+            (``None`` = unbounded).
+
+    Attributes:
+        writes: Write operations observed so far (the window clock).
+        failures: Injected failures so far.
+    """
+
+    def __init__(self, spec: FaultSpec) -> None:
+        if spec.kind != "store.write_failure":
+            raise ConfigurationError(
+                f"fault {spec.name!r}: {spec.kind!r} is not a store fault")
+        self.spec = spec
+        self.probability = float(
+            spec.params.get("probability", 1.0))  # type: ignore[arg-type]
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"fault {spec.name!r}: probability must be in [0, 1], "
+                f"got {self.probability}")
+        raw_max = spec.params.get("max_failures")
+        self.max_failures: Optional[int] = (
+            None if raw_max is None else int(raw_max))  # type: ignore[arg-type]
+        if self.max_failures is not None and self.max_failures < 0:
+            raise ConfigurationError(
+                f"fault {spec.name!r}: max_failures must be non-negative, "
+                f"got {self.max_failures}")
+        # Explicit per-fault seed: the failure schedule is deterministic.
+        self._rng = random.Random(spec.seed)
+        self.writes = 0
+        self.failures = 0
+
+    def before_write(self, description: str = "") -> None:
+        """Raise :class:`OSError` when this write is scheduled to fail.
+
+        Call once immediately before each durable append; the call index
+        is the fault window's clock.
+        """
+        index = self.writes
+        self.writes += 1
+        if not self.spec.window.active(index):
+            return
+        if (self.max_failures is not None
+                and self.failures >= self.max_failures):
+            return
+        if self._rng.random() >= self.probability:
+            return
+        self.failures += 1
+        target = description or "store"
+        raise OSError(
+            errno.EIO,
+            f"injected store write failure #{self.failures} "
+            f"(fault {self.spec.name!r}, write #{index}, {target})")
+
+
+def compile_store_fault(spec: FaultSpec) -> StoreWriteFault:
+    """Compile one store-layer fault spec into its injector."""
+    return StoreWriteFault(spec)
+
+
+def store_faults(plan: Optional[FaultPlan]) -> List[StoreWriteFault]:
+    """Compile every store-layer fault in ``plan`` (empty when ``None``)."""
+    from repro.faults.plan import layer_of
+
+    if plan is None:
+        return []
+    return [compile_store_fault(spec) for spec in plan
+            if layer_of(spec.kind) == "store"]

@@ -1,0 +1,118 @@
+"""Chaos drills: kill a worker, kill the parent — the report must not flinch.
+
+The acceptance bar for the campaign service: after a SIGKILLed worker
+mid-run, and after a dead-and-resumed parent, the merged final report is
+**payload-identical** to an undisturbed serial run — on both simulation
+engines.  Timing metadata may differ; results may not.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.experiments.campaign import Campaign, ScenarioSpec
+from repro.experiments.service.service import CampaignService
+
+ENGINES = ("fast", "bit")
+
+
+def specs_for(engine, n=4):
+    return [ScenarioSpec("exp4", seed=seed, duration_bits=1_500,
+                         engine=engine) for seed in range(n)]
+
+
+def make_service(tmp_path, **kwargs):
+    kwargs.setdefault("n_workers", 2)
+    kwargs.setdefault("heartbeat_seconds", 0.1)
+    kwargs.setdefault("retry_backoff_seconds", 0.0)
+    kwargs.setdefault("restart_backoff_seconds", 0.01)
+    kwargs.setdefault("max_worker_restarts", 5)
+    return CampaignService(str(tmp_path / "journal.jsonl"), **kwargs)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_sigkilled_worker_mid_run_leaves_the_report_intact(tmp_path, engine):
+    specs = specs_for(engine)
+    service = make_service(tmp_path)
+    service.start()
+    try:
+        service.submit_specs(specs)
+        # Wait for a worker to actually hold a lease, then shoot it.
+        deadline = time.monotonic() + 30
+        victim = None
+        while time.monotonic() < deadline and victim is None:
+            service.pump()
+            busy = service.pool.busy_slots()
+            if busy:
+                victim = busy[0]
+            else:
+                time.sleep(0.01)
+        assert victim is not None, "no spec was ever leased"
+        os.kill(victim.proc.pid, signal.SIGKILL)
+        assert service.run_until_idle(timeout=180)
+    finally:
+        service.close()
+    report = service.report()
+    undisturbed = Campaign(specs).run()
+    assert not report.failures
+    assert report.payload_equal(undisturbed), \
+        "a murdered worker must cost wall time, never results"
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_killed_parent_resumes_to_an_identical_report(tmp_path, engine):
+    specs = specs_for(engine)
+    first = make_service(tmp_path)
+    first.start()
+    try:
+        first.submit_specs(specs)
+        # Run until at least one result landed, then die abruptly: no
+        # drain, no journal finalisation — exactly what SIGKILL leaves.
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline and not first._records:
+            first.pump()
+            time.sleep(0.01)
+        assert first._records, "nothing completed before the crash"
+    finally:
+        for slot in first.pool.slots:  # hard-kill, not a polite stop
+            if slot.proc is not None and slot.proc.is_alive():
+                slot.proc.kill()
+                slot.proc.join(timeout=5)
+
+    resumed = make_service(tmp_path, resume=True)
+    done_before = len(resumed.report().records)
+    assert done_before >= 1  # the journal preserved completed work
+    resumed.start()
+    try:
+        assert resumed.run_until_idle(timeout=180)
+    finally:
+        resumed.close()
+    report = resumed.report()
+    undisturbed = Campaign(specs).run()
+    assert not report.failures
+    assert report.payload_equal(undisturbed)
+    # Exactly-once: completed specs were replayed, not re-executed.
+    state = resumed.journal.load()
+    assert sorted(state.records) == sorted(
+        resumed._records), "journal and memory agree"
+
+
+def test_fast_and_bit_engines_agree_through_the_service(tmp_path):
+    """Differential check: the service preserves engine equivalence."""
+    service = make_service(tmp_path)
+    service.start()
+    try:
+        service.submit_specs(specs_for("fast", n=2) + specs_for("bit", n=2))
+        assert service.run_until_idle(timeout=180)
+    finally:
+        service.close()
+    report = service.report()
+    assert not report.failures
+    by_engine = {}
+    for record in report.records:
+        key = (record.spec.seed, record.spec.engine)
+        by_engine[key] = record.result.to_dict()
+    for seed in range(2):
+        assert by_engine[(seed, "fast")] == by_engine[(seed, "bit")]

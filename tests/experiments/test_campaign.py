@@ -138,6 +138,27 @@ class TestCampaignReport:
         b = Campaign(small_specs()[:2], n_workers=1).run()
         assert not a.payload_equal(b)
 
+    def test_spawn_overhead_and_utilization_accessors(self):
+        report = Campaign(small_specs(), n_workers=1).run()
+        assert report.mean_spawn_overhead_seconds() == 0.0  # serial path
+        utilization = report.worker_utilization()
+        assert utilization is not None and utilization > 0.0
+        empty = CampaignReport(records=[], n_workers=2, wall_seconds=1.0)
+        assert empty.mean_spawn_overhead_seconds() == 0.0
+        assert empty.worker_utilization() is None
+
+    def test_parallel_render_surfaces_overhead_and_utilization(self):
+        report = Campaign(small_specs(), n_workers=2,
+                          timeout_seconds=60.0).run()
+        text = report.render()
+        assert "spawn overhead" in text
+        assert "worker utilization" in text
+        if report.parallel_speedup() < 1.1:
+            # Short windows: the warning must name the culprit numbers
+            # and point at the batched service.
+            assert "mean spawn overhead" in text
+            assert "repro serve" in text
+
 
 class TestCampaignMetrics:
     def metric_specs(self):

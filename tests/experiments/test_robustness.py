@@ -123,6 +123,35 @@ def test_torn_checkpoint_lines_are_skipped(tmp_path):
     assert len(report.records) == 1
 
 
+def test_newer_schema_checkpoint_is_a_clean_error(tmp_path):
+    from repro.experiments.campaign import SCHEMA_VERSION
+
+    checkpoint = tmp_path / "campaign.jsonl"
+    spec = good_spec(seed=1)
+    entry = {"type": "record", "key": spec_key(spec),
+             "schema_version": SCHEMA_VERSION + 1, "record": {}}
+    checkpoint.write_text(json.dumps(entry) + "\n", encoding="utf-8")
+    with pytest.raises(ConfigurationError, match="newer format"):
+        Campaign([spec], checkpoint=str(checkpoint)).run(resume=True)
+
+
+def test_legacy_unstamped_checkpoint_lines_still_load(tmp_path):
+    checkpoint = tmp_path / "campaign.jsonl"
+    spec = good_spec(seed=1)
+    Campaign([spec], checkpoint=str(checkpoint)).run()
+    # Strip the version stamp, as a pre-versioning build would have
+    # written it: the entry must still resume.
+    lines = []
+    for line in checkpoint.read_text(encoding="utf-8").splitlines():
+        entry = json.loads(line)
+        entry.pop("schema_version", None)
+        lines.append(json.dumps(entry))
+    checkpoint.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    report = Campaign([spec], checkpoint=str(checkpoint)).run(resume=True)
+    assert len(report.records) == 1
+    assert report.records[0].spec == spec
+
+
 # -------------------------------------------------------- report plumbing
 
 def test_report_with_failures_round_trips():

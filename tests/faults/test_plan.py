@@ -56,7 +56,7 @@ def test_fault_kinds_is_sorted_and_complete():
     kinds = fault_kinds()
     assert kinds == tuple(sorted(FAULT_KINDS))
     layers = {layer_of(kind) for kind in kinds}
-    assert layers == {"wire", "node", "defense", "harness"}
+    assert layers == {"wire", "node", "defense", "harness", "store"}
 
 
 def test_layer_of_unknown_kind_raises():
