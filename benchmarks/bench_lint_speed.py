@@ -19,7 +19,7 @@ import pathlib
 import time
 
 from conftest import report
-from repro.analysis.callgraph import AnalysisCache
+from repro.analysis.callgraph import SUMMARY_SCHEMA_VERSION, AnalysisCache
 from repro.analysis.lint import lint_paths
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -31,10 +31,11 @@ MIN_SPEEDUP = 3.0
 ROUNDS = 3
 
 
-def _lint_once(cache_path):
+def _lint_once(cache_path, deep=False):
     cache = AnalysisCache(str(cache_path))
     started = time.perf_counter()
-    report_obj = lint_paths([str(REPO_ROOT / "src")], cache=cache)
+    report_obj = lint_paths([str(REPO_ROOT / "src")], cache=cache,
+                            deep=deep)
     wall = time.perf_counter() - started
     cache.save()
     assert report_obj.ok, report_obj.render_text()
@@ -69,6 +70,16 @@ def test_warm_cache_lint_speedup(benchmark, quick, tmp_path):
 
     speedup = cold / warm if warm else float("inf")
 
+    # The deep path re-runs the interprocedural rules (call graph, effect
+    # and concurrency analyses) every time, but a warm cache still spares
+    # it the parse+summarize pass — measure both so the summary-schema
+    # bumps (v3 added spawn/lock/handler/blocking facts) show up here
+    # instead of silently eroding incremental lint.
+    deep_cold, _ = _lint_once(tmp_path / "deep-cold.json", deep=True)
+    deep_cache = tmp_path / "deep-warm.json"
+    _lint_once(deep_cache, deep=True)  # populate
+    deep_warm, _ = _lint_once(deep_cache, deep=True)
+
     if not quick:
         # Merge: bench_purity_speed.py records its block into the same
         # file under "purity", and each bench must survive the other.
@@ -83,6 +94,13 @@ def test_warm_cache_lint_speedup(benchmark, quick, tmp_path):
             "cold_seconds": round(cold, 4),
             "warm_seconds": round(warm, 4),
             "warm_speedup": round(speedup, 2),
+            "summary_schema_version": SUMMARY_SCHEMA_VERSION,
+            "deep": {
+                "cold_seconds": round(deep_cold, 4),
+                "warm_seconds": round(deep_warm, 4),
+                "warm_speedup": round(deep_cold / deep_warm
+                                      if deep_warm else float("inf"), 2),
+            },
         })
         BENCH_FILE.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n",
@@ -93,6 +111,11 @@ def test_warm_cache_lint_speedup(benchmark, quick, tmp_path):
         ("cold run (s)", "-", f"{cold:.3f}"),
         ("warm run (s)", "-", f"{warm:.3f}"),
         ("speedup", f">={MIN_SPEEDUP:.0f}x", f"{speedup:.1f}x"),
+        ("deep cold (s)", "-", f"{deep_cold:.3f}"),
+        ("deep warm (s)", "-", f"{deep_warm:.3f}"),
     ], notes=f"recorded to {BENCH_FILE.name}")
 
     assert speedup >= MIN_SPEEDUP
+    # Warming the cache must never make the deep path slower (the graph
+    # rules re-run either way; the parse pass is what the cache spares).
+    assert deep_warm <= deep_cold * 1.10

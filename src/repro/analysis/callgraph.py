@@ -71,12 +71,21 @@ from repro.analysis.lint.suppressions import SuppressionIndex
 #: with another version are re-parsed, never misread.
 #: v2: per-function effect facts (global/param mutation sites, I/O and
 #: ambient-state sinks) and per-file registration sites / module globals.
-SUMMARY_SCHEMA_VERSION = 2
+#: v3: per-function concurrency facts (named locksets on call/mutation
+#: sites, ``with <lock>:`` acquisition sites, thread/process spawn sites,
+#: signal-handler registrations, blocking sinks, ``async def`` flags).
+SUMMARY_SCHEMA_VERSION = 3
 #: Bump when the effect/purity *interpretation* of the summaries changes
 #: (new effect kinds, changed fixpoint semantics) without the summary
 #: layout itself changing.  Folded into :func:`rules_cache_key` and the
 #: purity manifest so upgraded analyzers never replay stale verdicts.
 EFFECT_SCHEMA_VERSION = 1
+#: Bump when the concurrency *interpretation* of the summaries changes
+#: (thread-root discovery, lockset semantics, blocking-sink policy)
+#: without the summary layout itself changing.  Folded into
+#: :func:`rules_cache_key` and the concurrency report so upgraded
+#: analyzers never replay stale RC4xx findings.
+CONCURRENCY_SCHEMA_VERSION = 1
 #: Bump when the on-disk cache file layout changes incompatibly.
 CACHE_SCHEMA_VERSION = 1
 
@@ -155,6 +164,35 @@ _AMBIENT_METHODS = frozenset({"read_text", "read_bytes"})
 #: reference for the multiprocessing fan-out (RC303).
 _REGISTRATION_FUNCS = frozenset({"register_scenario"})
 
+#: Method names whose *unresolved* calls can block the calling thread,
+#: mapped to a blocking category.  A call that resolves to a project
+#: function is never classified through this table — the callee's own
+#: body is analyzed instead (the RC402 rule checks resolved edges at the
+#: same line before trusting a name-based match).
+_BLOCKING_METHOD_CATEGORIES: Mapping[str, str] = {
+    "recv": "net", "recv_bytes": "net", "recv_into": "net",
+    "accept": "net", "poll": "net", "sendall": "net", "connect": "net",
+    "readline": "file",
+    "wait": "wait",
+    "acquire": "lock",
+    "join": "join",
+}
+#: ``.join()`` is only a blocking sink when the receiver chain hints at a
+#: thread/process handle — ``", ".join(...)`` and ``os.path.join`` stay
+#: out of the graph entirely (no dotted parts / no hint).
+_JOIN_RECEIVER_HINTS = ("proc", "thread", "worker", "pool", "child")
+#: Module-level calls that block, via the resolved ``(module, func)``
+#: target (``None`` means every function of the module).
+_BLOCKING_CALLS: Mapping[str, Optional[FrozenSet[str]]] = {
+    "subprocess": None,
+    "select": frozenset({"select"}),
+    "time": frozenset({"sleep"}),
+}
+#: Spawn constructors: last call segment -> spawn kind.  Guarded by a
+#: ``target=`` keyword or a resolved threading/multiprocessing import so
+#: arbitrary project classes named ``Process`` do not match.
+_SPAWN_CTORS: Mapping[str, str] = {"Thread": "thread", "Process": "process"}
+
 
 # ------------------------------------------------------------- summary model
 
@@ -169,20 +207,25 @@ class CallSite:
         guards: Exception type names caught by ``try`` blocks enclosing
             this call *within the same function* (:data:`CATCH_ALL` for a
             bare ``except:``).
+        locks: Normalized names of locks held (``with <lock>:`` blocks
+            enclosing the call within the same function) — the lock-order
+            analysis propagates these across the edge.
     """
 
     parts: Tuple[str, ...]
     line: int
     guards: Tuple[str, ...] = ()
+    locks: Tuple[str, ...] = ()
 
     def to_dict(self) -> Dict[str, Any]:
         return {"parts": list(self.parts), "line": self.line,
-                "guards": list(self.guards)}
+                "guards": list(self.guards), "locks": list(self.locks)}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CallSite":
         return cls(parts=tuple(data["parts"]), line=int(data["line"]),
-                   guards=tuple(data.get("guards", ())))
+                   guards=tuple(data.get("guards", ())),
+                   locks=tuple(data.get("locks", ())))
 
 
 @dataclass(frozen=True)
@@ -247,6 +290,7 @@ class MutationSite:
             (an in-place mutating method call such as ``.append()``).
         locked: True when the statement sits inside a ``with`` block whose
             context expression names a lock — the RC302 exemption.
+        locks: Normalized names of the locks held (the RC401 lockset).
     """
 
     line: int
@@ -256,12 +300,13 @@ class MutationSite:
     scope: str
     kind: str
     locked: bool = False
+    locks: Tuple[str, ...] = ()
 
     def to_dict(self) -> Dict[str, Any]:
         return {"line": self.line, "column": self.column,
                 "target": self.target, "root": self.root,
                 "scope": self.scope, "kind": self.kind,
-                "locked": self.locked}
+                "locked": self.locked, "locks": list(self.locks)}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "MutationSite":
@@ -270,7 +315,8 @@ class MutationSite:
                    root=str(data.get("root", "")),
                    scope=str(data.get("scope", "global")),
                    kind=str(data.get("kind", "assign")),
-                   locked=bool(data.get("locked", False)))
+                   locked=bool(data.get("locked", False)),
+                   locks=tuple(data.get("locks", ())))
 
 
 @dataclass(frozen=True)
@@ -308,9 +354,126 @@ class RegistrationSite:
                    enclosing=str(data.get("enclosing", "")))
 
 
+@dataclass(frozen=True)
+class LockSite:
+    """One lock acquisition (``with <lock>:`` or ``<lock>.acquire()``).
+
+    ``name`` is the normalized lock identity (``self`` replaced by the
+    enclosing class name, module globals qualified by their module) and
+    ``held`` names the locks already held at the acquisition — the edges
+    of the RC405 lock-order graph.
+    """
+
+    line: int
+    name: str
+    held: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"line": self.line, "name": self.name,
+                "held": list(self.held)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LockSite":
+        return cls(line=int(data["line"]), name=str(data.get("name", "")),
+                   held=tuple(data.get("held", ())))
+
+
+@dataclass(frozen=True)
+class SpawnSite:
+    """One thread/process spawn (``Thread(target=...)``, ``Process(...)``,
+    ``os.fork()``).
+
+    ``target`` is the dotted chain of the ``target=`` argument when
+    statically visible (resolved project-wide by the concurrency
+    analysis); ``daemon`` is the constructor's ``daemon=`` constant
+    (``None`` when absent or dynamic — treated as non-daemon).
+    """
+
+    line: int
+    column: int
+    kind: str  # "thread" | "process"
+    target: Tuple[str, ...] = ()
+    daemon: Optional[bool] = None
+    description: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"line": self.line, "column": self.column, "kind": self.kind,
+                "target": list(self.target), "daemon": self.daemon,
+                "description": self.description}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SpawnSite":
+        daemon = data.get("daemon")
+        return cls(line=int(data["line"]), column=int(data.get("column", 0)),
+                   kind=str(data.get("kind", "thread")),
+                   target=tuple(data.get("target", ())),
+                   daemon=None if daemon is None else bool(daemon),
+                   description=str(data.get("description", "")))
+
+
+@dataclass(frozen=True)
+class HandlerSite:
+    """One signal-handler registration (``signal.signal(sig, handler)``
+    or ``loop.add_signal_handler(sig, handler)``).
+
+    ``handler_kind`` mirrors :class:`RegistrationSite`: ``"ref"`` (dotted
+    chain in ``handler``), ``"lambda"`` (``handler`` holds the single
+    dotted call inside the lambda body when there is one) or
+    ``"unknown"``.
+    """
+
+    line: int
+    column: int
+    signal_name: str
+    handler_kind: str
+    handler: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"line": self.line, "column": self.column,
+                "signal_name": self.signal_name,
+                "handler_kind": self.handler_kind,
+                "handler": list(self.handler)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HandlerSite":
+        return cls(line=int(data["line"]), column=int(data.get("column", 0)),
+                   signal_name=str(data.get("signal_name", "")),
+                   handler_kind=str(data.get("handler_kind", "unknown")),
+                   handler=tuple(data.get("handler", ())))
+
+
+@dataclass(frozen=True)
+class BlockingSite:
+    """One potentially blocking call (RC402 evidence).
+
+    ``category`` is one of ``"sleep"``, ``"net"``, ``"file"``, ``"wait"``,
+    ``"lock"``, ``"join"`` or ``"proc"``; ``awaited`` is True when the
+    call sits anywhere inside an ``await`` expression (an asyncio
+    coroutine, not a thread-blocking primitive).
+    """
+
+    line: int
+    column: int
+    category: str
+    description: str
+    awaited: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"line": self.line, "column": self.column,
+                "category": self.category,
+                "description": self.description, "awaited": self.awaited}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BlockingSite":
+        return cls(line=int(data["line"]), column=int(data.get("column", 0)),
+                   category=str(data.get("category", "")),
+                   description=str(data.get("description", "")),
+                   awaited=bool(data.get("awaited", False)))
+
+
 @dataclass
 class FunctionSummary:
-    """Call/raise/sink/effect facts for one function or method."""
+    """Call/raise/sink/effect/concurrency facts for one function."""
 
     qualname: str
     line: int
@@ -321,6 +484,15 @@ class FunctionSummary:
     io_sinks: List[SinkSite] = field(default_factory=list)
     ambient_sinks: List[SinkSite] = field(default_factory=list)
     mutations: List[MutationSite] = field(default_factory=list)
+    is_async: bool = False
+    lock_sites: List[LockSite] = field(default_factory=list)
+    spawns: List[SpawnSite] = field(default_factory=list)
+    handlers: List[HandlerSite] = field(default_factory=list)
+    blocking_sinks: List[BlockingSite] = field(default_factory=list)
+    #: Reads of closure variables shared with a nested function (recorded
+    #: as :class:`MutationSite` with ``kind="read"``, ``scope="closure"``)
+    #: — the read half of the RC401 lockset analysis.
+    shared_reads: List[MutationSite] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -333,6 +505,12 @@ class FunctionSummary:
             "io_sinks": [s.to_dict() for s in self.io_sinks],
             "ambient_sinks": [s.to_dict() for s in self.ambient_sinks],
             "mutations": [m.to_dict() for m in self.mutations],
+            "is_async": self.is_async,
+            "lock_sites": [s.to_dict() for s in self.lock_sites],
+            "spawns": [s.to_dict() for s in self.spawns],
+            "handlers": [s.to_dict() for s in self.handlers],
+            "blocking_sinks": [s.to_dict() for s in self.blocking_sinks],
+            "shared_reads": [m.to_dict() for m in self.shared_reads],
         }
 
     @classmethod
@@ -352,6 +530,17 @@ class FunctionSummary:
                            for s in data.get("ambient_sinks", ())],
             mutations=[MutationSite.from_dict(m)
                        for m in data.get("mutations", ())],
+            is_async=bool(data.get("is_async", False)),
+            lock_sites=[LockSite.from_dict(s)
+                        for s in data.get("lock_sites", ())],
+            spawns=[SpawnSite.from_dict(s)
+                    for s in data.get("spawns", ())],
+            handlers=[HandlerSite.from_dict(s)
+                      for s in data.get("handlers", ())],
+            blocking_sinks=[BlockingSite.from_dict(s)
+                            for s in data.get("blocking_sinks", ())],
+            shared_reads=[MutationSite.from_dict(m)
+                          for m in data.get("shared_reads", ())],
         )
 
 
@@ -560,6 +749,18 @@ def _is_lockish(parts: Sequence[str]) -> bool:
     return any("lock" in part.lower() for part in parts)
 
 
+def _function_params(node: ast.AST) -> Set[str]:
+    assert isinstance(node, _FunctionNode)
+    args = node.args
+    params = {a.arg for a in (list(args.posonlyargs) + list(args.args)
+                              + list(args.kwonlyargs))}
+    if args.vararg is not None:
+        params.add(args.vararg.arg)
+    if args.kwarg is not None:
+        params.add(args.kwarg.arg)
+    return params
+
+
 class _FunctionContext:
     """Name-binding facts for one function body (mutation classification).
 
@@ -567,18 +768,22 @@ class _FunctionContext:
     plain AST walk), which only ever *suppresses* mutation findings —
     a name bound locally anywhere in the subtree is never classified as
     shared state.
+
+    ``shared_with_nested`` holds this function's own bindings that some
+    nested ``def`` captures (reads without binding), and ``parent`` chains
+    to the enclosing function's context: together they classify closure
+    state shared between a function and the threads it spawns from nested
+    targets (the RC401 evidence).  ``owner_class`` names the enclosing
+    class for methods — used to normalize ``self._lock`` spellings.
     """
 
-    def __init__(self, node: ast.AST) -> None:
+    def __init__(self, node: ast.AST,
+                 parent: Optional["_FunctionContext"] = None,
+                 owner_class: Optional[str] = None) -> None:
         assert isinstance(node, _FunctionNode)
-        args = node.args
-        params = {a.arg for a in (list(args.posonlyargs) + list(args.args)
-                                  + list(args.kwonlyargs))}
-        if args.vararg is not None:
-            params.add(args.vararg.arg)
-        if args.kwarg is not None:
-            params.add(args.kwarg.arg)
-        self.params = params
+        self.parent = parent
+        self.owner_class = owner_class
+        self.params = _function_params(node)
         self.is_constructor = node.name in _CONSTRUCTOR_METHODS
         self.global_decls: Set[str] = set()
         self.locals: Set[str] = set()
@@ -593,6 +798,35 @@ class _FunctionContext:
                     if isinstance(leaf, ast.Name):
                         self.locals.add(leaf.id)
         self.locals -= self.global_decls
+        self.shared_with_nested: Set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, _FunctionNode) and sub is not node:
+                bound = _function_params(sub)
+                used: Set[str] = set()
+                for inner in ast.walk(sub):
+                    if isinstance(inner, ast.Name):
+                        used.add(inner.id)
+                        if isinstance(inner.ctx, (ast.Store, ast.Del)):
+                            bound.add(inner.id)
+                self.shared_with_nested.update(used - bound)
+        self.shared_with_nested &= (self.locals | self.params)
+
+    def captured_from_enclosing(self, root: str) -> bool:
+        """Is ``root`` a free variable bound by an enclosing function?"""
+        parent = self.parent
+        while parent is not None:
+            if root in parent.locals or root in parent.params:
+                return True
+            parent = parent.parent
+        return False
+
+    def closure_shared(self, root: str) -> bool:
+        """Does ``root`` name state shared across a closure boundary?"""
+        if root in ("self", "cls") or root in self.global_decls:
+            return False
+        if root in self.locals or root in self.params:
+            return root in self.shared_with_nested
+        return self.captured_from_enclosing(root)
 
 
 class _Summarizer:
@@ -686,24 +920,48 @@ class _Summarizer:
 
     # ---------------------------------------------------------- functions
 
-    def _summarize_function(self, node: ast.AST, prefix: str) -> None:
+    def _summarize_function(self, node: ast.AST, prefix: str,
+                            parent_ctx: Optional[_FunctionContext] = None,
+                            ) -> None:
         assert isinstance(node, _FunctionNode)
         qualname = prefix + node.name
-        fn = FunctionSummary(qualname=qualname, line=node.lineno)
+        fn = FunctionSummary(
+            qualname=qualname, line=node.lineno,
+            is_async=isinstance(node, ast.AsyncFunctionDef))
         self.summary.functions[qualname] = fn
-        ctx = _FunctionContext(node)
+        owner = prefix.split(".", 1)[0] if prefix else ""
+        ctx = _FunctionContext(
+            node, parent=parent_ctx,
+            owner_class=owner if owner in self._class_names else None)
         self._walk_statements(node.body, fn, ctx, guards=(), caught=(),
-                              locked=False)
+                              locks=())
+
+    def _lock_display(self, parts: Sequence[str],
+                      ctx: _FunctionContext) -> str:
+        """Normalized lock identity: ``self``/``cls`` become the enclosing
+        class name, module globals get their module prefix, everything
+        else keeps its dotted spelling (closure/param locks compare by
+        bare name — the spellings both sides of the closure use)."""
+        if parts[0] in ("self", "cls") and ctx.owner_class:
+            return ".".join([ctx.owner_class] + list(parts[1:]))
+        if parts[0] in self.summary.module_globals \
+                and parts[0] not in ctx.locals and parts[0] not in ctx.params \
+                and not ctx.captured_from_enclosing(parts[0]):
+            stem = self.summary.module or os.path.splitext(
+                os.path.basename(self.summary.path))[0]
+            return f"{stem}.{'.'.join(parts)}"
+        return ".".join(parts)
 
     def _walk_statements(self, stmts: Sequence[ast.stmt],
                          fn: FunctionSummary,
                          ctx: _FunctionContext,
                          guards: Tuple[str, ...],
                          caught: Tuple[str, ...],
-                         locked: bool) -> None:
+                         locks: Tuple[str, ...]) -> None:
         for stmt in stmts:
             if isinstance(stmt, _FunctionNode):
-                self._summarize_function(stmt, prefix=fn.qualname + ".")
+                self._summarize_function(stmt, prefix=fn.qualname + ".",
+                                         parent_ctx=ctx)
             elif isinstance(stmt, ast.ClassDef):
                 continue  # nested classes: out of scope
             elif isinstance(stmt, _TRY_NODES):
@@ -712,59 +970,64 @@ class _Summarizer:
                     handler_union.extend(_handler_type_names(handler))
                 inner = guards + tuple(handler_union)
                 self._walk_statements(stmt.body, fn, ctx, inner, caught,
-                                      locked)
+                                      locks)
                 for handler in stmt.handlers:
                     self._walk_statements(
                         handler.body, fn, ctx, guards,
-                        caught=_handler_type_names(handler), locked=locked)
+                        caught=_handler_type_names(handler), locks=locks)
                 self._walk_statements(stmt.orelse, fn, ctx, guards, caught,
-                                      locked)
+                                      locks)
                 self._walk_statements(stmt.finalbody, fn, ctx, guards,
-                                      caught, locked)
+                                      caught, locks)
             elif isinstance(stmt, ast.Raise):
-                self._record_raise(stmt, fn, ctx, guards, caught, locked)
+                self._record_raise(stmt, fn, ctx, guards, caught, locks)
             elif isinstance(stmt, (ast.If, ast.While)):
-                self._scan_expression(stmt.test, fn, ctx, guards, locked)
+                self._scan_expression(stmt.test, fn, ctx, guards, locks)
                 self._walk_statements(stmt.body, fn, ctx, guards, caught,
-                                      locked)
+                                      locks)
                 self._walk_statements(stmt.orelse, fn, ctx, guards, caught,
-                                      locked)
+                                      locks)
             elif isinstance(stmt, (ast.For, ast.AsyncFor)):
-                self._scan_expression(stmt.iter, fn, ctx, guards, locked)
+                self._scan_expression(stmt.iter, fn, ctx, guards, locks)
                 self._walk_statements(stmt.body, fn, ctx, guards, caught,
-                                      locked)
+                                      locks)
                 self._walk_statements(stmt.orelse, fn, ctx, guards, caught,
-                                      locked)
+                                      locks)
             elif isinstance(stmt, (ast.With, ast.AsyncWith)):
-                inner_locked = locked
+                inner_locks = locks
                 for item in stmt.items:
                     self._scan_expression(item.context_expr, fn, ctx,
-                                          guards, locked)
-                    if _is_lockish(_dotted_parts(item.context_expr) or []):
-                        inner_locked = True
+                                          guards, locks)
+                    parts = _dotted_parts(item.context_expr) or []
+                    if parts and _is_lockish(parts):
+                        name = self._lock_display(parts, ctx)
+                        fn.lock_sites.append(LockSite(
+                            line=stmt.lineno, name=name, held=inner_locks))
+                        if name not in inner_locks:
+                            inner_locks = inner_locks + (name,)
                 self._walk_statements(stmt.body, fn, ctx, guards, caught,
-                                      inner_locked)
+                                      inner_locks)
             elif isinstance(stmt, ast.Match):
-                self._scan_expression(stmt.subject, fn, ctx, guards, locked)
+                self._scan_expression(stmt.subject, fn, ctx, guards, locks)
                 for case in stmt.cases:
                     if case.guard is not None:
                         self._scan_expression(case.guard, fn, ctx, guards,
-                                              locked)
+                                              locks)
                     self._walk_statements(case.body, fn, ctx, guards,
-                                          caught, locked)
+                                          caught, locks)
             else:
                 if isinstance(stmt, (ast.Assign, ast.AugAssign,
                                      ast.AnnAssign, ast.Delete)):
-                    self._record_mutations(stmt, fn, ctx, locked)
-                self._scan_expression(stmt, fn, ctx, guards, locked)
+                    self._record_mutations(stmt, fn, ctx, locks)
+                self._scan_expression(stmt, fn, ctx, guards, locks)
 
     def _record_raise(self, stmt: ast.Raise, fn: FunctionSummary,
                       ctx: _FunctionContext,
                       guards: Tuple[str, ...],
                       caught: Tuple[str, ...],
-                      locked: bool) -> None:
+                      locks: Tuple[str, ...]) -> None:
         if stmt.exc is not None:
-            self._scan_expression(stmt.exc, fn, ctx, guards, locked)
+            self._scan_expression(stmt.exc, fn, ctx, guards, locks)
         fn.raises.append(RaiseSite(
             exception=_exception_name(stmt.exc),
             line=stmt.lineno,
@@ -776,8 +1039,9 @@ class _Summarizer:
 
     def _mutation_scope(self, root: str,
                         ctx: _FunctionContext) -> Optional[str]:
-        """``"global"``/``"param"`` when a write through ``root`` mutates
-        state outliving the call, ``None`` for locals and unknowns."""
+        """``"global"``/``"param"``/``"closure"`` when a write through
+        ``root`` mutates state outliving the call (or shared across a
+        nested-function boundary), ``None`` for locals and unknowns."""
         if root in ("self", "cls"):
             return None if ctx.is_constructor else "param"
         if root in ctx.global_decls:
@@ -785,7 +1049,9 @@ class _Summarizer:
         if root in ctx.params:
             return "param"
         if root in ctx.locals:
-            return None
+            return "closure" if root in ctx.shared_with_nested else None
+        if ctx.captured_from_enclosing(root):
+            return "closure"
         if root in self._class_names \
                 or root in self.summary.module_globals:
             return "global"
@@ -798,7 +1064,9 @@ class _Summarizer:
         return None
 
     def _record_mutations(self, stmt: ast.stmt, fn: FunctionSummary,
-                          ctx: _FunctionContext, locked: bool) -> None:
+                          ctx: _FunctionContext,
+                          locks: Tuple[str, ...]) -> None:
+        locked = bool(locks)
         if isinstance(stmt, ast.Assign):
             targets, kind = _flatten_targets(stmt.targets), "assign"
         elif isinstance(stmt, ast.AugAssign):
@@ -818,7 +1086,8 @@ class _Summarizer:
                     fn.mutations.append(MutationSite(
                         line=stmt.lineno, column=stmt.col_offset,
                         target=target.id, root=target.id,
-                        scope="global", kind=kind, locked=locked))
+                        scope="global", kind=kind, locked=locked,
+                        locks=locks))
                 continue
             if not isinstance(target, (ast.Subscript, ast.Attribute)):
                 continue
@@ -834,13 +1103,13 @@ class _Summarizer:
             fn.mutations.append(MutationSite(
                 line=stmt.lineno, column=stmt.col_offset,
                 target=display, root=parts[0],
-                scope=scope, kind=kind, locked=locked))
+                scope=scope, kind=kind, locked=locked, locks=locks))
 
     def _record_method_mutation(self, call: ast.Call,
                                 parts: Sequence[str],
                                 fn: FunctionSummary,
                                 ctx: _FunctionContext,
-                                locked: bool) -> None:
+                                locks: Tuple[str, ...]) -> None:
         receiver = parts[:-1]
         scope = self._mutation_scope(receiver[0], ctx)
         if scope is None:
@@ -848,13 +1117,31 @@ class _Summarizer:
         fn.mutations.append(MutationSite(
             line=call.lineno, column=call.col_offset,
             target=f"{'.'.join(receiver)}.{parts[-1]}()",
-            root=receiver[0], scope=scope, kind="method", locked=locked))
+            root=receiver[0], scope=scope, kind="method",
+            locked=bool(locks), locks=locks))
 
     def _scan_expression(self, node: ast.AST, fn: FunctionSummary,
                          ctx: _FunctionContext,
                          guards: Tuple[str, ...],
-                         locked: bool) -> None:
+                         locks: Tuple[str, ...]) -> None:
+        # A call is "awaited" when it sits anywhere inside an ``await``
+        # subtree (covers ``await asyncio.wait_for(evt.wait(), t)``).
+        awaited: FrozenSet[int] = frozenset(
+            id(inner)
+            for sub in ast.walk(node) if isinstance(sub, ast.Await)
+            for inner in ast.walk(sub))
+        seen_reads: set = set()
         for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load) \
+                    and ctx.closure_shared(sub.id):
+                key = (sub.id, sub.lineno)
+                if key not in seen_reads:
+                    seen_reads.add(key)
+                    fn.shared_reads.append(MutationSite(
+                        line=sub.lineno, column=sub.col_offset,
+                        target=sub.id, root=sub.id, scope="closure",
+                        kind="read", locked=bool(locks), locks=locks))
+                continue
             if isinstance(sub, ast.Attribute):
                 attr_parts = _dotted_parts(sub) or []
                 if len(attr_parts) == 2:
@@ -871,12 +1158,124 @@ class _Summarizer:
             if not parts:
                 continue
             fn.calls.append(CallSite(parts=tuple(parts), line=sub.lineno,
-                                     guards=guards))
+                                     guards=guards, locks=locks))
             self._classify_sink(sub, parts, fn)
+            self._classify_blocking(sub, parts, fn, id(sub) in awaited)
+            self._record_spawn(sub, parts, fn)
+            self._record_handler(sub, parts, fn)
+            if len(parts) >= 2 and parts[-1] == "acquire" \
+                    and _is_lockish(parts[:-1]):
+                fn.lock_sites.append(LockSite(
+                    line=sub.lineno,
+                    name=self._lock_display(parts[:-1], ctx), held=locks))
             if len(parts) >= 2 and parts[-1] in _MUTATING_METHODS:
-                self._record_method_mutation(sub, parts, fn, ctx, locked)
+                self._record_method_mutation(sub, parts, fn, ctx, locks)
             if parts[-1] in _REGISTRATION_FUNCS:
                 self._record_registration(sub, fn.qualname)
+
+    # --------------------------------------------------- concurrency facts
+
+    def _record_spawn(self, call: ast.Call, parts: Sequence[str],
+                      fn: FunctionSummary) -> None:
+        resolved = self._module_call_target(parts)
+        if resolved == ("os", "fork"):
+            fn.spawns.append(SpawnSite(
+                line=call.lineno, column=call.col_offset, kind="fork",
+                description="os.fork()"))
+            return
+        kind = _SPAWN_CTORS.get(parts[-1])
+        if kind is None:
+            return
+        target: Tuple[str, ...] = ()
+        daemon: Optional[bool] = None
+        has_target_kw = False
+        for keyword in call.keywords:
+            if keyword.arg == "target":
+                has_target_kw = True
+                target = tuple(_dotted_parts(keyword.value) or ())
+            elif keyword.arg == "daemon" \
+                    and isinstance(keyword.value, ast.Constant) \
+                    and isinstance(keyword.value.value, bool):
+                daemon = keyword.value.value
+        from_known_module = resolved is not None and resolved[0] in (
+            "threading", "multiprocessing")
+        if not has_target_kw and not from_known_module:
+            return  # some unrelated Thread/Process-named constructor
+        fn.spawns.append(SpawnSite(
+            line=call.lineno, column=call.col_offset, kind=kind,
+            target=target, daemon=daemon,
+            description=f"{'.'.join(parts)}(...)"))
+
+    @staticmethod
+    def _handler_facts(expr: ast.expr) -> Tuple[str, Tuple[str, ...]]:
+        """(kind, dotted-chain) for a handler expression, lambda-aware."""
+        if isinstance(expr, ast.Lambda):
+            body = expr.body
+            calls = [c for c in ast.walk(body) if isinstance(c, ast.Call)]
+            if len(calls) == 1:
+                dotted = _dotted_parts(calls[0].func)
+                if dotted:
+                    return "lambda", tuple(dotted)
+            return "lambda", ()
+        dotted = _dotted_parts(expr)
+        if dotted:
+            return "ref", tuple(dotted)
+        return "unknown", ()
+
+    def _record_handler(self, call: ast.Call, parts: Sequence[str],
+                        fn: FunctionSummary) -> None:
+        resolved = self._module_call_target(parts)
+        is_signal = resolved == ("signal", "signal")
+        is_loop = parts[-1] == "add_signal_handler" and len(parts) >= 2
+        if not (is_signal or is_loop) or len(call.args) < 2:
+            return
+        sig_parts = _dotted_parts(call.args[0]) or []
+        signal_name = sig_parts[-1] if sig_parts else "<dynamic>"
+        kind, handler = self._handler_facts(call.args[1])
+        fn.handlers.append(HandlerSite(
+            line=call.lineno, column=call.col_offset,
+            signal_name=signal_name, handler_kind=kind, handler=handler))
+
+    def _classify_blocking(self, call: ast.Call, parts: Sequence[str],
+                           fn: FunctionSummary, awaited: bool) -> None:
+        """Record potentially thread-blocking calls (RC402 evidence).
+
+        Runs independently of :meth:`_classify_sink` because the latter
+        early-returns once it files ``time.sleep`` as a wallclock sink.
+        """
+        dotted = ".".join(parts)
+        category: Optional[str] = None
+        resolved = self._module_call_target(parts)
+        if resolved is not None:
+            module, func = resolved
+            if module.startswith("asyncio"):
+                return  # coroutine factories, not thread-blocking
+            if self._in_call_map(_BLOCKING_CALLS, module, func):
+                category = {"subprocess": "proc", "select": "net",
+                            "time": "sleep"}[module.split(".", 1)[0]]
+        if category is None and len(parts) == 1 and parts[0] == "open" \
+                and parts[0] not in self.summary.from_imports \
+                and parts[0] not in self.summary.functions:
+            category = "file"
+        if category is None and len(parts) >= 2:
+            root = self.summary.import_aliases.get(parts[0], parts[0])
+            if root.startswith("asyncio"):
+                return
+            method = parts[-1]
+            if method in ("read_text", "write_text"):
+                category = "file"
+            elif method in _BLOCKING_METHOD_CATEGORIES:
+                category = _BLOCKING_METHOD_CATEGORIES[method]
+                if method == "join":
+                    receiver = ".".join(parts[:-1]).lower()
+                    if not any(hint in receiver
+                               for hint in _JOIN_RECEIVER_HINTS):
+                        return  # str.join / os.path.join, not a wait
+        if category is not None:
+            fn.blocking_sinks.append(BlockingSite(
+                line=call.lineno, column=call.col_offset,
+                category=category, description=f"{dotted}()",
+                awaited=awaited))
 
     def _classify_sink(self, call: ast.Call, parts: List[str],
                        fn: FunctionSummary) -> None:
@@ -1290,14 +1689,16 @@ def rules_cache_key(codes: Sequence[str],
                     vocabulary: Optional[Iterable[str]]) -> str:
     """Stable key for one (rule set, event vocabulary) configuration.
 
-    The summary and effect schema versions are folded in so an upgraded
-    analyzer never replays findings derived from an older extraction or
-    an older effect interpretation (the cached blobs key off this).
+    The summary, effect, and concurrency schema versions are folded in
+    so an upgraded analyzer never replays findings derived from an older
+    extraction or an older effect/concurrency interpretation (the cached
+    blobs key off this).
     """
     vocab = ",".join(sorted(vocabulary)) if vocabulary is not None else "-"
     blob = "|".join((
         f"s{SUMMARY_SCHEMA_VERSION}",
         f"e{EFFECT_SCHEMA_VERSION}",
+        f"c{CONCURRENCY_SCHEMA_VERSION}",
         ",".join(sorted(codes)),
         vocab,
     ))
@@ -1490,14 +1891,27 @@ class CallGraph:
         self.project = project
         #: caller -> [(callee, the call site that creates the edge)]
         self.edges: Dict[NodeKey, List[Tuple[NodeKey, CallSite]]] = {}
+        #: ``(caller, callee, line)`` of edges resolved only by the
+        #: name-based method fallback (:meth:`_fallback`).  Weak edges
+        #: over-approximate receiver identity, which is fine for the
+        #: reachability rules but poison for the lockset analysis —
+        #: RC401 walks strong edges only (see
+        #: :mod:`repro.analysis.concurrency`).
+        self.weak_edges: Set[Tuple[NodeKey, NodeKey, int]] = set()
         for path, summary in project.summaries.items():
             for qualname, fn in summary.functions.items():
                 caller = (path, qualname)
                 out: List[Tuple[NodeKey, CallSite]] = []
                 for site in fn.calls:
-                    for callee in self._resolve_call(path, summary,
-                                                     qualname, site):
+                    strong = self._resolve_strong(path, summary,
+                                                  qualname, site)
+                    callees = strong if strong is not None \
+                        else self._fallback(site.parts)
+                    for callee in callees:
                         out.append((callee, site))
+                        if strong is None:
+                            self.weak_edges.add(
+                                (caller, callee, site.line))
                 self.edges[caller] = out
 
     # ---------------------------------------------------------- resolution
@@ -1576,6 +1990,16 @@ class CallGraph:
 
     def _resolve_call(self, path: str, summary: FileSummary,
                       qualname: str, site: CallSite) -> List[NodeKey]:
+        strong = self._resolve_strong(path, summary, qualname, site)
+        if strong is not None:
+            return strong
+        return self._fallback(site.parts)
+
+    def _resolve_strong(self, path: str, summary: FileSummary,
+                        qualname: str,
+                        site: CallSite) -> Optional[List[NodeKey]]:
+        """Structure-based resolution (imports, class hierarchy, nesting);
+        ``None`` when only the name-based method fallback applies."""
         parts = site.parts
         if len(parts) == 1:
             name = parts[0]
@@ -1602,7 +2026,7 @@ class CallGraph:
                 resolved = self._hierarchy_methods(path, cls, parts[1])
                 if resolved:
                     return resolved
-            return self._fallback(parts)
+            return None
 
         alias_targets = self._module_alias_targets(summary, parts)
         if alias_targets:
@@ -1626,7 +2050,7 @@ class CallGraph:
                     if resolved:
                         return resolved
 
-        return self._fallback(parts)
+        return None
 
     def _fallback(self, parts: Tuple[str, ...]) -> List[NodeKey]:
         """Name-based over-approximation for unresolvable ``obj.m()``."""
@@ -1639,12 +2063,15 @@ class CallGraph:
 
     def reachable_from(
         self, entries: Sequence[NodeKey],
+        strong_only: bool = False,
     ) -> Dict[NodeKey, Optional[Tuple[NodeKey, CallSite]]]:
         """BFS closure from ``entries``.
 
         Returns ``node -> (parent, call site)`` parent pointers (entries
         map to ``None``); breadth-first order makes every recovered chain
-        a shortest witness.
+        a shortest witness.  With ``strong_only`` the walk skips
+        name-fallback edges (:attr:`weak_edges`) — the lockset analysis
+        uses this because fallback edges fabricate receiver aliasing.
         """
         parents: Dict[NodeKey, Optional[Tuple[NodeKey, CallSite]]] = {}
         frontier: List[NodeKey] = []
@@ -1657,6 +2084,9 @@ class CallGraph:
             node = frontier[head]
             head += 1
             for callee, site in self.edges.get(node, ()):
+                if strong_only and (node, callee, site.line) \
+                        in self.weak_edges:
+                    continue
                 if callee not in parents:
                     parents[callee] = (node, site)
                     frontier.append(callee)

@@ -1,0 +1,716 @@
+"""Interprocedural concurrency-safety analysis (the RC4xx substrate).
+
+The summarizer (:mod:`repro.analysis.callgraph`) records *local*
+concurrency facts per function: lock acquisitions (``with <lock>:`` /
+``<lock>.acquire()``) with the locks already held, thread/process spawn
+sites with their ``target=``, ``signal.signal`` /
+``loop.add_signal_handler`` registrations, coroutine-ness, potentially
+blocking calls, and closure-shared reads/writes.  This module lifts those
+facts over the resolved call graph into whole-program answers, mirroring
+:mod:`repro.analysis.effects`:
+
+* **thread roots** — resolved ``Thread(target=...)`` entry functions,
+  their spawners (the spawning thread keeps running concurrently), and
+  registered signal handlers;
+* **locksets** — for every access reached from a root, the set of locks
+  held along the (shortest) witness chain plus at the access itself —
+  the Eraser-style discipline check behind RC401;
+* **lock-order graph** — ``held -> acquired`` edges from every nested
+  acquisition, intra- and interprocedural, whose cycles are RC405.
+
+The five RC4xx rules built on top (see
+:mod:`repro.analysis.lint.deep` for the catalogue):
+
+========  ========================  ====================================
+RC401     thread-shared-state       shared mutable state reached from
+                                    >= 2 thread roots with no common lock
+RC402     async-blocking-call       a blocking call reachable from an
+                                    ``async def`` without await/executor
+RC403     signal-unsafe-handler     a non-reentrant operation (lock
+                                    acquire, I/O) reachable from a
+                                    registered signal handler
+RC404     fork-lock-safety          a process spawn concurrent with a
+                                    live non-daemon thread that takes a
+                                    tracked lock (fork can inherit a
+                                    forever-held lock)
+RC405     lock-order-cycle          a cycle in the lock-acquisition
+                                    order graph (deadlock potential)
+========  ========================  ====================================
+
+Approximations (deliberate, documented here once)
+-------------------------------------------------
+
+* Locksets are computed along the BFS *shortest* chain from each root —
+  a lock held only on a longer alternative path is not credited.  This
+  errs toward reporting, never toward silence.
+* RC401 sees **write/write** conflicts for module globals and ``self``
+  attributes (reads of those are not summarized), and additionally
+  **read/write** conflicts for closure-shared variables, whose reads
+  *are* recorded (they are exactly the heartbeat-thread pattern the
+  campaign service uses).
+* ``self``-attribute locations key on the class *name*: two same-named
+  classes in different files would merge (none do here).
+* RC402 skips ``"file"``-category sinks by policy: journal/checkpoint
+  appends are short bounded writes the service performs inline by
+  design, and RC403/RC304 police file effects on their own axes.
+
+The machine-readable report (``repro lint --deep --concurrency-report``)
+is schema-versioned and loads with the same silent degradation
+discipline as the purity manifest: corrupted or version-skewed files
+read as ``None``, never as an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.callgraph import (
+    CONCURRENCY_SCHEMA_VERSION,
+    SUMMARY_SCHEMA_VERSION,
+    CallGraph,
+    CallSite,
+    NodeKey,
+    Project,
+)
+from repro.analysis.lint.findings import Finding
+
+#: Bump when the concurrency report layout changes incompatibly.
+CONCURRENCY_REPORT_SCHEMA_VERSION = 1
+
+#: Blocking-sink categories that RC402 flags (``"file"`` excluded by
+#: policy — see the module docstring).
+RC402_CATEGORIES: FrozenSet[str] = frozenset(
+    {"sleep", "net", "wait", "lock", "join", "proc"})
+
+#: Calls that are async-signal-safe by contract, exempt from RC403 even
+#: though they are classified as effect sinks elsewhere.
+_SIGNAL_SAFE_CALLS: FrozenSet[str] = frozenset({"os._exit()"})
+
+
+@dataclass(frozen=True)
+class ThreadRoot:
+    """One concurrent entry point for the lockset analysis.
+
+    ``kind`` is ``"target"`` (a resolved ``Thread(target=...)``),
+    ``"spawner"`` (the function that started the thread — the spawning
+    thread runs concurrently with it) or ``"handler"`` (a registered
+    signal handler, which preempts the main thread).
+    """
+
+    label: str
+    node: NodeKey
+    kind: str
+
+
+@dataclass(frozen=True)
+class _Access:
+    """One shared-state access attributed to a thread root."""
+
+    root: str
+    write: bool
+    lockset: FrozenSet[str]
+    path: str
+    line: int
+    column: int
+    qualname: str
+    display: str
+
+
+class ConcurrencyAnalysis:
+    """Whole-program concurrency answers over a resolved call graph."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.project: Project = graph.project
+
+    # ----------------------------------------------------------- resolution
+
+    def _resolve_ref(self, path: str, enclosing: str,
+                     parts: Sequence[str], line: int) -> List[NodeKey]:
+        """Resolve a function *reference* (spawn target, handler) exactly
+        like a call through the same dotted chain."""
+        if not parts:
+            return []
+        summary = self.project.summaries.get(path)
+        if summary is None:
+            return []
+        site = CallSite(parts=tuple(parts), line=line)
+        return self.graph._resolve_call(path, summary, enclosing, site)
+
+    # ------------------------------------------------------------ the roots
+
+    def spawn_sites(self, kinds: FrozenSet[str],
+                    ) -> List[Tuple[NodeKey, Any, List[NodeKey]]]:
+        """Every ``(spawner node, SpawnSite, resolved targets)`` whose
+        spawn kind is in ``kinds``."""
+        found: List[Tuple[NodeKey, Any, List[NodeKey]]] = []
+        for path, summary in sorted(self.project.summaries.items()):
+            for qualname, fn in summary.functions.items():
+                for spawn in fn.spawns:
+                    if spawn.kind not in kinds:
+                        continue
+                    targets = self._resolve_ref(
+                        path, qualname, spawn.target, spawn.line)
+                    found.append(((path, qualname), spawn, targets))
+        return found
+
+    def handler_sites(self) -> List[Tuple[NodeKey, Any, List[NodeKey]]]:
+        """Every ``(registering node, HandlerSite, resolved handlers)``."""
+        found: List[Tuple[NodeKey, Any, List[NodeKey]]] = []
+        for path, summary in sorted(self.project.summaries.items()):
+            for qualname, fn in summary.functions.items():
+                for handler in fn.handlers:
+                    targets = self._resolve_ref(
+                        path, qualname, handler.handler, handler.line)
+                    found.append(((path, qualname), handler, targets))
+        return found
+
+    def thread_roots(self) -> List[ThreadRoot]:
+        """RC401's concurrent entry points (see :class:`ThreadRoot`).
+
+        Signal handlers are *not* included here — their hazard axis is
+        reentrancy (RC403), and the registering function already stands
+        in for the main thread when it also spawned the thread.
+        """
+        roots: List[ThreadRoot] = []
+        seen: Set[NodeKey] = set()
+
+        def add(label: str, node: NodeKey, kind: str) -> None:
+            if node not in seen and self.project.function(node) is not None:
+                seen.add(node)
+                roots.append(ThreadRoot(label=label, node=node, kind=kind))
+
+        for spawner, _spawn, targets in self.spawn_sites(
+                frozenset({"thread"})):
+            for target in targets:
+                add(f"thread:{target[1]}", target, "target")
+            add(f"main:{spawner[1]}", spawner, "spawner")
+        return roots
+
+    # ------------------------------------------------------------- locksets
+
+    @staticmethod
+    def _chain_locks(
+        parents: Mapping[NodeKey, Optional[Tuple[NodeKey, CallSite]]],
+        node: NodeKey,
+        memo: Dict[NodeKey, FrozenSet[str]],
+    ) -> FrozenSet[str]:
+        """Locks held at every call edge along the witness chain."""
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        held: Set[str] = set()
+        cursor = parents.get(node)
+        guard = 0
+        while cursor is not None and guard < 10_000:
+            guard += 1
+            parent, site = cursor
+            held.update(site.locks)
+            prior = memo.get(parent)
+            if prior is not None:
+                held.update(prior)
+                break
+            cursor = parents.get(parent)
+        result = frozenset(held)
+        memo[node] = result
+        return result
+
+    def _location(self, node: NodeKey, mutation: Any,
+                  ) -> Optional[Tuple[Tuple[str, ...], str]]:
+        """(location key, display name) for a shared-state access, or
+        ``None`` when the access is not attributable to an identity that
+        two threads could alias (or is itself a lock)."""
+        target = mutation.target
+        if "lock" in mutation.root.lower():
+            return None  # locks are the discipline, not the data
+        path, qualname = node
+        if mutation.scope == "global":
+            summary = self.project.summaries.get(path)
+            module = (summary.module if summary is not None
+                      and summary.module else
+                      os.path.splitext(os.path.basename(path))[0])
+            return (("global", module, mutation.root),
+                    f"{module}.{target}")
+        if mutation.scope == "closure":
+            top = qualname.split(".", 1)[0]
+            return (("closure", path, top, mutation.root),
+                    f"{top}'s {mutation.root}")
+        if mutation.scope == "param" and mutation.root in ("self", "cls") \
+                and "." in qualname:
+            cls = qualname.split(".", 1)[0]
+            rest = target.split(".", 2)
+            if len(rest) < 2:
+                return None
+            attr = rest[1]
+            for marker in ("[", "("):
+                attr = attr.split(marker, 1)[0]
+            return (("attr", cls, attr), f"{cls}.{attr}")
+        return None
+
+    def _collect_accesses(
+        self, roots: Sequence[ThreadRoot],
+    ) -> Tuple[Dict[Tuple[str, ...], List[_Access]],
+               Dict[str, Mapping[NodeKey,
+                                 Optional[Tuple[NodeKey, CallSite]]]]]:
+        accesses: Dict[Tuple[str, ...], List[_Access]] = {}
+        closures: Dict[str, Mapping[NodeKey,
+                                    Optional[Tuple[NodeKey,
+                                                   CallSite]]]] = {}
+        for root in roots:
+            # Strong edges only: a name-fallback edge (`conn.send` matched
+            # to some unrelated class's `send`) fabricates aliasing between
+            # objects no two threads actually share.
+            parents = self.graph.reachable_from([root.node],
+                                                strong_only=True)
+            closures[root.label] = parents
+            memo: Dict[NodeKey, FrozenSet[str]] = {}
+            seen: Set[Tuple[str, str, int, str]] = set()
+            for node in parents:
+                fn = self.project.function(node)
+                if fn is None:
+                    continue
+                path, qualname = node
+                for site, write in (
+                        [(m, True) for m in fn.mutations]
+                        + [(r, False) for r in fn.shared_reads]):
+                    located = self._location(node, site)
+                    if located is None:
+                        continue
+                    key, display = located
+                    dedupe = (root.label, path, site.line, display)
+                    if dedupe in seen:
+                        continue
+                    seen.add(dedupe)
+                    lockset = self._chain_locks(parents, node, memo) \
+                        | frozenset(site.locks)
+                    accesses.setdefault(key, []).append(_Access(
+                        root=root.label, write=write,
+                        lockset=frozenset(lockset), path=path,
+                        line=site.line, column=site.column,
+                        qualname=qualname, display=display))
+        return accesses, closures
+
+    # ------------------------------------------------------- RC401 (races)
+
+    def race_findings(self) -> List[Finding]:
+        """Eraser-style lockset check over every thread-root closure."""
+        roots = self.thread_roots()
+        if len(roots) < 2:
+            return []
+        accesses, closures = self._collect_accesses(roots)
+        findings: List[Finding] = []
+        for key in sorted(accesses):
+            group = accesses[key]
+            labels = {access.root for access in group}
+            if len(labels) < 2:
+                continue
+            writes = [access for access in group if access.write]
+            if not writes:
+                continue
+            common = frozenset.intersection(
+                *[access.lockset for access in group])
+            if common:
+                continue
+            anchor = min(writes, key=lambda a: (a.path, a.line, a.column))
+            parents = closures[anchor.root]
+            chain = _chain_text(self.graph, parents,
+                                (anchor.path, anchor.qualname))
+            others = sorted(labels - {anchor.root})
+            held = ("{" + ", ".join(sorted(anchor.lockset)) + "}"
+                    if anchor.lockset else "no lock")
+            findings.append(Finding(
+                code="RC401", rule="thread-shared-state",
+                message=(f"shared state {anchor.display} is written from "
+                         f"thread root {anchor.root} holding {held} and "
+                         f"also accessed from {', '.join(others)} with no "
+                         f"common lock: {chain}; guard every access with "
+                         "one lock or confine the state to a single "
+                         "thread"),
+                path=anchor.path, line=anchor.line, column=anchor.column))
+        return findings
+
+    # -------------------------------------------- RC402 (async + blocking)
+
+    def _strongly_resolved_lines(self, node: NodeKey) -> Set[int]:
+        """Lines of ``node`` whose call resolved to project code by
+        import/class structure (not the name-based method fallback) —
+        blocking there is the callee's to report, at its own sink."""
+        lines: Set[int] = set()
+        for callee, site in self.graph.edges.get(node, ()):
+            if (node, callee, site.line) not in self.graph.weak_edges:
+                lines.add(site.line)
+        return lines
+
+    def async_blocking_findings(self) -> List[Finding]:
+        roots = sorted(
+            (path, qualname)
+            for path, summary in self.project.summaries.items()
+            for qualname, fn in summary.functions.items() if fn.is_async)
+        if not roots:
+            return []
+        parents = self.graph.reachable_from(roots)
+        findings: List[Finding] = []
+        for node in sorted(parents):
+            fn = self.project.function(node)
+            if fn is None or not fn.blocking_sinks:
+                continue
+            path, _ = node
+            strong = self._strongly_resolved_lines(node)
+            chain: Optional[str] = None
+            for sink in fn.blocking_sinks:
+                if sink.awaited or sink.category not in RC402_CATEGORIES:
+                    continue
+                if sink.line in strong:
+                    continue
+                if chain is None:
+                    chain = _chain_text(self.graph, parents, node)
+                findings.append(Finding(
+                    code="RC402", rule="async-blocking-call",
+                    message=(f"blocking call {sink.description} "
+                             f"({sink.category}) is reachable from an "
+                             f"async handler without await or executor "
+                             f"hand-off: {chain}; await an async "
+                             "equivalent or run it in an executor"),
+                    path=path, line=sink.line, column=sink.column))
+        return findings
+
+    # ------------------------------------------- RC403 (signal reentrancy)
+
+    def signal_safety_findings(self) -> List[Finding]:
+        findings: List[Finding] = []
+        seen: Set[Tuple[str, int, int]] = set()
+        for _registrar, handler, targets in self.handler_sites():
+            for target in sorted(set(targets)):
+                parents = self.graph.reachable_from([target])
+                for node in sorted(parents):
+                    fn = self.project.function(node)
+                    if fn is None:
+                        continue
+                    path, _ = node
+                    sites = (
+                        [(ls.line, 0, f"acquire of {ls.name}")
+                         for ls in fn.lock_sites]
+                        + [(s.line, s.column, s.description)
+                           for s in fn.io_sinks
+                           # os._exit is THE async-signal-safe exit —
+                           # no flushing, no allocation, no locks.
+                           if s.description not in _SIGNAL_SAFE_CALLS])
+                    chain: Optional[str] = None
+                    for line, column, description in sites:
+                        key = (path, line, column)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        if chain is None:
+                            chain = _chain_text(self.graph, parents, node)
+                        findings.append(Finding(
+                            code="RC403", rule="signal-unsafe-handler",
+                            message=(f"non-reentrant operation "
+                                     f"{description} is reachable from "
+                                     f"signal handler {target[1]} "
+                                     f"({handler.signal_name}): {chain}; "
+                                     "handlers must only set a flag and "
+                                     "return — defer the work to the "
+                                     "main loop"),
+                            path=path, line=line, column=column))
+        return findings
+
+    # ----------------------------------------------- RC404 (fork vs locks)
+
+    def _reverse_closure(self, node: NodeKey,
+                         reverse: Mapping[NodeKey, List[NodeKey]],
+                         ) -> Set[NodeKey]:
+        seen: Set[NodeKey] = {node}
+        frontier = [node]
+        while frontier:
+            current = frontier.pop()
+            for caller in reverse.get(current, ()):
+                if caller not in seen:
+                    seen.add(caller)
+                    frontier.append(caller)
+        return seen
+
+    def fork_safety_findings(self) -> List[Finding]:
+        """A process spawn and a lock-taking **non-daemon** thread spawn
+        that share a caller: the fork can inherit a lock held by a thread
+        that does not exist in the child, deadlocking it forever.
+        Daemon threads are exempt — the supervised worker pool's daemon
+        heartbeat pattern is fork-safe because the child re-execs its own
+        loop and never touches the parent's lock."""
+        thread_spawns = [
+            (spawner, spawn, targets)
+            for spawner, spawn, targets in self.spawn_sites(
+                frozenset({"thread"}))
+            if spawn.daemon is not True
+        ]
+        if not thread_spawns:
+            return []
+        # Which non-daemon thread targets take a tracked lock?
+        risky: List[Tuple[NodeKey, Any, str]] = []
+        for spawner, spawn, targets in thread_spawns:
+            for target in targets:
+                parents = self.graph.reachable_from([target])
+                for node in parents:
+                    fn = self.project.function(node)
+                    if fn is not None and fn.lock_sites:
+                        risky.append(
+                            (spawner, spawn, fn.lock_sites[0].name))
+                        break
+                else:
+                    continue
+                break
+        if not risky:
+            return []
+        reverse: Dict[NodeKey, List[NodeKey]] = {}
+        for caller, out_edges in self.graph.edges.items():
+            for callee, _site in out_edges:
+                reverse.setdefault(callee, []).append(caller)
+        findings: List[Finding] = []
+        for spawner, spawn, _targets in self.spawn_sites(
+                frozenset({"process", "fork"})):
+            ancestors = self._reverse_closure(spawner, reverse)
+            for thread_spawner, thread_spawn, lock in risky:
+                common = ancestors & self._reverse_closure(
+                    thread_spawner, reverse)
+                if not common:
+                    continue
+                origin = min(common)
+                findings.append(Finding(
+                    code="RC404", rule="fork-lock-safety",
+                    message=(f"process spawn {spawn.description} can run "
+                             f"while non-daemon thread started at "
+                             f"{thread_spawner[1]}:{thread_spawn.line} "
+                             f"holds {lock} (both reachable from "
+                             f"{origin[1]}); the child would inherit a "
+                             "lock no thread will ever release — make "
+                             "the thread a daemon joined before "
+                             "spawning, or spawn processes first"),
+                    path=spawner[0], line=spawn.line,
+                    column=spawn.column))
+                break
+        return findings
+
+    # ------------------------------------------------- RC405 (lock order)
+
+    def lock_order_edges(self) -> Dict[Tuple[str, str],
+                                       Tuple[str, int, str]]:
+        """``(held, acquired) -> (path, line, qualname)`` evidence map.
+
+        Intraprocedural edges come from each :class:`LockSite`'s ``held``
+        tuple; interprocedural edges connect every lock held at a call
+        site to every lock the callee's closure can acquire.
+        """
+        acquired: Dict[NodeKey, Set[str]] = {}
+        for path, summary in self.project.summaries.items():
+            for qualname, fn in summary.functions.items():
+                acquired[(path, qualname)] = {
+                    ls.name for ls in fn.lock_sites}
+        changed = True
+        while changed:  # fixpoint: closure-acquired lock names
+            changed = False
+            for caller, out_edges in self.graph.edges.items():
+                current = acquired.setdefault(caller, set())
+                for callee, _site in out_edges:
+                    for name in acquired.get(callee, ()):
+                        if name not in current:
+                            current.add(name)
+                            changed = True
+        edges: Dict[Tuple[str, str], Tuple[str, int, str]] = {}
+        for path, summary in sorted(self.project.summaries.items()):
+            for qualname, fn in summary.functions.items():
+                for ls in fn.lock_sites:
+                    for held in ls.held:
+                        if held != ls.name:
+                            edges.setdefault(
+                                (held, ls.name),
+                                (path, ls.line, qualname))
+                for callee, site in self.graph.edges.get(
+                        (path, qualname), ()):
+                    if not site.locks:
+                        continue
+                    for held in site.locks:
+                        for name in acquired.get(callee, ()):
+                            if name != held:
+                                edges.setdefault(
+                                    (held, name),
+                                    (path, site.line, qualname))
+        return edges
+
+    def lock_order_findings(self) -> List[Finding]:
+        edges = self.lock_order_edges()
+        adjacency: Dict[str, List[str]] = {}
+        for held, name in edges:
+            adjacency.setdefault(held, []).append(name)
+        cycles = _simple_cycles(adjacency)
+        findings: List[Finding] = []
+        for cycle in cycles:
+            steps = []
+            for i, lock in enumerate(cycle):
+                held, acquired_lock = lock, cycle[(i + 1) % len(cycle)]
+                path, line, qualname = edges[(held, acquired_lock)]
+                steps.append(f"{acquired_lock} acquired under {held} in "
+                             f"{qualname} ({os.path.basename(path)}:"
+                             f"{line})")
+            anchor_path, anchor_line, _ = edges[(cycle[0], cycle[1])]
+            order = " -> ".join(cycle + (cycle[0],))
+            findings.append(Finding(
+                code="RC405", rule="lock-order-cycle",
+                message=(f"lock-acquisition-order cycle {order}: "
+                         f"{'; '.join(steps)}; two threads taking these "
+                         "locks in opposite orders deadlock — pick one "
+                         "global acquisition order"),
+                path=anchor_path, line=anchor_line))
+        return findings
+
+    # ------------------------------------------------------------- summary
+
+    def findings(self, codes: Optional[Sequence[str]] = None,
+                 ) -> List[Finding]:
+        """All RC4xx findings (optionally restricted to ``codes``)."""
+        wanted = set(codes) if codes is not None else {
+            "RC401", "RC402", "RC403", "RC404", "RC405"}
+        results: List[Finding] = []
+        if "RC401" in wanted:
+            results.extend(self.race_findings())
+        if "RC402" in wanted:
+            results.extend(self.async_blocking_findings())
+        if "RC403" in wanted:
+            results.extend(self.signal_safety_findings())
+        if "RC404" in wanted:
+            results.extend(self.fork_safety_findings())
+        if "RC405" in wanted:
+            results.extend(self.lock_order_findings())
+        return results
+
+
+# ------------------------------------------------------------------ helpers
+
+
+def _chain_text(
+    graph: CallGraph,
+    parents: Mapping[NodeKey, Optional[Tuple[NodeKey, CallSite]]],
+    node: NodeKey,
+) -> str:
+    chain = CallGraph.call_chain(parents, node)
+    return " -> ".join(qualname for _, qualname in chain)
+
+
+def _simple_cycles(adjacency: Mapping[str, List[str]],
+                   ) -> List[Tuple[str, ...]]:
+    """Every elementary cycle of length >= 2, each reported once in its
+    canonical rotation (starting at its smallest lock name).  The lock
+    graphs here are tiny (a handful of named locks), so a bounded DFS is
+    plenty."""
+    cycles: Set[Tuple[str, ...]] = set()
+
+    def visit(start: str, current: str, path: List[str],
+              on_path: Set[str]) -> None:
+        for nxt in sorted(adjacency.get(current, ())):
+            if nxt == start and len(path) >= 2:
+                pivot = min(range(len(path)), key=lambda i: path[i])
+                cycles.add(tuple(path[pivot:] + path[:pivot]))
+            elif nxt not in on_path and nxt > start and len(path) < 16:
+                on_path.add(nxt)
+                visit(start, nxt, path + [nxt], on_path)
+                on_path.discard(nxt)
+
+    for start in sorted(adjacency):
+        visit(start, start, [start], {start})
+    return sorted(cycles)
+
+
+# ------------------------------------------------------------------- report
+
+
+def build_report(graph: CallGraph,
+                 findings: Sequence[Finding],
+                 suppressed: int = 0) -> Dict[str, Any]:
+    """The machine-readable concurrency report (schema-versioned)."""
+    analysis = ConcurrencyAnalysis(graph)
+    roots = analysis.thread_roots()
+    handlers = [
+        {"signal": handler.signal_name, "path": target[0],
+         "qualname": target[1], "line": handler.line}
+        for _registrar, handler, targets in analysis.handler_sites()
+        for target in sorted(set(targets))
+    ]
+    spawns = [
+        {"path": spawner[0], "qualname": spawner[1], "line": spawn.line,
+         "kind": spawn.kind, "target": list(spawn.target),
+         "daemon": spawn.daemon}
+        for spawner, spawn, _targets in analysis.spawn_sites(
+            frozenset({"thread", "process", "fork"}))
+    ]
+    lock_edges = [
+        {"held": held, "acquired": name, "path": path, "line": line,
+         "qualname": qualname}
+        for (held, name), (path, line, qualname)
+        in sorted(analysis.lock_order_edges().items())
+    ]
+    return {
+        "schema_version": CONCURRENCY_REPORT_SCHEMA_VERSION,
+        "summary_schema_version": SUMMARY_SCHEMA_VERSION,
+        "concurrency_schema_version": CONCURRENCY_SCHEMA_VERSION,
+        "thread_roots": [
+            {"label": root.label, "path": root.node[0],
+             "qualname": root.node[1], "kind": root.kind}
+            for root in roots
+        ],
+        "signal_handlers": handlers,
+        "spawns": spawns,
+        "lock_order_edges": lock_edges,
+        "findings": [finding.to_dict() for finding in findings],
+        "suppressed": suppressed,
+    }
+
+
+def save_report(report: Mapping[str, Any], path: str) -> None:
+    """Atomic write (tmp + rename), creating parent directories."""
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=".concurrency-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+
+
+def load_report(path: str) -> Optional[Dict[str, Any]]:
+    """Read a report; ``None`` for missing, corrupted or version-skewed
+    files (silent degradation, like the purity manifest)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) \
+            or data.get("schema_version") != \
+            CONCURRENCY_REPORT_SCHEMA_VERSION \
+            or data.get("summary_schema_version") != \
+            SUMMARY_SCHEMA_VERSION \
+            or data.get("concurrency_schema_version") != \
+            CONCURRENCY_SCHEMA_VERSION:
+        return None
+    return data

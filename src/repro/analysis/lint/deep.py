@@ -1,4 +1,5 @@
-"""Interprocedural (whole-program) rules: RC201–RC205 and RC301–RC303.
+"""Interprocedural (whole-program) rules: RC201–RC205, RC301–RC303 and
+RC401–RC405.
 
 The per-file rules in :mod:`repro.analysis.lint.rules` only see one module
 at a time, so a wall-clock read hiding two call hops below the simulator
@@ -25,6 +26,19 @@ RC302     unlocked-shared-cache    a cache/memo global is mutated without a
 RC303     pickle-safe-registration a scenario factory is registered as a
                                    lambda or nested function (unpicklable by
                                    reference — the static VC220/VC221)
+RC401     thread-shared-state      shared mutable state is reached from >= 2
+                                   thread roots with no common lock
+                                   (Eraser-style lockset check)
+RC402     async-blocking-call      a blocking call is reachable from an
+                                   ``async def`` without await or an
+                                   executor hand-off
+RC403     signal-unsafe-handler    a non-reentrant operation (lock acquire,
+                                   I/O) is reachable from a registered
+                                   signal handler
+RC404     fork-lock-safety         a process spawn can run while a live
+                                   non-daemon thread holds a tracked lock
+RC405     lock-order-cycle         a cycle in the lock-acquisition-order
+                                   graph (deadlock potential)
 ========  =======================  ==========================================
 
 The RC3xx family is the effect/purity analysis
@@ -33,6 +47,12 @@ worker entry points (:data:`WORKER_ENTRY_SPECS` plus every statically
 resolvable registered factory) and flag global-mutation sites inside it;
 the same machinery certifies scenario purity for the campaign result
 cache (:mod:`repro.analysis.purity`).
+
+The RC4xx family is the concurrency-safety analysis
+(:mod:`repro.analysis.concurrency`): thread roots, locksets, signal
+handlers, spawn edges and the lock-order graph lifted over the same
+call graph; ``repro lint --deep --concurrency-report`` additionally
+dumps the machine-readable facts behind the findings.
 
 Findings anchor at the *sink* (the offending call, the raise site, the
 class definition), never at the transitive caller — so a
@@ -158,6 +178,21 @@ DEEP_RULES: Tuple[DeepRule, ...] = (
     DeepRule("RC303", "pickle-safe-registration",
              "scenario factories are registered as module-level functions "
              "(picklable by reference), never lambdas or nested defs"),
+    DeepRule("RC401", "thread-shared-state",
+             "no shared mutable state is reached from two thread roots "
+             "without a common lock (Eraser-style lockset check)"),
+    DeepRule("RC402", "async-blocking-call",
+             "no blocking call is reachable from an async def without "
+             "await or an executor hand-off"),
+    DeepRule("RC403", "signal-unsafe-handler",
+             "no non-reentrant operation (lock acquire, I/O) is reachable "
+             "from a registered signal handler"),
+    DeepRule("RC404", "fork-lock-safety",
+             "no process spawn can run while a live non-daemon thread "
+             "holds a tracked lock"),
+    DeepRule("RC405", "lock-order-cycle",
+             "the lock-acquisition-order graph is acyclic (no deadlock "
+             "potential)"),
 )
 
 
@@ -171,7 +206,11 @@ def deep_rule_catalogue() -> Tuple[DeepRule, ...]:
     return DEEP_RULES
 
 
-_GRAPH_CODES = frozenset({"RC201", "RC202", "RC203", "RC301", "RC302"})
+_GRAPH_CODES = frozenset({"RC201", "RC202", "RC203", "RC301", "RC302",
+                          "RC401", "RC402", "RC403", "RC404", "RC405"})
+
+_CONCURRENCY_CODES = frozenset(
+    {"RC401", "RC402", "RC403", "RC404", "RC405"})
 
 
 # ----------------------------------------------------------- project scope
@@ -460,42 +499,45 @@ def _event_liveness_findings(project: Project,
 # --------------------------------------------------------------- top level
 
 
-def run_deep_rules(files: Sequence[str],
-                   codes: Optional[Sequence[str]] = None,
-                   cache: Optional[AnalysisCache] = None,
-                   ) -> Tuple[List[Finding], int]:
-    """Run the interprocedural rules over ``files``.
+def _dependent_files(graph: "CallGraph",
+                     requested: Set[str]) -> Set[str]:
+    """Absolute paths of files whose *deep* findings can change when the
+    ``requested`` (changed) files change: the transitive call-graph
+    neighbourhood, both directions.
 
-    ``files`` is the already-collected list of requested ``*.py`` files;
-    the analysis itself runs over the whole enclosing project (see
-    :func:`expand_project_files`) but only findings whose sink falls in a
-    *requested* file are reported.  Returns ``(findings, suppressed)``
-    where suppressed counts findings silenced by a ``# repro: noqa``
-    comment on the sink line.
+    Deep findings anchor at sinks, so editing a caller can create or
+    remove a finding anchored in an unchanged callee (a new call edge
+    makes a blocking sink reachable), and editing a callee changes what
+    escapes through its unchanged callers (RC203).  The symmetric
+    closure is the conservative answer; the analysis already runs over
+    the whole project either way, this only widens the reporting filter.
     """
-    from repro.analysis.callgraph import CallGraph, load_project
+    adjacency: Dict[str, Set[str]] = {}
+    for (caller_path, _), out_edges in graph.edges.items():
+        caller_abs = os.path.abspath(caller_path)
+        for (callee_path, _), _site in out_edges:
+            if callee_path == caller_path:
+                continue
+            callee_abs = os.path.abspath(callee_path)
+            adjacency.setdefault(caller_abs, set()).add(callee_abs)
+            adjacency.setdefault(callee_abs, set()).add(caller_abs)
+    seen = set(requested)
+    frontier = list(requested)
+    while frontier:
+        current = frontier.pop()
+        for neighbour in adjacency.get(current, ()):
+            if neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append(neighbour)
+    return seen
 
-    wanted: Set[str] = set(codes if codes is not None else deep_rule_codes())
-    if not wanted or not files:
-        return [], 0
 
-    project = load_project(expand_project_files(files), cache=cache)
-
-    candidates: List[Finding] = []
-    if wanted & _GRAPH_CODES:
-        graph = CallGraph(project)
-        if wanted & {"RC201", "RC202"}:
-            candidates.extend(_reachable_sink_findings(graph, wanted))
-        if "RC203" in wanted:
-            candidates.extend(_fault_escape_findings(graph))
-        if wanted & {"RC301", "RC302"}:
-            candidates.extend(_shared_state_findings(graph, wanted))
-    if wanted & {"RC204", "RC205"}:
-        candidates.extend(_event_liveness_findings(project, wanted))
-    if "RC303" in wanted:
-        candidates.extend(_pickle_soundness_findings(project))
-
-    requested = {os.path.abspath(path) for path in files}
+def _filter_candidates(project: "Project",
+                       candidates: Sequence[Finding],
+                       requested: Set[str],
+                       ) -> Tuple[List[Finding], int]:
+    """Keep findings anchored in ``requested`` files, de-duplicated, with
+    ``# repro: noqa`` suppressions counted (not silently dropped)."""
     suppression_cache: Dict[str, object] = {}
     findings: List[Finding] = []
     suppressed = 0
@@ -520,3 +562,75 @@ def run_deep_rules(files: Sequence[str],
             findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.column, f.code))
     return findings, suppressed
+
+
+def run_deep_rules(files: Sequence[str],
+                   codes: Optional[Sequence[str]] = None,
+                   cache: Optional[AnalysisCache] = None,
+                   include_dependents: bool = False,
+                   ) -> Tuple[List[Finding], int]:
+    """Run the interprocedural rules over ``files``.
+
+    ``files`` is the already-collected list of requested ``*.py`` files;
+    the analysis itself runs over the whole enclosing project (see
+    :func:`expand_project_files`) but only findings whose sink falls in a
+    *requested* file are reported.  With ``include_dependents`` (the
+    ``--changed`` path) the requested set additionally covers the
+    transitive call-graph neighbourhood of the given files, because a
+    change in one file can move deep findings anchored in another (see
+    :func:`_dependent_files`).  Returns ``(findings, suppressed)`` where
+    suppressed counts findings silenced by a ``# repro: noqa`` comment
+    on the sink line.
+    """
+    from repro.analysis.callgraph import CallGraph, load_project
+
+    wanted: Set[str] = set(codes if codes is not None else deep_rule_codes())
+    if not wanted or not files:
+        return [], 0
+
+    project = load_project(expand_project_files(files), cache=cache)
+
+    candidates: List[Finding] = []
+    graph: Optional[CallGraph] = None
+    if wanted & _GRAPH_CODES or include_dependents:
+        graph = CallGraph(project)
+        if wanted & {"RC201", "RC202"}:
+            candidates.extend(_reachable_sink_findings(graph, wanted))
+        if "RC203" in wanted:
+            candidates.extend(_fault_escape_findings(graph))
+        if wanted & {"RC301", "RC302"}:
+            candidates.extend(_shared_state_findings(graph, wanted))
+        if wanted & _CONCURRENCY_CODES:
+            from repro.analysis.concurrency import ConcurrencyAnalysis
+
+            candidates.extend(ConcurrencyAnalysis(graph).findings(
+                sorted(wanted & _CONCURRENCY_CODES)))
+    if wanted & {"RC204", "RC205"}:
+        candidates.extend(_event_liveness_findings(project, wanted))
+    if "RC303" in wanted:
+        candidates.extend(_pickle_soundness_findings(project))
+
+    requested = {os.path.abspath(path) for path in files}
+    if include_dependents and graph is not None:
+        requested = _dependent_files(graph, requested)
+    return _filter_candidates(project, candidates, requested)
+
+
+def build_concurrency_report(files: Sequence[str],
+                             cache: Optional[AnalysisCache] = None,
+                             ) -> Dict[str, object]:
+    """The machine-readable RC4xx report over ``files`` (the
+    ``--concurrency-report`` payload): thread roots, handlers, spawns,
+    the lock-order graph, and the unsuppressed findings anchored in the
+    requested files.  Schema-versioned via
+    :data:`repro.analysis.concurrency.CONCURRENCY_REPORT_SCHEMA_VERSION`.
+    """
+    from repro.analysis.callgraph import CallGraph, load_project
+    from repro.analysis.concurrency import ConcurrencyAnalysis, build_report
+
+    project = load_project(expand_project_files(files), cache=cache)
+    graph = CallGraph(project)
+    candidates = ConcurrencyAnalysis(graph).findings()
+    findings, suppressed = _filter_candidates(
+        project, candidates, {os.path.abspath(path) for path in files})
+    return build_report(graph, findings, suppressed)

@@ -12,7 +12,10 @@ from __future__ import annotations
 import ast
 import os
 from dataclasses import replace
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+#: ``{family: [{code, name, summary, deep}, ...]}`` (insertion-ordered).
+OrderedInventory = Dict[str, List[dict]]
 
 # Importing the rules module populates the registry as a side effect.
 import repro.analysis.lint.rules as _rules
@@ -160,7 +163,8 @@ def lint_paths(paths: Sequence[str],
                select: Optional[Sequence[str]] = None,
                ignore: Optional[Sequence[str]] = None,
                deep: bool = False,
-               cache: Optional["AnalysisCache"] = None) -> LintReport:
+               cache: Optional["AnalysisCache"] = None,
+               include_dependents: bool = False) -> LintReport:
     """Run the analyzer over files/directories and return the report.
 
     Args:
@@ -173,6 +177,11 @@ def lint_paths(paths: Sequence[str],
         cache: Optional :class:`~repro.analysis.callgraph.AnalysisCache`;
             unchanged files reuse their cached findings and AST summaries
             (the caller owns ``cache.save()``).
+        include_dependents: With ``deep``, widen deep-rule reporting to
+            the call-graph file neighbourhood of ``paths`` — files whose
+            callers/callees changed can gain or lose anchored RC2xx/RC4xx
+            findings without a textual diff of their own, so ``--changed``
+            must re-lint them too.
     """
     files = collect_python_files(paths)
     per_file_select, deep_select = _split_codes(select)
@@ -239,7 +248,8 @@ def lint_paths(paths: Sequence[str],
             deep_codes = [code for code in deep_rule_codes()
                           if code not in set(deep_ignore or ())]
         deep_findings, deep_suppressed = run_deep_rules(
-            files, codes=deep_codes, cache=cache)
+            files, codes=deep_codes, cache=cache,
+            include_dependents=include_dependents)
         findings.extend(deep_findings)
         suppressed += deep_suppressed
 
@@ -248,13 +258,65 @@ def lint_paths(paths: Sequence[str],
                       suppressed=suppressed)
 
 
-def iter_rule_lines() -> Iterable[str]:
-    """``CODE name — summary`` lines for ``repro lint --list-rules``."""
+#: Family headers for ``--list-rules``, in publication order.
+_RULE_FAMILIES = (
+    ("RC1xx", "per-file rules"),
+    ("RC2xx", "interprocedural rules (--deep)"),
+    ("RC3xx", "effect/purity rules (--deep)"),
+    ("RC4xx", "concurrency-safety rules (--deep)"),
+    ("VCxxx", "config verifier checks (--plan/--faults/verify)"),
+)
+
+
+def _rule_family(code: str) -> str:
+    """The catalogue family a code is published under (``RC4xx`` etc.)."""
+    if code.startswith("VC"):
+        return "VCxxx"
+    if code.startswith("RC") and len(code) >= 3:
+        return f"RC{code[2]}xx"
+    return code
+
+
+def rule_inventory() -> "OrderedInventory":
+    """The published rule inventory, grouped by family.
+
+    Returns an ordered ``{family: [{code, name, summary, deep}, ...]}``
+    mapping covering the per-file rules, the deep interprocedural
+    families, and the config-verifier VC checks — the shape serialized by
+    ``repro lint --list-rules --format json`` so docs and CI can assert
+    the inventory.
+    """
     from repro.analysis.lint.deep import deep_rule_catalogue
     from repro.analysis.lint.registry import rule_catalogue
+    from repro.analysis.verifier import VERIFIER_RULE_CATALOGUE
 
+    entries: List[dict] = []
     for lint_rule in rule_catalogue():
-        yield f"{lint_rule.code} {lint_rule.name} — {lint_rule.summary}"
+        entries.append({"code": lint_rule.code, "name": lint_rule.name,
+                        "summary": lint_rule.summary, "deep": False})
     for deep_rule in deep_rule_catalogue():
-        yield (f"{deep_rule.code} {deep_rule.name} — {deep_rule.summary} "
-               "(--deep)")
+        entries.append({"code": deep_rule.code, "name": deep_rule.name,
+                        "summary": deep_rule.summary, "deep": True})
+    for code, name, summary in VERIFIER_RULE_CATALOGUE:
+        entries.append({"code": code, "name": name,
+                        "summary": summary, "deep": False})
+    inventory: "OrderedInventory" = {
+        family: [] for family, _ in _RULE_FAMILIES}
+    for entry in sorted(entries, key=lambda e: e["code"]):
+        inventory.setdefault(_rule_family(entry["code"]), []).append(entry)
+    return {family: rules for family, rules in inventory.items() if rules}
+
+
+def iter_rule_lines() -> Iterable[str]:
+    """Family-grouped ``CODE name — summary`` lines for ``--list-rules``."""
+    titles = dict(_RULE_FAMILIES)
+    first = True
+    for family, rules in rule_inventory().items():
+        if not first:
+            yield ""
+        first = False
+        yield f"{family} — {titles.get(family, 'rules')}:"
+        for entry in rules:
+            suffix = " (--deep)" if entry["deep"] else ""
+            yield (f"  {entry['code']} {entry['name']} — "
+                   f"{entry['summary']}{suffix}")

@@ -63,6 +63,57 @@ from repro.errors import ConfigurationError
 #: Bump when the verifier report dict layout changes incompatibly.
 VERIFIER_REPORT_SCHEMA_VERSION = 1
 
+#: The published VC issue inventory, ``(code, name, summary)`` — kept here
+#: (next to the emitters) so ``repro lint --list-rules`` and the docs can
+#: assert one authoritative catalogue.  VC3xx lives in
+#: :mod:`repro.analysis.modelcheck` but is listed here for completeness.
+VERIFIER_RULE_CATALOGUE: Tuple[Tuple[str, str, str], ...] = (
+    ("VC200", "plan-load",
+     "deployment plan fails to load or elaborate"),
+    ("VC201", "fsm-table-complete",
+     "detection FSM has a transition for every reachable (state, bit)"),
+    ("VC202", "fsm-state-reachable",
+     "every FSM state is reachable from the root"),
+    ("VC203", "fsm-decision-depth",
+     "FSM decisions land within the identifier bit width"),
+    ("VC204", "fsm-set-agreement",
+     "FSM classify agrees exactly with detection-set membership"),
+    ("VC205", "prefix-overlap-free",
+     "declared prefix table has no overlapping entries"),
+    ("VC206", "prefix-covers-detection-set",
+     "prefix table covers exactly the detection set"),
+    ("VC210", "attack-id-covered",
+     "every modeled attack ID falls inside a deployed detection range"),
+    ("VC211", "id-space-covered",
+     "deployed ranges cover the DoS-relevant ID space at or below "
+     "max(\U0001d53c)"),
+    ("VC212", "window-opens-at-13",
+     "counterattack window opens at un-stuffed position 13"),
+    ("VC213", "window-closes-by-deadline",
+     "counterattack window closes by the processing deadline"),
+    ("VC220", "scenario-resolvable",
+     "scenario factory resolves by module+qualname in a fresh "
+     "interpreter"),
+    ("VC221", "scenario-picklable",
+     "scenario factory and kwargs survive pickling for process fan-out"),
+    ("VC230", "fault-plan-schema",
+     "fault plan carries a supported schema version"),
+    ("VC231", "fault-window-start",
+     "fault activation windows start at a non-negative bit"),
+    ("VC232", "fault-window-order",
+     "fault activation windows are ordered (end > start)"),
+    ("VC233", "fault-spec-shape",
+     "fault specs are well-formed (name, kind, known layer targets)"),
+    ("VC300", "modelcheck-elaboration",
+     "plan could not be elaborated into FSMs for model checking"),
+    ("VC301", "modelcheck-verdict",
+     "FSM verdict mismatch on the bit-stuffed arbitration stream"),
+    ("VC302", "modelcheck-commit-deadline",
+     "a flagging path commits after the counterattack deadline"),
+    ("VC303", "modelcheck-undecided",
+     "FSM still undecided after all identifier bits"),
+)
+
 
 @dataclass(frozen=True)
 class VerifierIssue:

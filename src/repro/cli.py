@@ -850,13 +850,16 @@ def _git_changed_python_files() -> Optional[List[str]]:
 
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lint import collect_python_files, lint_paths
-    from repro.analysis.lint.engine import iter_rule_lines
+    from repro.analysis.lint.engine import iter_rule_lines, rule_inventory
     from repro.analysis.verifier import verify_fault_plan_file, verify_plan_file
     from repro.errors import ConfigurationError
 
     if args.list_rules:
-        for line in iter_rule_lines():
-            print(line)
+        if args.format == "json":
+            print(json.dumps(rule_inventory(), indent=2))
+        else:
+            for line in iter_rule_lines():
+                print(line)
         return 0
 
     if not args.paths and not args.plan and not args.faults \
@@ -902,6 +905,11 @@ def cmd_lint(args: argparse.Namespace) -> int:
               "derived from the whole-program effect analysis)",
               file=sys.stderr)
         return 2
+    if args.concurrency_report and not args.deep:
+        print("error: --concurrency-report needs --deep (the report is "
+              "derived from the whole-program concurrency analysis)",
+              file=sys.stderr)
+        return 2
 
     cache = None
     if not args.no_cache and (lint_targets or args.changed):
@@ -914,7 +922,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
         if lint_targets or args.changed:
             report = lint_paths(lint_targets or [], select=args.select,
                                 ignore=args.ignore, deep=args.deep,
-                                cache=cache)
+                                cache=cache,
+                                include_dependents=args.changed)
             print(report.render_json() if args.format == "json"
                   else report.render_text())
             failed |= not report.ok
@@ -931,6 +940,19 @@ def cmd_lint(args: argparse.Namespace) -> int:
                   f"{verdicts.count('impure')} impure, "
                   f"{verdicts.count('unresolved')} unresolved) "
                   f"-> {args.purity_manifest}")
+        if args.concurrency_report:
+            from repro.analysis.concurrency import save_report
+            from repro.analysis.lint.deep import build_concurrency_report
+
+            concurrency = build_concurrency_report(
+                collect_python_files(lint_targets or []), cache=cache)
+            save_report(concurrency, args.concurrency_report)
+            print(f"concurrency report: "
+                  f"{len(concurrency['thread_roots'])} thread root(s), "
+                  f"{len(concurrency['signal_handlers'])} signal "
+                  f"handler(s), {len(concurrency['findings'])} finding(s) "
+                  f"({concurrency['suppressed']} sanctioned) "
+                  f"-> {args.concurrency_report}")
         if args.plan:
             verification = verify_plan_file(args.plan)
             print(verification.render_json() if args.format == "json"
@@ -1308,8 +1330,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --deep: write the scenario purity manifest "
                         "(verdicts + transitive slice hashes) consumed by "
                         "'campaign run --cache'")
+    p.add_argument("--concurrency-report", default=None, metavar="FILE",
+                   help="with --deep: write the machine-readable RC4xx "
+                        "concurrency report (thread roots, locksets, "
+                        "lock-order graph, findings)")
     p.add_argument("--changed", action="store_true",
-                   help="lint only files changed vs git HEAD "
+                   help="lint only files changed vs git HEAD, plus their "
+                        "call-graph dependents when --deep is on "
                         "(tracked diffs + untracked)")
     p.add_argument("--cache", default=None, metavar="FILE",
                    help="analysis cache location "

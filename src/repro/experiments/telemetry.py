@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time as _time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Union
@@ -46,6 +47,11 @@ class TelemetryWriter:
         self.path = os.fspath(path)
         self.heartbeat_seconds = heartbeat_seconds
         self._last_beat: Dict[str, float] = {}
+        #: Guards the per-worker rate-limit state: ``heartbeat`` runs on
+        #: the supervisor's daemon beat thread while ``spec_finished``
+        #: pops from the pump loop (RC401 lockset analysis flags the
+        #: unsynchronized write pair otherwise).
+        self._beat_lock = threading.Lock()
 
     def _append(self, event: str, **fields: Any) -> None:
         entry = {"type": "telemetry",
@@ -73,7 +79,8 @@ class TelemetryWriter:
 
     def spec_finished(self, spec_name: str, attempt: int, worker: str,
                       status: str, wall_seconds: float) -> None:
-        self._last_beat.pop(worker, None)
+        with self._beat_lock:
+            self._last_beat.pop(worker, None)
         self._append("finish", spec=spec_name, attempt=attempt,
                      worker=worker, status=status,
                      wall_seconds=round(wall_seconds, 3))
@@ -86,10 +93,11 @@ class TelemetryWriter:
     def heartbeat(self, worker: str, spec_name: str,
                   elapsed_seconds: float) -> None:
         now = _time.monotonic()
-        last = self._last_beat.get(worker)
-        if last is not None and now - last < self.heartbeat_seconds:
-            return
-        self._last_beat[worker] = now
+        with self._beat_lock:
+            last = self._last_beat.get(worker)
+            if last is not None and now - last < self.heartbeat_seconds:
+                return
+            self._last_beat[worker] = now
         self._append("heartbeat", worker=worker, spec=spec_name,
                      elapsed_seconds=round(elapsed_seconds, 3))
 
